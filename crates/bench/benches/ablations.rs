@@ -1,0 +1,102 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! KNN k, outlier-threshold n, EIR prune step, DTW band radius.
+
+use cm_events::{EventId, TimeSeries};
+use cm_ml::{Dataset, SgbrtConfig};
+use cm_stats::dtw;
+use counterminer::{CleanerConfig, DataCleaner, ImportanceConfig, ImportanceRanker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dirty_series(n: usize) -> TimeSeries {
+    let mut v: Vec<f64> = (0..n).map(|i| 500.0 + ((i * 53) % 89) as f64).collect();
+    for i in (5..n).step_by(37) {
+        v[i] = 0.0;
+    }
+    for i in (11..n).step_by(83) {
+        v[i] = 9_000.0;
+    }
+    TimeSeries::from_values(v)
+}
+
+fn bench_knn_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_knn_k");
+    group.sample_size(20);
+    let series = dirty_series(512);
+    for k in [3usize, 5, 8] {
+        let cleaner = DataCleaner::new(CleanerConfig {
+            knn_k: k,
+            ..CleanerConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| cleaner.clean_series(std::hint::black_box(&series)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_threshold_n");
+    group.sample_size(20);
+    let series = dirty_series(512);
+    for n in [3.0f64, 5.0, 7.0] {
+        let cleaner = DataCleaner::new(CleanerConfig {
+            fixed_n: Some(n),
+            ..CleanerConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n as u32), &n, |b, _| {
+            b.iter(|| cleaner.clean_series(std::hint::black_box(&series)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_prune_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eir_prune_step");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let rows: Vec<Vec<f64>> = (0..250)
+        .map(|_| (0..30).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| 1.0 - r[0]).collect();
+    let data = Dataset::new(rows, y).unwrap();
+    let events: Vec<EventId> = (0..30).map(EventId::new).collect();
+    for step in [5usize, 10, 20] {
+        let ranker = ImportanceRanker::new(ImportanceConfig {
+            sgbrt: SgbrtConfig {
+                n_trees: 25,
+                ..SgbrtConfig::default()
+            },
+            prune_step: step,
+            min_events: 10,
+            ..ImportanceConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, _| {
+            b.iter(|| ranker.rank(std::hint::black_box(&data), &events).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dtw_band(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dtw_band");
+    group.sample_size(20);
+    let a: Vec<f64> = (0..400).map(|i| (i as f64 * 0.1).sin()).collect();
+    let b: Vec<f64> = (0..440).map(|i| (i as f64 * 0.1 + 0.2).sin()).collect();
+    for radius in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &radius, |bench, &r| {
+            bench.iter(|| dtw::distance_banded(std::hint::black_box(&a), &b, r));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_knn_k,
+    bench_threshold_n,
+    bench_prune_step,
+    bench_dtw_band
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Data-cleaner throughput — the Fig. 5/6 machinery.
+
+use cm_events::TimeSeries;
+use counterminer::{CleanerConfig, DataCleaner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A dirty series: steady level, bursts, a few spikes and zeros.
+fn dirty_series(n: usize) -> TimeSeries {
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1000.0 + ((i * 37) % 101) as f64 * 4.0)
+        .collect();
+    for i in (7..n).step_by(59) {
+        v[i] = 25_000.0; // spike
+    }
+    for i in (13..n).step_by(47) {
+        v[i] = 0.0; // missing
+    }
+    TimeSeries::from_values(v)
+}
+
+fn bench_cleaning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cleaning");
+    group.sample_size(30);
+    let cleaner = DataCleaner::new(CleanerConfig::default());
+    for n in [256usize, 512, 1024] {
+        let series = dirty_series(n);
+        group.bench_with_input(BenchmarkId::new("clean_series", n), &n, |bench, _| {
+            bench.iter(|| cleaner.clean_series(std::hint::black_box(&series)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cleaning);
+criterion_main!(benches);

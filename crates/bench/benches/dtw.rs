@@ -1,0 +1,31 @@
+//! DTW benchmarks — the error-metric kernel behind Figs. 1, 6, 7.
+
+use cm_stats::dtw;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.05 + phase).sin() * 100.0 + ((i * 31) % 17) as f64)
+        .collect()
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw");
+    group.sample_size(20);
+    for n in [128usize, 256, 512] {
+        let a = series(n, 0.0);
+        let b = series(n + n / 10, 0.4);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
+            bench.iter(|| dtw::distance(std::hint::black_box(&a), std::hint::black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("banded_r32", n), &n, |bench, _| {
+            bench.iter(|| {
+                dtw::distance_banded(std::hint::black_box(&a), std::hint::black_box(&b), 32)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! EIR importance-ranking cost — the Fig. 9/10 pipeline stage.
+
+use cm_events::EventId;
+use cm_ml::{Dataset, SgbrtConfig};
+use counterminer::{ImportanceConfig, ImportanceRanker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(rows: usize, features: usize) -> (Dataset, Vec<EventId>) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = data.iter().map(|r| 1.5 - r[0] - 0.3 * r[1]).collect();
+    (
+        Dataset::new(data, y).unwrap(),
+        (0..features).map(EventId::new).collect(),
+    )
+}
+
+fn bench_importance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("importance");
+    group.sample_size(10);
+    for features in [20usize, 40] {
+        let (data, events) = dataset(300, features);
+        let ranker = ImportanceRanker::new(ImportanceConfig {
+            sgbrt: SgbrtConfig {
+                n_trees: 30,
+                ..SgbrtConfig::default()
+            },
+            prune_step: 10,
+            min_events: 10,
+            ..ImportanceConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("eir", features), &features, |b, _| {
+            b.iter(|| ranker.rank(std::hint::black_box(&data), &events).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_importance);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Interaction-ranking cost — the Fig. 11/12 pipeline stage.
+
+use cm_events::EventId;
+use cm_ml::{Dataset, SgbrtConfig};
+use counterminer::InteractionRanker;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_interaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let rows: Vec<Vec<f64>> = (0..300)
+        .map(|_| (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1] + r[2]).collect();
+    let data = Dataset::new(rows, y).unwrap();
+    let events: Vec<EventId> = (0..12).map(EventId::new).collect();
+    let model = SgbrtConfig {
+        n_trees: 50,
+        ..SgbrtConfig::default()
+    }
+    .fit(&data)
+    .unwrap();
+
+    for top_k in [4usize, 8] {
+        let top = &events[..top_k];
+        group.bench_with_input(BenchmarkId::new("rank_pairs", top_k), &top_k, |b, _| {
+            b.iter(|| {
+                InteractionRanker::new()
+                    .rank_pairs(&model, &events, std::hint::black_box(&data), top)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interaction);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! PMU simulation throughput — the data generator behind Figs. 1–7.
+
+use cm_events::EventCatalog;
+use cm_sim::{Benchmark, PmuConfig, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pmu(c: &mut Criterion) {
+    let catalog = EventCatalog::haswell();
+    let workload = Workload::new(Benchmark::Wordcount, &catalog);
+    let pmu = PmuConfig::default();
+    let mut group = c.benchmark_group("pmu");
+    group.sample_size(10);
+    for n_events in [10usize, 36] {
+        let events = workload.top_event_ids(&catalog, n_events);
+        group.bench_with_input(BenchmarkId::new("ocoe", n_events), &n_events, |b, _| {
+            b.iter(|| pmu.simulate_ocoe(&workload, &events, 0, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("mlpx", n_events), &n_events, |b, _| {
+            b.iter(|| pmu.simulate_mlpx(&workload, &events, 0, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmu);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! SGBRT training and prediction — the Fig. 8–10 model kernel.
+
+use cm_ml::{Dataset, SgbrtConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(rows: usize, features: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = data
+        .iter()
+        .map(|r| 2.0 - r[0] - 0.4 * r[1] * r[1] + 0.1 * r[2])
+        .collect();
+    Dataset::new(data, y).unwrap()
+}
+
+fn bench_sgbrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgbrt");
+    group.sample_size(10);
+    for features in [20usize, 60] {
+        let data = dataset(400, features);
+        let config = SgbrtConfig {
+            n_trees: 50,
+            ..SgbrtConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("fit_400rows", features),
+            &features,
+            |b, _| {
+                b.iter(|| config.fit(std::hint::black_box(&data)).unwrap());
+            },
+        );
+    }
+    let data = dataset(400, 20);
+    let model = SgbrtConfig::default().fit(&data).unwrap();
+    group.bench_function("predict_batch_400", |b| {
+        b.iter(|| model.predict_batch(std::hint::black_box(data.rows())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgbrt);
+criterion_main!(benches);

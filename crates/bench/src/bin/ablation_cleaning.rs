@@ -1,0 +1,18 @@
+//! Extension experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::ablation_cleaning;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match ablation_cleaning::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("ablation_cleaning failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! EIR design-choice ablation binary. Pass --quick for a reduced run.
+use cm_bench::experiments::ablation_eir;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match ablation_eir::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("ablation_eir failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

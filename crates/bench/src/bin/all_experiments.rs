@@ -1,0 +1,74 @@
+//! Runs every table/figure experiment and writes the combined report to
+//! `EXPERIMENTS-results.txt` (and stdout). Pass `--quick` for the
+//! reduced-scale variant used in smoke testing.
+
+use cm_bench::experiments::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::default()
+    };
+
+    let mut out = String::new();
+    let started = Instant::now();
+    writeln!(
+        out,
+        "CounterMiner reproduction — all experiments ({:?} scale)\n",
+        cfg.scale
+    )
+    .unwrap();
+
+    macro_rules! section {
+        ($name:literal, $body:expr) => {{
+            let t = Instant::now();
+            eprintln!("running {} ...", $name);
+            match $body {
+                Ok(result) => {
+                    writeln!(out, "{result}").unwrap();
+                }
+                Err(e) => {
+                    writeln!(out, "{} FAILED: {e}\n", $name).unwrap();
+                }
+            }
+            eprintln!("  {} done in {:.1?}", $name, t.elapsed());
+        }};
+    }
+
+    writeln!(out, "{}", table2_benchmarks::run()).unwrap();
+    writeln!(out, "{}", table3_events::run()).unwrap();
+    writeln!(out, "{}", table4_spark_params::run()).unwrap();
+    section!("fig01", fig01_mlpx_error::run(&cfg));
+    section!("fig02", fig02_dirty_examples::run(&cfg));
+    section!("fig03", fig03_error_vs_events::run(&cfg));
+    section!("table1", table1_threshold_coverage::run(&cfg));
+    section!("fig05", fig05_cleaning_examples::run(&cfg));
+    section!("fig06", fig06_error_reduction::run(&cfg));
+    section!("fig07", fig07_cleaned_vs_events::run(&cfg));
+    section!("fig08", fig08_eir_curve::run(&cfg));
+    section!("fig09", fig09_importance_hibench::run(&cfg));
+    section!("fig10", fig10_importance_cloudsuite::run(&cfg));
+    section!("fig11", fig11_interactions_hibench::run(&cfg));
+    section!("fig12", fig12_interactions_cloudsuite::run(&cfg));
+    section!("fig13", fig13_param_event_interactions::run(&cfg));
+    section!("fig14", fig14_tuning_sweep::run(&cfg));
+    section!("fig15", fig15_profiling_cost::run(&cfg));
+    section!("fig16", fig16_colocation::run(&cfg));
+    section!("ablation_cleaning", ablation_cleaning::run(&cfg));
+    section!("ablation_eir", ablation_eir::run(&cfg));
+    section!("baseline_subinterval", baseline_subinterval::run(&cfg));
+    section!("baseline_scheduling", baseline_scheduling::run(&cfg));
+    section!("baseline_pca", baseline_pca::run(&cfg));
+    section!("method_b_direct", method_b_direct::run(&cfg));
+    section!("findings", findings_summary::run(&cfg));
+
+    writeln!(out, "total wall time: {:.1?}", started.elapsed()).unwrap();
+    print!("{out}");
+    if let Err(e) = std::fs::write("EXPERIMENTS-results.txt", &out) {
+        eprintln!("could not write EXPERIMENTS-results.txt: {e}");
+    }
+}

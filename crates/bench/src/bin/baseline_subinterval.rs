@@ -1,0 +1,18 @@
+//! Extension experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::baseline_subinterval;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match baseline_subinterval::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("baseline_subinterval failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 2 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig02_dirty_examples;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig02_dirty_examples::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig02 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

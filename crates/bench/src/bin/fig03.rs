@@ -1,0 +1,18 @@
+//! Fig. 3 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig03_error_vs_events;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig03_error_vs_events::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig03 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

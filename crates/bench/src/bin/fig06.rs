@@ -1,0 +1,18 @@
+//! Fig. 6 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig06_error_reduction;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig06_error_reduction::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig06 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 8 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig08_eir_curve;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig08_eir_curve::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig08 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 10 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig10_importance_cloudsuite;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig10_importance_cloudsuite::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig10 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

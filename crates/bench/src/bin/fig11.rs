@@ -1,0 +1,18 @@
+//! Fig. 11 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig11_interactions_hibench;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig11_interactions_hibench::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig11 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 12 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig12_interactions_cloudsuite;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig12_interactions_cloudsuite::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig12 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 13 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig13_param_event_interactions;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig13_param_event_interactions::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig13 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 14 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig14_tuning_sweep;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig14_tuning_sweep::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig14 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 15 experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::fig15_profiling_cost;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match fig15_profiling_cost::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("fig15 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

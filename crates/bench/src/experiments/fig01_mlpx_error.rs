@@ -1,0 +1,107 @@
+//! Fig. 1: MLPX measurement error of `ICACHE.MISSES` per benchmark
+//! (10 events multiplexed on 4 counters).
+//!
+//! Paper: min 8.8 %, max 43.3 %, average 28.3 %.
+
+use super::common::{event_error, pct, Ctx, ExpConfig};
+use cm_events::abbrev;
+use cm_sim::{Benchmark, ALL_BENCHMARKS};
+use counterminer::CmError;
+use std::fmt;
+
+/// Per-benchmark raw MLPX error of `ICACHE.MISSES`.
+#[derive(Debug, Clone)]
+pub struct Fig01Result {
+    /// `(benchmark, error %)` per benchmark, figure order.
+    pub errors: Vec<(Benchmark, f64)>,
+}
+
+impl Fig01Result {
+    /// Average error across benchmarks.
+    pub fn average(&self) -> f64 {
+        self.errors.iter().map(|&(_, e)| e).sum::<f64>() / self.errors.len() as f64
+    }
+
+    /// Minimum per-benchmark error.
+    pub fn min(&self) -> f64 {
+        self.errors
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum per-benchmark error.
+    pub fn max(&self) -> f64 {
+        self.errors.iter().map(|&(_, e)| e).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Fig01Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 1 — MLPX error of ICACHE.MISSES, 10 events on 4 counters"
+        )?;
+        writeln!(f, "{:<22} {:>8}", "benchmark", "error")?;
+        for &(b, e) in &self.errors {
+            writeln!(f, "{:<22} {}", format!("{} ({})", b.abbrev(), b), pct(e))?;
+        }
+        writeln!(f, "{:<22} {}", "AVG", pct(self.average()))?;
+        writeln!(
+            f,
+            "paper: min 8.8%  max 43.3%  avg 28.3%   (measured: min {:.1}%  max {:.1}%  avg {:.1}%)",
+            self.min(),
+            self.max(),
+            self.average()
+        )
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<Fig01Result, CmError> {
+    let ctx = Ctx::new();
+    let icm = ctx.catalog.by_abbrev(abbrev::ICM).expect("ICM").id();
+    let mut errors = Vec::with_capacity(ALL_BENCHMARKS.len());
+    for b in ALL_BENCHMARKS {
+        let (raw, _) = event_error(&ctx, b, icm, 10, cfg.error_reps(), cfg.seed)?;
+        errors.push((b, raw));
+    }
+    Ok(Fig01Result { errors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_sim::Benchmark;
+
+    fn synthetic() -> Fig01Result {
+        Fig01Result {
+            errors: vec![
+                (Benchmark::Wordcount, 10.0),
+                (Benchmark::Sort, 30.0),
+                (Benchmark::WebServing, 20.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let r = synthetic();
+        assert_eq!(r.min(), 10.0);
+        assert_eq!(r.max(), 30.0);
+        assert_eq!(r.average(), 20.0);
+    }
+
+    #[test]
+    fn display_contains_every_benchmark_and_the_average() {
+        let text = synthetic().to_string();
+        assert!(text.contains("WDC"));
+        assert!(text.contains("SOT"));
+        assert!(text.contains("AVG"));
+        assert!(text.contains("28.3%")); // the paper reference line
+    }
+}

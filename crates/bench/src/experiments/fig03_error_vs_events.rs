@@ -1,0 +1,110 @@
+//! Fig. 3: raw MLPX error vs. the number of events multiplexed
+//! simultaneously on 4 counters.
+//!
+//! Paper (raw): 10→37 %, 16→35 %, 20→41 %, 24→55 %, 28→50 %, 32→44 %,
+//! 36→54 % — a noisy but clearly rising trend.
+
+use super::common::{event_error, pct, Ctx, ExpConfig};
+use cm_events::abbrev;
+use cm_sim::HIBENCH;
+use counterminer::CmError;
+use std::fmt;
+
+/// The event counts the paper sweeps.
+pub const EVENT_COUNTS: [usize; 7] = [10, 16, 20, 24, 28, 32, 36];
+
+/// Raw error per multiplexed-event count.
+#[derive(Debug, Clone)]
+pub struct Fig03Result {
+    /// `(n_events, error %)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Fig03Result {
+    /// Least-squares slope of error vs. event count (the red trend line
+    /// of the paper's figure); positive means error grows with events.
+    pub fn trend_slope(&self) -> f64 {
+        let n = self.points.len() as f64;
+        let mx = self.points.iter().map(|&(x, _)| x as f64).sum::<f64>() / n;
+        let my = self.points.iter().map(|&(_, y)| y).sum::<f64>() / n;
+        let sxy: f64 = self
+            .points
+            .iter()
+            .map(|&(x, y)| (x as f64 - mx) * (y - my))
+            .sum();
+        let sxx: f64 = self
+            .points
+            .iter()
+            .map(|&(x, _)| (x as f64 - mx) * (x as f64 - mx))
+            .sum();
+        sxy / sxx
+    }
+}
+
+impl fmt::Display for Fig03Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 3 — raw MLPX error vs. events multiplexed (4 counters)"
+        )?;
+        writeln!(f, "{:>8} {:>8}", "events", "error")?;
+        for &(n, e) in &self.points {
+            writeln!(f, "{n:>8} {}", pct(e))?;
+        }
+        writeln!(
+            f,
+            "trend: {:+.2} %/event (paper shows a rising trend, 37% @ 10 to 54% @ 36)",
+            self.trend_slope()
+        )
+    }
+}
+
+/// Runs the experiment: the error of `ICACHE.MISSES` averaged over the
+/// HiBench benchmarks at each event count.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<Fig03Result, CmError> {
+    let ctx = Ctx::new();
+    let icm = ctx.catalog.by_abbrev(abbrev::ICM).expect("ICM").id();
+    let mut points = Vec::with_capacity(EVENT_COUNTS.len());
+    for &n in &EVENT_COUNTS {
+        let mut sum = 0.0;
+        for b in HIBENCH {
+            let (raw, _) = event_error(&ctx, b, icm, n, cfg.error_reps(), cfg.seed ^ n as u64)?;
+            sum += raw;
+        }
+        points.push((n, sum / HIBENCH.len() as f64));
+    }
+    Ok(Fig03Result { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trend_slope_matches_hand_computation() {
+        // Perfect line: error = 2 * events.
+        let r = Fig03Result {
+            points: EVENT_COUNTS.iter().map(|&n| (n, 2.0 * n as f64)).collect(),
+        };
+        assert!((r.trend_slope() - 2.0).abs() < 1e-9);
+        // Flat series has zero slope.
+        let flat = Fig03Result {
+            points: EVENT_COUNTS.iter().map(|&n| (n, 5.0)).collect(),
+        };
+        assert!(flat.trend_slope().abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_each_point() {
+        let r = Fig03Result {
+            points: vec![(10, 20.0), (16, 25.0)],
+        };
+        let text = r.to_string();
+        assert!(text.contains("10"));
+        assert!(text.contains("25.0%") || text.contains("25.0"));
+    }
+}

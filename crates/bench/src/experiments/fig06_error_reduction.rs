@@ -1,0 +1,77 @@
+//! Fig. 6: MLPX error of `ICACHE.MISSES` before vs. after data cleaning,
+//! per benchmark.
+//!
+//! Paper: the average drops from 28.3 % to 7.7 %.
+
+use super::common::{event_error, pct, Ctx, ExpConfig};
+use cm_events::abbrev;
+use cm_sim::{Benchmark, ALL_BENCHMARKS};
+use counterminer::CmError;
+use std::fmt;
+
+/// Per-benchmark error before and after cleaning.
+#[derive(Debug, Clone)]
+pub struct Fig06Result {
+    /// `(benchmark, raw error %, cleaned error %)`.
+    pub rows: Vec<(Benchmark, f64, f64)>,
+}
+
+impl Fig06Result {
+    /// Average raw error.
+    pub fn raw_average(&self) -> f64 {
+        self.rows.iter().map(|&(_, r, _)| r).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Average cleaned error.
+    pub fn cleaned_average(&self) -> f64 {
+        self.rows.iter().map(|&(_, _, c)| c).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+impl fmt::Display for Fig06Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 6 — error before/after cleaning (ICACHE.MISSES, 10 events)"
+        )?;
+        writeln!(f, "{:<22} {:>8} {:>8}", "benchmark", "raw", "cleaned")?;
+        for &(b, raw, cleaned) in &self.rows {
+            writeln!(
+                f,
+                "{:<22} {} {}",
+                format!("{} ({})", b.abbrev(), b),
+                pct(raw),
+                pct(cleaned)
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<22} {} {}",
+            "AVG",
+            pct(self.raw_average()),
+            pct(self.cleaned_average())
+        )?;
+        writeln!(
+            f,
+            "paper: avg 28.3% -> 7.7%   (measured: {:.1}% -> {:.1}%)",
+            self.raw_average(),
+            self.cleaned_average()
+        )
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<Fig06Result, CmError> {
+    let ctx = Ctx::new();
+    let icm = ctx.catalog.by_abbrev(abbrev::ICM).expect("ICM").id();
+    let mut rows = Vec::with_capacity(ALL_BENCHMARKS.len());
+    for b in ALL_BENCHMARKS {
+        let (raw, cleaned) = event_error(&ctx, b, icm, 10, cfg.error_reps(), cfg.seed)?;
+        rows.push((b, raw, cleaned));
+    }
+    Ok(Fig06Result { rows })
+}

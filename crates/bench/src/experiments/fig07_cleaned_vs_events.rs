@@ -1,0 +1,76 @@
+//! Fig. 7: MLPX error before vs. after cleaning, as the number of
+//! multiplexed events grows.
+//!
+//! Paper (cleaned): 10→5.3 %, 16→17.1 %, 20→6.8 %, 24→23.6 %, 28→29.0 %,
+//! 32→13.4 %, 36→29.4 % — cleaning cuts the error at every point, but
+//! beyond ~20 events some cleaned errors stay high (the paper's
+//! recommendation: don't multiplex more than 20).
+
+use super::common::{event_error, pct, Ctx, ExpConfig};
+use super::fig03_error_vs_events::EVENT_COUNTS;
+use cm_events::abbrev;
+use cm_sim::HIBENCH;
+use counterminer::CmError;
+use std::fmt;
+
+/// Raw and cleaned error per multiplexed-event count.
+#[derive(Debug, Clone)]
+pub struct Fig07Result {
+    /// `(n_events, raw error %, cleaned error %)`.
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+impl Fig07Result {
+    /// Cleaned error at the 10-event point (paper: 5.3 %).
+    pub fn cleaned_at_10(&self) -> f64 {
+        self.points
+            .iter()
+            .find(|&&(n, _, _)| n == 10)
+            .map(|&(_, _, c)| c)
+            .expect("10-event point present")
+    }
+}
+
+impl fmt::Display for Fig07Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 7 — error before/after cleaning vs. events multiplexed"
+        )?;
+        writeln!(f, "{:>8} {:>8} {:>8}", "events", "raw", "cleaned")?;
+        for &(n, raw, cleaned) in &self.points {
+            writeln!(f, "{n:>8} {} {}", pct(raw), pct(cleaned))?;
+        }
+        writeln!(
+            f,
+            "paper: cleaning reduces the error at every point; cleaned error at 10 events 5.3%"
+        )
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<Fig07Result, CmError> {
+    let ctx = Ctx::new();
+    let icm = ctx.catalog.by_abbrev(abbrev::ICM).expect("ICM").id();
+    let mut points = Vec::with_capacity(EVENT_COUNTS.len());
+    for &n in &EVENT_COUNTS {
+        let mut raw_sum = 0.0;
+        let mut clean_sum = 0.0;
+        for b in HIBENCH {
+            let (raw, cleaned) =
+                event_error(&ctx, b, icm, n, cfg.error_reps(), cfg.seed ^ n as u64)?;
+            raw_sum += raw;
+            clean_sum += cleaned;
+        }
+        points.push((
+            n,
+            raw_sum / HIBENCH.len() as f64,
+            clean_sum / HIBENCH.len() as f64,
+        ));
+    }
+    Ok(Fig07Result { points })
+}

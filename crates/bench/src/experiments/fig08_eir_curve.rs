@@ -1,0 +1,96 @@
+//! Fig. 8: performance-model error vs. the number of input events during
+//! EIR, averaged over the HiBench benchmarks.
+//!
+//! Paper: 14 % with all 229 events, a minimum of 6.3 % around 150
+//! events, 9.6 % at 99, back to 14 % at 59 — a U-shaped curve showing
+//! that a modern processor's event list contains many noisy events.
+
+use super::common::{analyze_benchmarks, ExpConfig};
+use cm_sim::HIBENCH;
+use counterminer::CmError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The averaged EIR error curve.
+#[derive(Debug, Clone)]
+pub struct Fig08Result {
+    /// `(n_events, mean error %)` in descending event count.
+    pub curve: Vec<(usize, f64)>,
+}
+
+impl Fig08Result {
+    /// The event count with the lowest average error (the MAPM point).
+    pub fn best_point(&self) -> (usize, f64) {
+        self.curve
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("curve is non-empty")
+    }
+
+    /// Error of the full-event model (the first curve point).
+    pub fn full_model_error(&self) -> f64 {
+        self.curve.first().expect("non-empty").1
+    }
+}
+
+impl fmt::Display for Fig08Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 8 — EIR model error vs. number of input events (HiBench mean)"
+        )?;
+        writeln!(f, "{:>8} {:>8}", "events", "error")?;
+        for &(n, e) in &self.curve {
+            writeln!(f, "{n:>8} {e:>7.1}%")?;
+        }
+        let (best_n, best_e) = self.best_point();
+        writeln!(
+            f,
+            "minimum {best_e:.1}% at {best_n} events; full model {:.1}% \
+             (paper: min 6.3% near 150, 14% at 229)",
+            self.full_model_error()
+        )
+    }
+}
+
+/// Runs EIR on every HiBench benchmark and averages the error curves by
+/// event count.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<Fig08Result, CmError> {
+    let reports = analyze_benchmarks(cfg, &HIBENCH)?;
+    let mut acc: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+    for report in reports.iter() {
+        for it in &report.eir.iterations {
+            let slot = acc.entry(it.n_events).or_insert((0.0, 0));
+            slot.0 += it.error * 100.0;
+            slot.1 += 1;
+        }
+    }
+    let curve: Vec<(usize, f64)> = acc
+        .into_iter()
+        .rev()
+        .map(|(n, (sum, count))| (n, sum / count as f64))
+        .collect();
+    Ok(Fig08Result { curve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_point_and_full_error() {
+        let r = Fig08Result {
+            curve: vec![(229, 16.0), (150, 12.0), (59, 14.0)],
+        };
+        assert_eq!(r.best_point(), (150, 12.0));
+        assert_eq!(r.full_model_error(), 16.0);
+        let text = r.to_string();
+        assert!(text.contains("150"));
+        assert!(text.contains("minimum"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 9: top-10 event importance per HiBench benchmark, from the MAPM.
+//!
+//! Paper findings checked here: the one-three SMI law (the leading one
+//! to three events are far more important than the rest), ISF/BRE
+//! leading most benchmarks, and per-benchmark diversity of rankings.
+
+use super::common::{analyze_benchmarks, ExpConfig};
+use cm_events::EventCatalog;
+use cm_sim::Benchmark;
+use counterminer::{AnalysisReport, CmError};
+use std::fmt;
+
+/// One benchmark's top-10 importance list.
+#[derive(Debug, Clone)]
+pub struct ImportanceRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// `(event abbreviation, importance %)`, descending.
+    pub top10: Vec<(String, f64)>,
+}
+
+/// Importance rankings for a benchmark suite.
+#[derive(Debug, Clone)]
+pub struct ImportanceResult {
+    /// Figure title.
+    pub title: &'static str,
+    /// One row per benchmark.
+    pub rows: Vec<ImportanceRow>,
+}
+
+impl ImportanceResult {
+    /// Fraction of benchmarks whose top event is one of the given
+    /// abbreviations.
+    pub fn top_event_share(&self, abbrevs: &[&str]) -> f64 {
+        let hits = self
+            .rows
+            .iter()
+            .filter(|r| abbrevs.contains(&r.top10[0].0.as_str()))
+            .count();
+        hits as f64 / self.rows.len() as f64
+    }
+
+    /// Checks the one-three SMI law for a row: the leading events'
+    /// importance clearly exceeds the tail's.
+    pub fn smi_ratio(row: &ImportanceRow) -> f64 {
+        let head = row.top10[0].1;
+        let tail = row.top10.get(5).map(|&(_, v)| v).unwrap_or(0.0);
+        if tail > 0.0 {
+            head / tail
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl fmt::Display for ImportanceResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for row in &self.rows {
+            write!(f, "{:<20}", row.benchmark.to_string())?;
+            for (abbrev, pct) in &row.top10 {
+                write!(f, " {abbrev}={pct:.1}%")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn reports_to_rows(
+    reports: &[AnalysisReport],
+    catalog: &EventCatalog,
+) -> Vec<ImportanceRow> {
+    reports
+        .iter()
+        .map(|r| ImportanceRow {
+            benchmark: r.benchmark,
+            top10: r
+                .eir
+                .top(10)
+                .iter()
+                .map(|&(e, v)| (catalog.info(e).abbrev().to_string(), v))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs the importance pipeline on the eight HiBench benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<ImportanceResult, CmError> {
+    let catalog = EventCatalog::haswell();
+    let reports = analyze_benchmarks(cfg, &cm_sim::HIBENCH)?;
+    Ok(ImportanceResult {
+        title: "Fig. 9 — top-10 event importance, HiBench (MAPM)",
+        rows: reports_to_rows(&reports, &catalog),
+    })
+}

@@ -1,0 +1,37 @@
+//! Fig. 10: top-10 event importance per CloudSuite benchmark.
+//!
+//! Paper findings: ISF dominates most CloudSuite programs, and the
+//! CloudSuite top-10 lists are *less* diverse than HiBench's despite the
+//! heterogeneous frameworks (the paper's fourth, counter-intuitive
+//! finding).
+
+use super::common::{analyze_benchmarks, ExpConfig};
+use super::fig09_importance_hibench::{reports_to_rows, ImportanceResult};
+use cm_events::EventCatalog;
+use counterminer::CmError;
+
+/// Runs the importance pipeline on the eight CloudSuite benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<ImportanceResult, CmError> {
+    let catalog = EventCatalog::haswell();
+    let reports = analyze_benchmarks(cfg, &cm_sim::CLOUDSUITE)?;
+    Ok(ImportanceResult {
+        title: "Fig. 10 — top-10 event importance, CloudSuite (MAPM)",
+        rows: reports_to_rows(&reports, &catalog),
+    })
+}
+
+/// Counts how many distinct events appear across all top-10 lists — the
+/// diversity measure behind the paper's HiBench-vs-CloudSuite finding.
+pub fn distinct_top10_events(result: &ImportanceResult) -> usize {
+    let mut set = std::collections::HashSet::new();
+    for row in &result.rows {
+        for (abbrev, _) in &row.top10 {
+            set.insert(abbrev.clone());
+        }
+    }
+    set.len()
+}

@@ -1,0 +1,114 @@
+//! Fig. 11: top-10 event-pair interaction intensities per HiBench
+//! benchmark.
+//!
+//! Paper findings: every benchmark has one or two dominant pairs;
+//! branch-related events appear in 83.4 % of the 160 strongest pairs;
+//! BRB–BMP is the top pair for most benchmarks.
+
+use super::common::{analyze_benchmarks, ExpConfig};
+use cm_events::EventCatalog;
+use cm_sim::Benchmark;
+use counterminer::{AnalysisReport, CmError};
+use std::fmt;
+
+/// One benchmark's top interaction pairs.
+#[derive(Debug, Clone)]
+pub struct InteractionRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// `(pair label "AAA-BBB", share %)`, descending.
+    pub top10: Vec<(String, f64)>,
+}
+
+/// Interaction rankings for a suite.
+#[derive(Debug, Clone)]
+pub struct InteractionResult {
+    /// Figure title.
+    pub title: &'static str,
+    /// One row per benchmark.
+    pub rows: Vec<InteractionRow>,
+}
+
+impl InteractionResult {
+    /// Fraction of listed pairs involving at least one branch-related
+    /// event (the paper measures 83.4 % across both suites).
+    pub fn branch_pair_share(&self, catalog: &EventCatalog) -> f64 {
+        let mut branchy = 0usize;
+        let mut total = 0usize;
+        for row in &self.rows {
+            for (label, _) in &row.top10 {
+                total += 1;
+                let involved = label.split('-').any(|a| {
+                    catalog
+                        .by_abbrev(a)
+                        .map(|e| e.is_branch_related())
+                        .unwrap_or(false)
+                });
+                if involved {
+                    branchy += 1;
+                }
+            }
+        }
+        branchy as f64 / total as f64
+    }
+
+    /// Dominance of the top pair: its share over the second pair's.
+    pub fn dominance(row: &InteractionRow) -> f64 {
+        row.top10[0].1 / row.top10[1].1.max(1e-9)
+    }
+}
+
+impl fmt::Display for InteractionResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for row in &self.rows {
+            write!(f, "{:<20}", row.benchmark.to_string())?;
+            for (label, pct) in row.top10.iter().take(10) {
+                write!(f, " {label}={pct:.1}%")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn reports_to_interaction_rows(
+    reports: &[AnalysisReport],
+    catalog: &EventCatalog,
+) -> Vec<InteractionRow> {
+    reports
+        .iter()
+        .map(|r| InteractionRow {
+            benchmark: r.benchmark,
+            top10: r
+                .interactions
+                .iter()
+                .take(10)
+                .map(|p| {
+                    (
+                        format!(
+                            "{}-{}",
+                            catalog.info(p.pair.0).abbrev(),
+                            catalog.info(p.pair.1).abbrev()
+                        ),
+                        p.share,
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs the interaction pipeline on the eight HiBench benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<InteractionResult, CmError> {
+    let catalog = EventCatalog::haswell();
+    let reports = analyze_benchmarks(cfg, &cm_sim::HIBENCH)?;
+    Ok(InteractionResult {
+        title: "Fig. 11 — top interaction pairs, HiBench",
+        rows: reports_to_interaction_rows(&reports, &catalog),
+    })
+}

@@ -1,0 +1,35 @@
+//! Fig. 12: top-10 event-pair interaction intensities per CloudSuite
+//! benchmark.
+//!
+//! Paper finding: CloudSuite's dominant pairs are *stronger* than
+//! HiBench's — more software tiers produce stronger interactions
+//! (WebServing's top pair reaches 64 % vs. GraphAnalytics' 19 %).
+
+use super::common::{analyze_benchmarks, ExpConfig};
+use super::fig11_interactions_hibench::{reports_to_interaction_rows, InteractionResult};
+use cm_events::EventCatalog;
+use cm_sim::Benchmark;
+use counterminer::CmError;
+
+/// Runs the interaction pipeline on the eight CloudSuite benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<InteractionResult, CmError> {
+    let catalog = EventCatalog::haswell();
+    let reports = analyze_benchmarks(cfg, &cm_sim::CLOUDSUITE)?;
+    Ok(InteractionResult {
+        title: "Fig. 12 — top interaction pairs, CloudSuite",
+        rows: reports_to_interaction_rows(&reports, &catalog),
+    })
+}
+
+/// Top-pair share for one benchmark in a result, if present.
+pub fn top_share(result: &InteractionResult, benchmark: Benchmark) -> Option<f64> {
+    result
+        .rows
+        .iter()
+        .find(|r| r.benchmark == benchmark)
+        .map(|r| r.top10[0].1)
+}

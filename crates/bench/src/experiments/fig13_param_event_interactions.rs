@@ -1,0 +1,93 @@
+//! Fig. 13: interaction intensity of (Spark parameter, event) pairs per
+//! HiBench benchmark.
+//!
+//! Paper findings: each benchmark has one or two dominant
+//! parameter–event pairs (tune those parameters first), and the dominant
+//! pair varies across benchmarks. For sort the dominant pair is ORO–bbs.
+
+use super::common::ExpConfig;
+use cm_events::EventCatalog;
+use cm_sim::{Benchmark, SparkParam, SparkStudy, HIBENCH};
+use counterminer::case_study::rank_param_event_interactions;
+use counterminer::CmError;
+use std::fmt;
+
+/// One benchmark's parameter–event interaction ranking.
+#[derive(Debug, Clone)]
+pub struct ParamEventRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// `(event abbrev, parameter abbrev, share %)`, descending.
+    pub ranking: Vec<(String, String, f64)>,
+}
+
+/// The Fig. 13 result across HiBench.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// One row per benchmark.
+    pub rows: Vec<ParamEventRow>,
+}
+
+impl Fig13Result {
+    /// The dominant `(event, parameter)` pair of one benchmark.
+    pub fn dominant(&self, benchmark: Benchmark) -> Option<(&str, &str)> {
+        self.rows
+            .iter()
+            .find(|r| r.benchmark == benchmark)
+            .and_then(|r| r.ranking.first())
+            .map(|(e, p, _)| (e.as_str(), p.as_str()))
+    }
+}
+
+impl fmt::Display for Fig13Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 13 — (Spark parameter, event) interaction shares, HiBench"
+        )?;
+        for row in &self.rows {
+            write!(f, "{:<14}", row.benchmark.to_string())?;
+            for (event, param, share) in row.ranking.iter().take(6) {
+                write!(f, " {event}-{param}={share:.1}%")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "paper: for sort the dominant pair is ORO-bbs")
+    }
+}
+
+/// Runs the parameter–event interaction ranking for every HiBench
+/// benchmark.
+///
+/// # Errors
+///
+/// Propagates regression failures.
+pub fn run(cfg: &ExpConfig) -> Result<Fig13Result, CmError> {
+    let catalog = EventCatalog::haswell();
+    let repeats = match cfg.scale {
+        super::Scale::Full => 8,
+        super::Scale::Quick => 3,
+    };
+    let mut rows = Vec::with_capacity(HIBENCH.len());
+    for b in HIBENCH {
+        let study = SparkStudy::new(b, &catalog);
+        let ranked = rank_param_event_interactions(&study, &catalog, repeats, cfg.seed)?;
+        rows.push(ParamEventRow {
+            benchmark: b,
+            ranking: ranked
+                .into_iter()
+                .map(|(p, event_abbrev, share)| {
+                    (event_abbrev.to_string(), p.abbrev().to_string(), share)
+                })
+                .collect(),
+        });
+    }
+    Ok(Fig13Result { rows })
+}
+
+/// The parameter whose abbreviation appears in the dominant pair of a
+/// benchmark, if any.
+pub fn dominant_param(result: &Fig13Result, benchmark: Benchmark) -> Option<SparkParam> {
+    let (_, p) = result.dominant(benchmark)?;
+    cm_sim::ALL_PARAMS.iter().copied().find(|x| x.abbrev() == p)
+}

@@ -1,0 +1,125 @@
+//! The paper's six headline findings (Section I), measured end-to-end
+//! over all sixteen benchmarks.
+
+use super::common::{analyze_benchmarks, ExpConfig};
+use cm_events::EventCatalog;
+use counterminer::findings;
+use counterminer::CmError;
+use std::fmt;
+
+/// All six findings, quantified.
+#[derive(Debug, Clone)]
+pub struct FindingsResult {
+    /// Benchmarks (of 16) whose top event is ISF (finding 1).
+    pub isf_top: usize,
+    /// Per-benchmark dominant-event counts (one-three SMI law,
+    /// finding 3).
+    pub smi_counts: Vec<(String, usize)>,
+    /// Fraction of top interaction pairs involving a branch event
+    /// (finding 2; paper: 83.4 %).
+    pub branch_share: f64,
+    /// Events common to ≥ 6 benchmarks' top-10 lists (finding 5).
+    pub common_events: Vec<(String, cm_events::EventKind, usize)>,
+    /// Distinct top-10 events, HiBench (finding 6).
+    pub hibench_distinct: usize,
+    /// Distinct top-10 events, CloudSuite (finding 6).
+    pub cloudsuite_distinct: usize,
+    /// Dominant interaction-pair share per benchmark (Section V-C).
+    pub dominant_pairs: Vec<(String, f64)>,
+}
+
+impl fmt::Display for FindingsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "The paper's headline findings, measured")?;
+        writeln!(
+            f,
+            "1. ISF is the most important event for {}/16 benchmarks \
+             (paper: 'most cloud programs')",
+            self.isf_top
+        )?;
+        writeln!(
+            f,
+            "2. {:.1}% of top interaction pairs involve a branch event (paper: 83.4%)",
+            self.branch_share * 100.0
+        )?;
+        let in_law = self
+            .smi_counts
+            .iter()
+            .filter(|(_, c)| (1..=3).contains(c))
+            .count();
+        writeln!(
+            f,
+            "3. one-three SMI law holds for {in_law}/{} benchmarks",
+            self.smi_counts.len()
+        )?;
+        writeln!(
+            f,
+            "4. noisy events can be removed: see fig08 (pruning ~80 events costs nothing)"
+        )?;
+        write!(f, "5. common important events (>=6 benchmarks): ")?;
+        for (abbrev, kind, count) in self.common_events.iter().take(10) {
+            write!(f, "{abbrev}({kind},{count}) ")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "6. distinct top-10 events: HiBench {} vs CloudSuite {} \
+             (paper: HiBench more diverse)",
+            self.hibench_distinct, self.cloudsuite_distinct
+        )?;
+        writeln!(f, "dominant interaction-pair share per benchmark:")?;
+        for (name, share) in &self.dominant_pairs {
+            writeln!(f, "  {name:<20} {share:5.1}%")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs both suites (reusing cached analyses) and computes the findings.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn run(cfg: &ExpConfig) -> Result<FindingsResult, CmError> {
+    let catalog = EventCatalog::haswell();
+    let hibench = analyze_benchmarks(cfg, &cm_sim::HIBENCH)?;
+    let cloudsuite = analyze_benchmarks(cfg, &cm_sim::CLOUDSUITE)?;
+    let n_total = hibench.len() + cloudsuite.len();
+
+    // The findings helpers take &[AnalysisReport]; we have two Arcs, so
+    // compute suite-wise and merge.
+    let mut smi_counts = findings::smi_dominant_counts(&hibench, 2.0);
+    smi_counts.extend(findings::smi_dominant_counts(&cloudsuite, 2.0));
+
+    let isf_top = findings::isf_top_count(&hibench, &catalog)
+        + findings::isf_top_count(&cloudsuite, &catalog);
+
+    let total_pairs = (findings::branch_pair_share(&hibench, &catalog, 10) * hibench.len() as f64
+        + findings::branch_pair_share(&cloudsuite, &catalog, 10) * cloudsuite.len() as f64)
+        / n_total as f64;
+
+    let mut common = findings::common_important_events(&hibench, &catalog, 1);
+    let cloud_common = findings::common_important_events(&cloudsuite, &catalog, 1);
+    // Merge counts across suites.
+    for (abbrev, kind, count) in cloud_common {
+        match common.iter_mut().find(|(a, _, _)| *a == abbrev) {
+            Some(slot) => slot.2 += count,
+            None => common.push((abbrev, kind, count)),
+        }
+    }
+    common.retain(|&(_, _, c)| c >= 6);
+    common.sort_by_key(|&(_, _, count)| std::cmp::Reverse(count));
+
+    let mut dominant_pairs = findings::dominant_pair_shares(&hibench);
+    dominant_pairs.extend(findings::dominant_pair_shares(&cloudsuite));
+
+    Ok(FindingsResult {
+        isf_top,
+        smi_counts,
+        branch_share: total_pairs,
+        common_events: common,
+        hibench_distinct: findings::distinct_top10_events(&hibench, &catalog),
+        cloudsuite_distinct: findings::distinct_top10_events(&cloudsuite, &catalog),
+        dominant_pairs,
+    })
+}

@@ -1,0 +1,33 @@
+//! Experiment modules, one per paper table/figure. See the
+//! per-experiment index in `DESIGN.md`.
+
+pub mod ablation_cleaning;
+pub mod ablation_eir;
+pub mod baseline_pca;
+pub mod baseline_scheduling;
+pub mod baseline_subinterval;
+pub mod fig01_mlpx_error;
+pub mod fig02_dirty_examples;
+pub mod fig03_error_vs_events;
+pub mod fig05_cleaning_examples;
+pub mod fig06_error_reduction;
+pub mod fig07_cleaned_vs_events;
+pub mod fig08_eir_curve;
+pub mod fig09_importance_hibench;
+pub mod fig10_importance_cloudsuite;
+pub mod fig11_interactions_hibench;
+pub mod fig12_interactions_cloudsuite;
+pub mod fig13_param_event_interactions;
+pub mod fig14_tuning_sweep;
+pub mod fig15_profiling_cost;
+pub mod fig16_colocation;
+pub mod findings_summary;
+pub mod method_b_direct;
+pub mod table1_threshold_coverage;
+pub mod table2_benchmarks;
+pub mod table3_events;
+pub mod table4_spark_params;
+
+mod common;
+
+pub use common::{ExpConfig, Scale};

@@ -1,0 +1,42 @@
+//! Table II: the sixteen evaluated benchmarks with their suites,
+//! frameworks, and categories.
+
+use cm_sim::{Benchmark, ALL_BENCHMARKS};
+use std::fmt;
+
+/// The benchmark inventory.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// All benchmarks in figure order.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl fmt::Display for Table2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II — evaluated benchmarks")?;
+        writeln!(
+            f,
+            "{:<20} {:<6} {:<12} {:<28} category",
+            "benchmark", "abbr", "suite", "framework"
+        )?;
+        for &b in &self.benchmarks {
+            writeln!(
+                f,
+                "{:<20} {:<6} {:<12} {:<28} {}",
+                b.to_string(),
+                b.abbrev(),
+                b.suite().to_string(),
+                b.framework(),
+                b.category()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the table.
+pub fn run() -> Table2Result {
+    Table2Result {
+        benchmarks: ALL_BENCHMARKS.to_vec(),
+    }
+}

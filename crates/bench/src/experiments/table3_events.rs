@@ -1,0 +1,41 @@
+//! Table III: the event abbreviations appearing in the top-10 importance
+//! lists, with their full names and descriptions.
+
+use cm_events::{abbrev, EventCatalog};
+use std::fmt;
+
+/// The named-event table.
+#[derive(Debug, Clone)]
+pub struct Table3Result {
+    /// `(abbreviation, perf-style name, description)`.
+    pub rows: Vec<(String, String, String)>,
+}
+
+impl fmt::Display for Table3Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table III — events in the top-10 importance lists")?;
+        writeln!(f, "{:<6} {:<52} description", "abbr", "event")?;
+        for (a, name, desc) in &self.rows {
+            writeln!(f, "{a:<6} {name:<52} {desc}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the table from the catalog.
+pub fn run() -> Table3Result {
+    let catalog = EventCatalog::haswell();
+    Table3Result {
+        rows: abbrev::ALL_NAMED
+            .iter()
+            .map(|a| {
+                let info = catalog.by_abbrev(a).expect("named abbrev in catalog");
+                (
+                    info.abbrev().to_string(),
+                    info.name().to_string(),
+                    info.description().to_string(),
+                )
+            })
+            .collect(),
+    }
+}

@@ -1,0 +1,41 @@
+//! Table IV: the Spark configuration parameters that interact strongly
+//! with important events, with abbreviations and coupled events.
+
+use cm_sim::{SparkParam, ALL_PARAMS};
+use std::fmt;
+
+/// The parameter table.
+#[derive(Debug, Clone)]
+pub struct Table4Result {
+    /// All modeled parameters.
+    pub params: Vec<SparkParam>,
+}
+
+impl fmt::Display for Table4Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table IV — Spark configuration parameters")?;
+        writeln!(
+            f,
+            "{:<6} {:<44} {:<8} sweep",
+            "abbr", "spark property", "event"
+        )?;
+        for &p in &self.params {
+            writeln!(
+                f,
+                "{:<6} {:<44} {:<8} {}",
+                p.abbrev(),
+                p.spark_name(),
+                p.coupled_event(),
+                p.sweep_labels().join("/")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the table.
+pub fn run() -> Table4Result {
+    Table4Result {
+        params: ALL_PARAMS.to_vec(),
+    }
+}

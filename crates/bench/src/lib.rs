@@ -1,0 +1,20 @@
+//! Experiment harness for the CounterMiner reproduction.
+//!
+//! One module per table/figure of the paper's evaluation (Section V).
+//! Every module exposes `run(&ExpConfig) -> …Result` returning a
+//! structured result that implements `Display`, printing the same rows
+//! or series the paper reports. Thin binaries under `src/bin/` wrap each
+//! module; `all_experiments` runs everything and writes
+//! `EXPERIMENTS-results.txt`.
+//!
+//! Results never match the paper's absolute numbers (our substrate is a
+//! simulator, not a Xeon cluster); the *shape* — who wins, by what
+//! factor, where the knees fall — is what each experiment checks.
+//! `EXPERIMENTS.md` records paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{ExpConfig, Scale};

@@ -1,0 +1,535 @@
+//! CLI subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use cm_events::{EventCatalog, SampleMode};
+use cm_ml::SgbrtConfig;
+use cm_sim::{Benchmark, PmuConfig, SparkParam, SparkStudy, Workload, ALL_BENCHMARKS};
+use cm_store::Database;
+use counterminer::case_study::{
+    rank_param_event_interactions, sweep_parameter, ProfilingCostModel,
+};
+use counterminer::error_metrics::mlpx_error;
+use counterminer::{collector, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig};
+use std::error::Error;
+use std::path::Path;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Usage text shown by `counterminer help`.
+pub const USAGE: &str = "\
+counterminer — mining big performance data from hardware counters
+
+USAGE: counterminer <command> [options]
+
+COMMANDS:
+  catalog [--abbrev ISF]            list the 229-event Haswell-E catalog,
+                                    or look one event up
+  benchmarks                        list the sixteen simulated benchmarks
+  collect <benchmark> --out DIR     profile a benchmark on the simulated
+        [--runs N] [--events N]     PMU and persist the two-level store
+        [--ocoe] [--seed S]
+  show <DIR> [--program NAME]       summarize a persisted store
+  clean <DIR> --out DIR2            clean every multiplexed run of a
+                                    store, writing the cleaned store
+  import <FILE> --out DIR           parse `perf stat -I -x,` interval
+        [--program NAME] [--sep C]  output into the two-level store
+  inspect <DIR> --program NAME      textual histogram and statistics of
+        --event ABBR [--run N]      one stored event series
+        [--bins B]
+  error <benchmark> [--events N]    measure the MLPX error of
+        [--seed S]                  ICACHE.MISSES before/after cleaning
+  analyze <benchmark> [--events N]  the full pipeline: importance and
+        [--runs N] [--trees N]      interaction rankings
+        [--seed S]
+  spark <benchmark> [--seed S]      the Spark-tuning case study
+  colocate <benchA> <benchB>        importance ranking of two co-located
+        [--events N] [--seed S]     benchmarks sharing the PMU
+  help                              this text
+";
+
+fn benchmark_by_name(name: &str) -> Result<Benchmark, ArgError> {
+    ALL_BENCHMARKS
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name) || b.abbrev().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown benchmark {name:?}; try one of: {}",
+                ALL_BENCHMARKS
+                    .iter()
+                    .map(|b| b.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+fn required_positional<'a>(args: &'a Args, index: usize, what: &str) -> Result<&'a str, ArgError> {
+    args.positional(index)
+        .ok_or_else(|| ArgError(format!("missing {what}")))
+}
+
+/// `counterminer catalog [--abbrev X]`
+pub fn catalog(args: &Args) -> CmdResult {
+    let catalog = EventCatalog::haswell();
+    match args.get("abbrev") {
+        Some(abbrev) => {
+            let info = catalog
+                .by_abbrev(abbrev)
+                .ok_or_else(|| ArgError(format!("no event with abbreviation {abbrev:?}")))?;
+            println!("{:<6} {}", info.abbrev(), info.name());
+            println!("  {}", info.description());
+            println!("  kind: {}, distribution: {}", info.kind(), info.family());
+        }
+        None => {
+            println!("{} events:", catalog.len());
+            for info in catalog.iter() {
+                println!(
+                    "{:<6} {:<52} {:<9} {}",
+                    info.abbrev(),
+                    info.name(),
+                    info.kind().to_string(),
+                    info.family()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `counterminer benchmarks`
+pub fn benchmarks() -> CmdResult {
+    println!(
+        "{:<20} {:<6} {:<12} {:<28} category",
+        "benchmark", "abbr", "suite", "framework"
+    );
+    for b in ALL_BENCHMARKS {
+        println!(
+            "{:<20} {:<6} {:<12} {:<28} {}",
+            b.to_string(),
+            b.abbrev(),
+            b.suite().to_string(),
+            b.framework(),
+            b.category()
+        );
+    }
+    Ok(())
+}
+
+/// `counterminer collect <benchmark> --out DIR [...]`
+pub fn collect(args: &Args) -> CmdResult {
+    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out DIR is required".into()))?;
+    let runs: usize = args.get_num("runs", 2)?;
+    let n_events: usize = args.get_num("events", 10)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+    let mode = if args.flag("ocoe") {
+        SampleMode::Ocoe
+    } else {
+        SampleMode::Mlpx
+    };
+
+    let catalog = EventCatalog::haswell();
+    let workload = Workload::new(benchmark, &catalog);
+    let events = workload.top_event_ids(&catalog, n_events);
+    let pmu = PmuConfig::default();
+    let collected = collector::collect_runs(&workload, &events, mode, runs, &pmu, seed);
+
+    let mut db = Database::new();
+    collector::store_runs(&mut db, &collected)?;
+    db.save_to_dir(Path::new(out))?;
+    println!("collected {runs} {mode} run(s) of {benchmark} measuring {n_events} events -> {out}");
+    Ok(())
+}
+
+/// `counterminer show <DIR> [--program NAME]`
+pub fn show(args: &Args) -> CmdResult {
+    let dir = required_positional(args, 1, "store directory")?;
+    let db = Database::load_from_dir(Path::new(dir))?;
+    let programs = match args.get("program") {
+        Some(p) => vec![p.to_string()],
+        None => db.programs(),
+    };
+    println!("store {dir}: {} run(s)", db.run_count());
+    for program in programs {
+        match db.summary(&program) {
+            Some(summary) => {
+                println!(
+                    "  {program}: {} runs, {} events, exec times {:?}",
+                    summary.run_count,
+                    summary.events.len(),
+                    summary
+                        .exec_times_secs
+                        .iter()
+                        .map(|t| format!("{t:.1}s"))
+                        .collect::<Vec<_>>()
+                );
+                for table in &summary.table_names {
+                    println!("    table {table}");
+                }
+            }
+            None => println!("  {program}: not in store"),
+        }
+    }
+    Ok(())
+}
+
+/// `counterminer clean <DIR> --out DIR2`
+pub fn clean(args: &Args) -> CmdResult {
+    let dir = required_positional(args, 1, "store directory")?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out DIR is required".into()))?;
+    let db = Database::load_from_dir(Path::new(dir))?;
+    let cleaner = DataCleaner::default();
+    let mut cleaned_db = Database::new();
+    let mut outliers = 0usize;
+    let mut missing = 0usize;
+    for (key, run) in db.iter() {
+        let mut run = run.clone();
+        if key.mode == SampleMode::Mlpx {
+            for report in cleaner.clean_run(&mut run)? {
+                outliers += report.outliers_replaced;
+                missing += report.missing_filled;
+            }
+        }
+        cleaned_db.insert_run(run)?;
+    }
+    cleaned_db.save_to_dir(Path::new(out))?;
+    println!(
+        "cleaned {} run(s): {outliers} outliers replaced, {missing} missing values filled -> {out}",
+        db.run_count()
+    );
+    Ok(())
+}
+
+/// `counterminer import <FILE> --out DIR [...]`
+pub fn import(args: &Args) -> CmdResult {
+    let file = required_positional(args, 1, "perf output file")?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out DIR is required".into()))?;
+    let program = args.get("program").unwrap_or("imported");
+    let sep = args
+        .get("sep")
+        .map(|s| s.chars().next().unwrap_or(','))
+        .unwrap_or(',');
+    let catalog = EventCatalog::haswell();
+    let text = std::fs::read_to_string(file)?;
+    let report = counterminer::import::parse_perf_stat(&text, sep, program, 0, &catalog)?;
+    println!(
+        "parsed {} intervals, {} events, {} `<not counted>` samples",
+        report.intervals,
+        report.run.event_count(),
+        report.not_counted
+    );
+    if !report.unknown_events.is_empty() {
+        println!("unmatched event names: {:?}", report.unknown_events);
+    }
+    let mut db = Database::new();
+    db.insert_run(report.run)?;
+    db.save_to_dir(Path::new(out))?;
+    println!("stored -> {out}");
+    Ok(())
+}
+
+/// `counterminer inspect <DIR> --program NAME --event ABBR [...]`
+pub fn inspect(args: &Args) -> CmdResult {
+    let dir = required_positional(args, 1, "store directory")?;
+    let program = args
+        .get("program")
+        .ok_or_else(|| ArgError("--program NAME is required".into()))?;
+    let abbrev = args
+        .get("event")
+        .ok_or_else(|| ArgError("--event ABBR is required".into()))?;
+    let run_index: u32 = args.get_num("run", 0)?;
+    let bins: usize = args.get_num("bins", 12)?;
+
+    let catalog = EventCatalog::haswell();
+    let info = catalog
+        .by_abbrev(abbrev)
+        .ok_or_else(|| ArgError(format!("no event with abbreviation {abbrev:?}")))?;
+    let db = Database::load_from_dir(Path::new(dir))?;
+    let run = db
+        .run(program, run_index, SampleMode::Mlpx)
+        .or_else(|| db.run(program, run_index, SampleMode::Ocoe))
+        .ok_or_else(|| ArgError(format!("run {run_index} of {program:?} not in store")))?;
+    let series = run
+        .series(info.id())
+        .ok_or_else(|| ArgError(format!("{abbrev} was not measured in that run")))?;
+
+    println!(
+        "{program} run {run_index} ({}) — {} ({})",
+        run.mode(),
+        info.name(),
+        info.description()
+    );
+    println!(
+        "samples {}   min {:.1}   mean {:.1}   max {:.1}   zeros {}",
+        series.len(),
+        series.min().unwrap_or(0.0),
+        series.mean().unwrap_or(0.0),
+        series.max().unwrap_or(0.0),
+        series.zero_count()
+    );
+    let (edges, counts) = cm_stats::descriptive::histogram(series.values(), bins)
+        .map_err(counterminer::CmError::Stats)?;
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in counts.iter().enumerate() {
+        let bar = "#".repeat(count * 50 / peak);
+        println!(
+            "[{:>12.1}, {:>12.1})  {count:>5} {bar}",
+            edges[i],
+            edges[i + 1]
+        );
+    }
+    if let Some(stats) = db.exec_time_stats(program) {
+        println!(
+            "exec time over {} run(s): min {:.1}s mean {:.1}s max {:.1}s",
+            stats.runs, stats.min, stats.mean, stats.max
+        );
+    }
+    Ok(())
+}
+
+/// `counterminer error <benchmark> [--events N] [--seed S]`
+pub fn error(args: &Args) -> CmdResult {
+    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let n_events: usize = args.get_num("events", 10)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+
+    let catalog = EventCatalog::haswell();
+    let workload = Workload::new(benchmark, &catalog);
+    let icm = catalog
+        .by_abbrev(cm_events::abbrev::ICM)
+        .expect("ICM in catalog")
+        .id();
+    let mut events = workload.top_event_ids(&catalog, n_events);
+    events.insert(icm);
+    let pmu = PmuConfig::default();
+
+    let ocoe1 = pmu.simulate_ocoe(&workload, &events, 0, seed);
+    let ocoe2 = pmu.simulate_ocoe(&workload, &events, 1, seed);
+    let mlpx = pmu.simulate_mlpx(&workload, &events, 2, seed);
+    let s1 = ocoe1.record.series(icm).expect("measured");
+    let s2 = ocoe2.record.series(icm).expect("measured");
+    let sm = mlpx.record.series(icm).expect("measured");
+    let raw = mlpx_error(s1, s2, sm)?;
+    let (cleaned, report) = DataCleaner::default().clean_series(sm)?;
+    let after = mlpx_error(s1, s2, &cleaned)?;
+    println!(
+        "{benchmark}: ICACHE.MISSES MLPX error {raw:.1}% raw -> {after:.1}% cleaned \
+         ({} outliers, {} missing; {n_events} events on {} counters)",
+        report.outliers_replaced, report.missing_filled, pmu.counters
+    );
+    Ok(())
+}
+
+/// `counterminer analyze <benchmark> [...]`
+pub fn analyze(args: &Args) -> CmdResult {
+    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let n_events: usize = args.get_num("events", 60)?;
+    let runs: usize = args.get_num("runs", 2)?;
+    let trees: usize = args.get_num("trees", 80)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+
+    let config = MinerConfig {
+        runs_per_benchmark: runs,
+        events_to_measure: Some(n_events),
+        importance: ImportanceConfig {
+            sgbrt: SgbrtConfig {
+                n_trees: trees,
+                ..SgbrtConfig::default()
+            },
+            seed,
+            ..ImportanceConfig::default()
+        },
+        seed,
+        ..MinerConfig::default()
+    };
+    let mut miner = CounterMiner::new(config);
+    let report = miner.analyze(benchmark)?;
+
+    println!(
+        "{benchmark}: cleaned {} outliers, filled {} missing values",
+        report.outliers_replaced, report.missing_filled
+    );
+    println!(
+        "MAPM: {} events, {:.1}% held-out error",
+        report.eir.mapm_events.len(),
+        report.eir.best_error() * 100.0
+    );
+    println!("EIR curve:");
+    print!("{}", counterminer::report::render_eir_curve(&report.eir));
+    println!("top events:");
+    print!(
+        "{}",
+        counterminer::report::render_importance(miner.catalog(), &report.eir, 10)
+    );
+    println!("top interaction pairs:");
+    print!(
+        "{}",
+        counterminer::report::render_interactions(miner.catalog(), &report.interactions, 5)
+    );
+    Ok(())
+}
+
+/// `counterminer spark <benchmark> [--seed S]`
+pub fn spark(args: &Args) -> CmdResult {
+    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+    let catalog = EventCatalog::haswell();
+    let study = SparkStudy::new(benchmark, &catalog);
+
+    println!("(parameter, event) interaction ranking for {benchmark}:");
+    let ranked = rank_param_event_interactions(&study, &catalog, 6, seed)?;
+    for (param, event, share) in ranked.iter().take(5) {
+        println!(
+            "  {:<4} ({:<40}) <-> {:<4} {share:5.1}%",
+            param.abbrev(),
+            param.spark_name(),
+            event
+        );
+    }
+    let dominant = ranked[0].0;
+    let weak = SparkParam::NetworkTimeout;
+    println!("\nsweeps:");
+    for param in [dominant, weak] {
+        let sweep = sweep_parameter(&study, param, 8, seed)?;
+        print!("  {:<4}", param.abbrev());
+        for (label, secs) in &sweep.points {
+            print!("  {label}={secs:.0}s");
+        }
+        println!("   variation {:.1}%", sweep.variation_percent());
+    }
+    let cost = ProfilingCostModel::default();
+    println!(
+        "\nprofiling cost at 90% accuracy: method B {} runs vs method A {} runs ({:.1}x)",
+        cost.method_b_runs(0.9),
+        cost.method_a_runs(0.9),
+        cost.speedup(0.9)
+    );
+    Ok(())
+}
+
+/// `counterminer colocate <benchA> <benchB> [...]`
+pub fn colocate(args: &Args) -> CmdResult {
+    let a = benchmark_by_name(required_positional(args, 1, "first benchmark")?)?;
+    let b = benchmark_by_name(required_positional(args, 2, "second benchmark")?)?;
+    let n_events: usize = args.get_num("events", 60)?;
+    let seed: u64 = args.get_num("seed", 0)?;
+
+    let catalog = EventCatalog::haswell();
+    let pair = cm_sim::ColocatedWorkload::new(a, b, &catalog);
+    let pmu = PmuConfig::default();
+
+    // Both solo profiles + the L2 family + filler.
+    let mut events = cm_events::EventSet::new();
+    for bench in [a, b] {
+        for abbrev in bench.importance_profile() {
+            events.insert(catalog.by_abbrev(abbrev).expect("profile event").id());
+        }
+    }
+    for abbrev in ["L2H", "L2R", "L2C", "L2A", "L2M", "L2S", "BRE"] {
+        events.insert(catalog.by_abbrev(abbrev).expect("named event").id());
+    }
+    for info in catalog.iter() {
+        if events.len() >= n_events {
+            break;
+        }
+        events.insert(info.id());
+    }
+
+    let runs: Vec<_> = (0..2)
+        .map(|i| {
+            let truth = pair.generate_run(i, seed);
+            pmu.measure_mlpx(&pair, &truth, &events, i, seed)
+        })
+        .collect();
+    let ids: Vec<cm_events::EventId> = events.iter().collect();
+    let cleaner = DataCleaner::default();
+    let data = collector::build_dataset(&runs, &ids, Some(&cleaner))?;
+    let data = collector::normalize_columns(&data)?;
+    let eir = counterminer::ImportanceRanker::new(ImportanceConfig {
+        sgbrt: SgbrtConfig {
+            n_trees: 80,
+            ..SgbrtConfig::default()
+        },
+        min_events: 20,
+        ..ImportanceConfig::default()
+    })
+    .rank(&data, &ids)?;
+
+    println!("{} — top events:", pair.name());
+    print!(
+        "{}",
+        counterminer::report::render_importance(&catalog, &eir, 10)
+    );
+    let l2 = eir
+        .top(10)
+        .iter()
+        .filter(|&&(e, _)| catalog.info(e).is_l2_related())
+        .count();
+    println!("{l2} L2 events in the top 10");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_lookup_accepts_names_and_abbrevs() {
+        assert_eq!(benchmark_by_name("sort").unwrap(), Benchmark::Sort);
+        assert_eq!(benchmark_by_name("SOT").unwrap(), Benchmark::Sort);
+        assert_eq!(
+            benchmark_by_name("webserving").unwrap(),
+            Benchmark::WebServing
+        );
+        assert!(benchmark_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn commands_reject_missing_arguments() {
+        let parse = |tokens: &[&str]| {
+            crate::args::Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+        };
+        // collect without --out.
+        assert!(collect(&parse(&["collect", "sort"])).is_err());
+        // collect of an unknown benchmark.
+        assert!(collect(&parse(&["collect", "nope", "--out", "/tmp/x"])).is_err());
+        // error without a benchmark.
+        assert!(error(&parse(&["error"])).is_err());
+        // show of a missing directory.
+        assert!(show(&parse(&["show", "/definitely/not/here"])).is_err());
+        // clean without --out.
+        assert!(clean(&parse(&["clean", "/tmp"])).is_err());
+        // colocate with one benchmark missing.
+        assert!(colocate(&parse(&["colocate", "sort"])).is_err());
+        // inspect without options.
+        assert!(inspect(&parse(&["inspect", "/tmp"])).is_err());
+        // import without --out or a missing file.
+        assert!(import(&parse(&["import", "/no/such/file"])).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for cmd in [
+            "catalog",
+            "benchmarks",
+            "collect",
+            "show",
+            "clean",
+            "import",
+            "inspect",
+            "error",
+            "analyze",
+            "spark",
+            "colocate",
+        ] {
+            assert!(USAGE.contains(cmd), "usage missing {cmd}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! `counterminer` — command-line interface to the CounterMiner pipeline.
+//!
+//! Run `counterminer help` for usage. Everything operates on the
+//! simulated Haswell-E PMU and the two-level text store; see the
+//! repository README for the library API.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+
+    if parsed.positional_count() > 3 {
+        eprintln!("note: extra positional arguments are ignored");
+    }
+    let command = parsed.positional(0).unwrap_or("help").to_string();
+    let result = match command.as_str() {
+        "catalog" => commands::catalog(&parsed),
+        "benchmarks" => commands::benchmarks(),
+        "collect" => commands::collect(&parsed),
+        "show" => commands::show(&parsed),
+        "clean" => commands::clean(&parsed),
+        "import" => commands::import(&parsed),
+        "inspect" => commands::inspect(&parsed),
+        "error" => commands::error(&parsed),
+        "analyze" => commands::analyze(&parsed),
+        "spark" => commands::spark(&parsed),
+        "colocate" => commands::colocate(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

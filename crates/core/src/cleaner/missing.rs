@@ -1,0 +1,127 @@
+//! Missing-value filling (Section III-B.2).
+//!
+//! A multiplexed profiler reports `0` when an event was never scheduled
+//! while it occurred — but some zeros are real. The paper's
+//! zero-category rule: if the series' past minimum is zero and its past
+//! maximum is below a small bound, zeros are genuine and kept (the error
+//! of keeping them is bounded by the bound). Otherwise zeros are treated
+//! as missing and filled by KNN regression over the valid samples
+//! (k = 5, the paper's pick after trying 3..8).
+
+use super::CleanerConfig;
+use crate::CmError;
+use cm_stats::knn;
+
+pub(super) struct MissingOutcome {
+    pub filled: usize,
+    pub kept: usize,
+}
+
+pub(super) fn fill_missing(
+    values: &mut [f64],
+    config: &CleanerConfig,
+) -> Result<MissingOutcome, CmError> {
+    let zeros: Vec<usize> = values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v == 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if zeros.is_empty() {
+        return Ok(MissingOutcome { filled: 0, kept: 0 });
+    }
+
+    // Zero-category rule on the series' own history.
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max < config.zero_keep_max {
+        return Ok(MissingOutcome {
+            filled: 0,
+            kept: zeros.len(),
+        });
+    }
+
+    // Not enough valid samples to interpolate from: keep the zeros
+    // rather than inventing data.
+    let valid = values.len() - zeros.len();
+    if valid < config.knn_k {
+        return Ok(MissingOutcome {
+            filled: 0,
+            kept: zeros.len(),
+        });
+    }
+
+    knn::impute_series(values, &zeros, config.knn_k).map_err(CmError::Stats)?;
+    Ok(MissingOutcome {
+        filled: zeros.len(),
+        kept: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CleanerConfig {
+        CleanerConfig::default()
+    }
+
+    #[test]
+    fn fills_single_gap_with_neighbors() {
+        let mut v = vec![10.0, 10.0, 0.0, 10.0, 10.0, 10.0];
+        let out = fill_missing(&mut v, &config()).unwrap();
+        assert_eq!(out.filled, 1);
+        assert_eq!(v[2], 10.0);
+    }
+
+    #[test]
+    fn fills_cold_start_run_of_zeros() {
+        // The Fig. 2(b) shape: leading zeros before steady activity.
+        let mut v = vec![0.0, 0.0, 0.0, 40.0, 42.0, 41.0, 43.0, 40.0, 42.0];
+        let out = fill_missing(&mut v, &config()).unwrap();
+        assert_eq!(out.filled, 3);
+        for i in 0..3 {
+            assert!(v[i] > 35.0, "v[{i}] = {}", v[i]);
+        }
+    }
+
+    #[test]
+    fn keeps_zeros_of_near_zero_series() {
+        let mut v = vec![0.0, 0.005, 0.0, 0.002, 0.0];
+        let out = fill_missing(&mut v, &config()).unwrap();
+        assert_eq!(out.filled, 0);
+        assert_eq!(out.kept, 3);
+        assert_eq!(v[0], 0.0);
+    }
+
+    #[test]
+    fn keeps_zeros_when_too_few_valid_samples() {
+        let mut v = vec![0.0, 5.0, 0.0, 6.0, 0.0];
+        // Only 2 valid samples < k = 5.
+        let out = fill_missing(&mut v, &config()).unwrap();
+        assert_eq!(out.filled, 0);
+        assert_eq!(out.kept, 3);
+    }
+
+    #[test]
+    fn no_zeros_is_a_no_op() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        let orig = v.clone();
+        let out = fill_missing(&mut v, &config()).unwrap();
+        assert_eq!(out.filled + out.kept, 0);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn respects_custom_k() {
+        let cfg = CleanerConfig {
+            knn_k: 1,
+            ..CleanerConfig::default()
+        };
+        let mut v = vec![7.0, 0.0, 9.0];
+        let out = fill_missing(&mut v, &cfg).unwrap();
+        assert_eq!(out.filled, 1);
+        // k = 1: nearest neighbor (index 0 at distance 1 ties with
+        // index 2; the left neighbor wins ties).
+        assert_eq!(v[1], 7.0);
+    }
+}

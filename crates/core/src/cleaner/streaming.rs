@@ -1,0 +1,262 @@
+//! Streaming (online) data cleaning.
+//!
+//! CounterMiner cleans *after* measurement, offline. In a production
+//! profiler (the GWP-style deployment the paper targets), waiting for
+//! the full series is not always possible; this extension applies the
+//! same two rules incrementally:
+//!
+//! * a sample above `mean + n·std` of the trailing window is an outlier,
+//!   replaced by the window median;
+//! * a zero sample in a series whose window maximum is large is missing,
+//!   replaced by the window mean (the causal stand-in for KNN — future
+//!   neighbours are not available online).
+//!
+//! The first `min_samples` values pass through untouched (no reliable
+//! statistics yet), so a cold-start transient is preserved — exactly the
+//! conservative behaviour an online cleaner must have.
+
+use super::CleanerConfig;
+use std::collections::VecDeque;
+
+/// What the streaming cleaner decided about one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamedSample {
+    /// The sample passed through unchanged.
+    Passed(f64),
+    /// The sample was classified an outlier and replaced.
+    ReplacedOutlier {
+        /// The original value.
+        original: f64,
+        /// The replacement (trailing-window median).
+        replacement: f64,
+    },
+    /// The sample was classified missing and filled.
+    FilledMissing {
+        /// The replacement (trailing-window mean).
+        replacement: f64,
+    },
+}
+
+impl StreamedSample {
+    /// The value to use downstream.
+    pub fn value(&self) -> f64 {
+        match *self {
+            StreamedSample::Passed(v) => v,
+            StreamedSample::ReplacedOutlier { replacement, .. } => replacement,
+            StreamedSample::FilledMissing { replacement } => replacement,
+        }
+    }
+}
+
+/// Incremental cleaner over a trailing window.
+///
+/// # Examples
+///
+/// ```
+/// use counterminer::{CleanerConfig, StreamingCleaner};
+///
+/// let mut cleaner = StreamingCleaner::new(CleanerConfig::default(), 32);
+/// for i in 0..40 {
+///     cleaner.push(100.0 + (i % 5) as f64);
+/// }
+/// // A glitch spike is caught online.
+/// let cleaned = cleaner.push(5_000.0);
+/// assert!(cleaned.value() < 200.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingCleaner {
+    config: CleanerConfig,
+    window: VecDeque<f64>,
+    capacity: usize,
+    min_samples: usize,
+    outliers: usize,
+    filled: usize,
+}
+
+impl StreamingCleaner {
+    /// Creates a streaming cleaner with a trailing window of `capacity`
+    /// samples (at least 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 8` — smaller windows cannot estimate a
+    /// threshold.
+    pub fn new(config: CleanerConfig, capacity: usize) -> Self {
+        assert!(capacity >= 8, "window capacity must be at least 8");
+        StreamingCleaner {
+            config,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            min_samples: 8,
+            outliers: 0,
+            filled: 0,
+        }
+    }
+
+    /// Outliers replaced so far.
+    pub fn outliers_replaced(&self) -> usize {
+        self.outliers
+    }
+
+    /// Missing values filled so far.
+    pub fn missing_filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Processes one sample, returning the cleaning decision. The
+    /// *original* sample enters the window either way, so one glitch
+    /// cannot poison the statistics by its own replacement.
+    pub fn push(&mut self, value: f64) -> StreamedSample {
+        let decision = self.classify(value);
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        // Feed the cleaned value into the window: keeping gross spikes
+        // out of the trailing statistics keeps the threshold tight.
+        self.window.push_back(decision.value());
+        decision
+    }
+
+    fn classify(&mut self, value: f64) -> StreamedSample {
+        if self.window.len() < self.min_samples {
+            return StreamedSample::Passed(value);
+        }
+        let data: Vec<f64> = self.window.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / data.len() as f64;
+        let std = var.sqrt();
+        let n = self.config.fixed_n.unwrap_or(5.0);
+
+        // Missing: zero while the window clearly is not a near-zero
+        // series (the zero-category rule, applied to the trailing past).
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if value == 0.0 && max >= self.config.zero_keep_max {
+            self.filled += 1;
+            return StreamedSample::FilledMissing { replacement: mean };
+        }
+
+        if std > 0.0 && value > mean + n * std {
+            let mut sorted = data;
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            self.outliers += 1;
+            return StreamedSample::ReplacedOutlier {
+                original: value,
+                replacement: median,
+            };
+        }
+        StreamedSample::Passed(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cleaner() -> StreamingCleaner {
+        StreamingCleaner::new(CleanerConfig::default(), 32)
+    }
+
+    fn warm(c: &mut StreamingCleaner, n: usize) {
+        for i in 0..n {
+            c.push(100.0 + (i % 7) as f64);
+        }
+    }
+
+    #[test]
+    fn passes_normal_samples() {
+        let mut c = cleaner();
+        warm(&mut c, 20);
+        let out = c.push(103.0);
+        assert_eq!(out, StreamedSample::Passed(103.0));
+        assert_eq!(c.outliers_replaced(), 0);
+        assert_eq!(c.missing_filled(), 0);
+    }
+
+    #[test]
+    fn replaces_online_outlier_with_window_median() {
+        let mut c = cleaner();
+        warm(&mut c, 32);
+        let out = c.push(10_000.0);
+        match out {
+            StreamedSample::ReplacedOutlier {
+                original,
+                replacement,
+            } => {
+                assert_eq!(original, 10_000.0);
+                assert!((99.0..108.0).contains(&replacement));
+            }
+            other => panic!("expected outlier replacement, got {other:?}"),
+        }
+        assert_eq!(c.outliers_replaced(), 1);
+    }
+
+    #[test]
+    fn fills_online_missing_with_window_mean() {
+        let mut c = cleaner();
+        warm(&mut c, 32);
+        let out = c.push(0.0);
+        match out {
+            StreamedSample::FilledMissing { replacement } => {
+                assert!((99.0..108.0).contains(&replacement));
+            }
+            other => panic!("expected missing fill, got {other:?}"),
+        }
+        assert_eq!(c.missing_filled(), 1);
+    }
+
+    #[test]
+    fn keeps_real_zeros_of_near_zero_series() {
+        let mut c = cleaner();
+        for _ in 0..32 {
+            c.push(0.003);
+        }
+        let out = c.push(0.0);
+        assert_eq!(out, StreamedSample::Passed(0.0));
+        assert_eq!(c.missing_filled(), 0);
+    }
+
+    #[test]
+    fn early_samples_pass_untouched() {
+        let mut c = cleaner();
+        // Even a wild first value passes: no statistics yet.
+        assert_eq!(c.push(9e9), StreamedSample::Passed(9e9));
+        assert_eq!(c.push(0.0), StreamedSample::Passed(0.0));
+    }
+
+    #[test]
+    fn replacement_keeps_threshold_tight_for_spike_trains() {
+        let mut c = cleaner();
+        warm(&mut c, 32);
+        // Three consecutive glitches: all must be caught because the
+        // window absorbs replacements, not the raw spikes.
+        for _ in 0..3 {
+            match c.push(50_000.0) {
+                StreamedSample::ReplacedOutlier { .. } => {}
+                other => panic!("spike passed through: {other:?}"),
+            }
+        }
+        assert_eq!(c.outliers_replaced(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn tiny_window_rejected() {
+        StreamingCleaner::new(CleanerConfig::default(), 4);
+    }
+
+    #[test]
+    fn agrees_with_offline_cleaner_on_steady_series() {
+        // On a clean series both cleaners are identity transforms.
+        use crate::DataCleaner;
+        use cm_events::TimeSeries;
+        let values: Vec<f64> = (0..128).map(|i| 50.0 + (i % 9) as f64).collect();
+        let mut stream = cleaner();
+        let streamed: Vec<f64> = values.iter().map(|&v| stream.push(v).value()).collect();
+        let (offline, _) = DataCleaner::default()
+            .clean_series(&TimeSeries::from_values(values.clone()))
+            .unwrap();
+        assert_eq!(streamed, values);
+        assert_eq!(offline.values(), values.as_slice());
+    }
+}

@@ -1,0 +1,107 @@
+//! Outlier-threshold selection (Eq. 6 and Table I).
+//!
+//! The threshold is `mean + n·std`. For Gaussian data `n = 3` (the
+//! classical three-sigma rule); for long-tail data the paper selects the
+//! smallest `n` (from a candidate set) whose threshold still covers the
+//! required fraction of the data (≥ 99 %), and lands on `n = 5` for its
+//! event data.
+
+use crate::CmError;
+use cm_stats::descriptive;
+
+/// Candidate control-variable values examined by the paper's Table I.
+pub const N_CANDIDATES: [f64; 5] = [3.0, 4.0, 5.0, 6.0, 7.0];
+
+/// Fraction of `data` within `mean + n·std` for each candidate `n`
+/// (one row of Table I).
+///
+/// # Errors
+///
+/// Returns an error for an empty slice.
+pub fn coverage_table(data: &[f64]) -> Result<[(f64, f64); 5], CmError> {
+    let mean = descriptive::mean(data)?;
+    let std = descriptive::std_dev(data)?;
+    let mut out = [(0.0, 0.0); 5];
+    for (slot, &n) in out.iter_mut().zip(N_CANDIDATES.iter()) {
+        let frac = descriptive::fraction_within(data, mean + n * std)?;
+        *slot = (n, frac);
+    }
+    Ok(out)
+}
+
+/// Chooses the control variable `n`: the smallest candidate whose
+/// coverage reaches `target`, or the largest candidate if none does.
+///
+/// # Errors
+///
+/// Returns an error for an empty slice or a target outside `(0, 1]`.
+pub fn choose_n(data: &[f64], target: f64) -> Result<f64, CmError> {
+    if !(0.0..=1.0).contains(&target) || target == 0.0 {
+        return Err(CmError::Invalid("coverage target must be in (0, 1]"));
+    }
+    let table = coverage_table(data)?;
+    for (n, frac) in table {
+        if frac >= target {
+            return Ok(n);
+        }
+    }
+    // No candidate reaches the target: the tail beyond even n = 7 is
+    // real outlier mass. Use the smallest candidate achieving the best
+    // coverage — the extra data beyond it is exactly what cleaning
+    // should replace.
+    let best = table.iter().map(|&(_, f)| f).fold(0.0f64, f64::max);
+    Ok(table
+        .iter()
+        .find(|&&(_, f)| f == best)
+        .map(|&(n, _)| n)
+        .unwrap_or(N_CANDIDATES[N_CANDIDATES.len() - 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_like_data_covered_at_small_n() {
+        // Tight data: even n = 3 covers everything.
+        let data: Vec<f64> = (0..100).map(|i| 10.0 + ((i % 7) as f64) * 0.1).collect();
+        assert_eq!(choose_n(&data, 0.99).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn heavy_tail_needs_larger_n() {
+        // 4 % of points in a tail beyond 3 sigma but within 5 sigma:
+        // n = 3 covers only 96 %, n = 5 covers all.
+        let mut data = vec![10.0; 96];
+        data.extend([20.0, 20.0, 20.0, 20.0]);
+        let n = choose_n(&data, 0.99).unwrap();
+        assert!(n > 3.0, "picked n = {n}");
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_n() {
+        let data: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        let table = coverage_table(&data).unwrap();
+        for pair in table.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+    }
+
+    #[test]
+    fn falls_back_to_smallest_best_coverage() {
+        // Extremely heavy tail: no candidate reaches 100 % and all have
+        // the same coverage, so the smallest wins (the tail is genuine
+        // outlier mass to be replaced).
+        let mut data = vec![1.0; 50];
+        data.push(1e9);
+        let n = choose_n(&data, 1.0).unwrap();
+        assert_eq!(n, 3.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(choose_n(&[], 0.99).is_err());
+        assert!(choose_n(&[1.0], 0.0).is_err());
+        assert!(choose_n(&[1.0], 1.5).is_err());
+    }
+}

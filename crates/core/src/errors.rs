@@ -1,0 +1,87 @@
+use cm_ml::MlError;
+use cm_stats::StatsError;
+use cm_store::StoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CounterMiner pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CmError {
+    /// A statistical routine failed.
+    Stats(StatsError),
+    /// Model training or dataset handling failed.
+    Ml(MlError),
+    /// The performance-data store failed.
+    Store(StoreError),
+    /// A pipeline precondition was violated.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmError::Stats(e) => write!(f, "statistics failure: {e}"),
+            CmError::Ml(e) => write!(f, "model failure: {e}"),
+            CmError::Store(e) => write!(f, "store failure: {e}"),
+            CmError::Invalid(what) => write!(f, "invalid pipeline input: {what}"),
+        }
+    }
+}
+
+impl Error for CmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CmError::Stats(e) => Some(e),
+            CmError::Ml(e) => Some(e),
+            CmError::Store(e) => Some(e),
+            CmError::Invalid(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<StatsError> for CmError {
+    fn from(e: StatsError) -> Self {
+        CmError::Stats(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<MlError> for CmError {
+    fn from(e: MlError) -> Self {
+        CmError::Ml(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<StoreError> for CmError {
+    fn from(e: StoreError) -> Self {
+        CmError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CmError = StatsError::EmptyInput.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("statistics"));
+
+        let e: CmError = MlError::EmptyDataset.into();
+        assert!(matches!(e, CmError::Ml(_)));
+
+        let e = CmError::Invalid("need at least two OCOE runs");
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("two OCOE runs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CmError>();
+    }
+}

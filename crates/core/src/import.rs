@@ -1,0 +1,311 @@
+//! Importing real profiler output into the pipeline.
+//!
+//! The simulator substitutes for the paper's cluster, but the pipeline
+//! itself is profiler-agnostic: this module parses the interval output
+//! of `perf stat -I <ms> -x <sep> -e <events>` into a [`RunRecord`], so
+//! CounterMiner's cleaner and rankers can run on *real* counter data.
+//!
+//! Format parsed (one line per event per interval):
+//!
+//! ```text
+//! <interval_time><sep><value><sep><unit><sep><event_name><sep>...
+//! ```
+//!
+//! `perf` prints `<not counted>` for an event that was multiplexed out
+//! of an entire interval; those become `0.0` — exactly the missing
+//! values the data cleaner classifies and fills. Comment lines (`#`)
+//! and blank lines are skipped. Events not present in the catalog are
+//! collected into the report rather than silently dropped.
+
+use crate::CmError;
+use cm_events::{EventCatalog, RunRecord, SampleMode, TimeSeries};
+use std::collections::BTreeMap;
+
+/// Outcome of an import: the run plus diagnostics.
+#[derive(Debug)]
+pub struct ImportReport {
+    /// The assembled run record.
+    pub run: RunRecord,
+    /// Event names present in the input but not in the catalog.
+    pub unknown_events: Vec<String>,
+    /// Samples recorded as `<not counted>` (now zeros for the cleaner).
+    pub not_counted: usize,
+    /// Number of sampling intervals parsed.
+    pub intervals: usize,
+}
+
+/// Parses `perf stat -I -x<sep>` interval output into a run record.
+///
+/// `separator` is the `-x` field separator (`,` and `;` are perf's
+/// common choices). Event names are resolved against `catalog` by their
+/// full `perf`-style name (e.g. `ILD_STALL.IQ_FULL`); case-insensitive.
+///
+/// # Errors
+///
+/// Returns [`CmError::Invalid`] when no parsable event line exists or a
+/// value field is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::EventCatalog;
+/// use counterminer::import::parse_perf_stat;
+///
+/// let catalog = EventCatalog::haswell();
+/// let text = "\
+/// 1.001,12345,,ICACHE.MISSES,100,\n\
+/// 1.001,<not counted>,,ILD_STALL.IQ_FULL,0,\n\
+/// 2.002,23456,,ICACHE.MISSES,100,\n\
+/// 2.002,999,,ILD_STALL.IQ_FULL,100,\n";
+/// let report = parse_perf_stat(text, ',', "myprog", 0, &catalog)?;
+/// assert_eq!(report.intervals, 2);
+/// assert_eq!(report.not_counted, 1);
+/// assert_eq!(report.run.event_count(), 2);
+/// # Ok::<(), counterminer::CmError>(())
+/// ```
+pub fn parse_perf_stat(
+    text: &str,
+    separator: char,
+    program: &str,
+    run_index: u32,
+    catalog: &EventCatalog,
+) -> Result<ImportReport, CmError> {
+    // event name -> (per-interval values, in first-seen interval order)
+    let mut series: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut interval_keys: Vec<String> = Vec::new();
+    let mut current_interval: Option<String> = None;
+    let mut not_counted = 0usize;
+    let mut last_time = f64::NEG_INFINITY;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(separator).collect();
+        if fields.len() < 4 {
+            return Err(CmError::Invalid(
+                "perf line has fewer than four fields (wrong separator?)",
+            ));
+        }
+        let time_str = fields[0].trim();
+        let value_str = fields[1].trim();
+        let event_name = fields[3].trim();
+        if event_name.is_empty() {
+            continue;
+        }
+
+        // Track interval boundaries by the timestamp column.
+        if current_interval.as_deref() != Some(time_str) {
+            let time: f64 = time_str.parse().map_err(|_| {
+                let _ = lineno;
+                CmError::Invalid("unparsable interval timestamp")
+            })?;
+            if time < last_time {
+                return Err(CmError::Invalid(
+                    "interval timestamps must be non-decreasing",
+                ));
+            }
+            last_time = time;
+            current_interval = Some(time_str.to_string());
+            interval_keys.push(time_str.to_string());
+            // New interval: pad every known series to the new length so
+            // events missing from some interval stay aligned.
+            for values in series.values_mut() {
+                while values.len() < interval_keys.len() - 1 {
+                    values.push(0.0);
+                }
+            }
+        }
+        let interval_idx = interval_keys.len() - 1;
+
+        let value = if value_str.contains("not counted") || value_str.contains("not supported") {
+            not_counted += 1;
+            0.0
+        } else {
+            // perf may group thousands with commas only when -x is not
+            // used; with -x the number is plain. Accept underscores too.
+            value_str
+                .replace('_', "")
+                .parse()
+                .map_err(|_| CmError::Invalid("unparsable counter value"))?
+        };
+
+        let values = series.entry(event_name.to_string()).or_default();
+        while values.len() < interval_idx {
+            values.push(0.0);
+        }
+        if values.len() == interval_idx {
+            values.push(value);
+        } else {
+            // Duplicate (event, interval) line: keep the last value.
+            values[interval_idx] = value;
+        }
+    }
+
+    if interval_keys.is_empty() {
+        return Err(CmError::Invalid("no parsable perf interval lines"));
+    }
+    let n = interval_keys.len();
+
+    let mut run = RunRecord::new(program, run_index, SampleMode::Mlpx);
+    if let Some(last) = interval_keys.last() {
+        if let Ok(secs) = last.parse::<f64>() {
+            run.set_exec_time_secs(secs);
+        }
+    }
+    let mut unknown_events = Vec::new();
+    for (name, mut values) in series {
+        while values.len() < n {
+            values.push(0.0);
+        }
+        match lookup(catalog, &name) {
+            Some(id) => run.insert_series(id, TimeSeries::from_values(values)),
+            None => unknown_events.push(name),
+        }
+    }
+    if run.event_count() == 0 && !unknown_events.is_empty() {
+        return Err(CmError::Invalid(
+            "no imported event matched the catalog (names must be perf-style)",
+        ));
+    }
+
+    Ok(ImportReport {
+        run,
+        unknown_events,
+        not_counted,
+        intervals: n,
+    })
+}
+
+fn lookup(catalog: &EventCatalog, name: &str) -> Option<cm_events::EventId> {
+    if let Some(info) = catalog.by_name(name) {
+        return Some(info.id());
+    }
+    // Case-insensitive fallback: perf lowercases many event names.
+    let upper = name.to_uppercase();
+    catalog.by_name(&upper).map(|info| info.id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_events::abbrev;
+
+    fn catalog() -> EventCatalog {
+        EventCatalog::haswell()
+    }
+
+    const SAMPLE: &str = "\
+# started on Mon Jul  6 2026
+1.000,1000,,ICACHE.MISSES,100,
+1.000,500,,ILD_STALL.IQ_FULL,100,
+2.000,<not counted>,,ICACHE.MISSES,0,
+2.000,700,,ILD_STALL.IQ_FULL,100,
+3.000,1200,,ICACHE.MISSES,100,
+3.000,650,,ILD_STALL.IQ_FULL,100,
+";
+
+    #[test]
+    fn parses_interval_series() {
+        let c = catalog();
+        let report = parse_perf_stat(SAMPLE, ',', "real_app", 0, &c).unwrap();
+        assert_eq!(report.intervals, 3);
+        assert_eq!(report.not_counted, 1);
+        assert!(report.unknown_events.is_empty());
+
+        let icm = c.by_abbrev(abbrev::ICM).unwrap().id();
+        let isf = c.by_abbrev(abbrev::ISF).unwrap().id();
+        assert_eq!(
+            report.run.series(icm).unwrap().values(),
+            &[1000.0, 0.0, 1200.0]
+        );
+        assert_eq!(
+            report.run.series(isf).unwrap().values(),
+            &[500.0, 700.0, 650.0]
+        );
+        assert_eq!(report.run.mode(), SampleMode::Mlpx);
+        assert!((report.run.exec_time_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowercase_names_resolve() {
+        let c = catalog();
+        let text = "1.0,42,,icache.misses,100,\n";
+        let report = parse_perf_stat(text, ',', "p", 0, &c).unwrap();
+        assert_eq!(report.run.event_count(), 1);
+    }
+
+    #[test]
+    fn unknown_events_are_reported_not_dropped_silently() {
+        let c = catalog();
+        let text = "\
+1.0,10,,ICACHE.MISSES,100,
+1.0,20,,SOME_VENDOR.SPECIAL_THING,100,
+";
+        let report = parse_perf_stat(text, ',', "p", 0, &c).unwrap();
+        assert_eq!(report.unknown_events, vec!["SOME_VENDOR.SPECIAL_THING"]);
+        assert_eq!(report.run.event_count(), 1);
+    }
+
+    #[test]
+    fn semicolon_separator_works() {
+        let c = catalog();
+        let text = "1.0;10;;ICACHE.MISSES;100;\n2.0;12;;ICACHE.MISSES;100;\n";
+        let report = parse_perf_stat(text, ';', "p", 0, &c).unwrap();
+        assert_eq!(report.intervals, 2);
+    }
+
+    #[test]
+    fn missing_event_lines_pad_with_zeros() {
+        // ISF is absent from interval 2 entirely.
+        let c = catalog();
+        let text = "\
+1.0,10,,ICACHE.MISSES,100,
+1.0,5,,ILD_STALL.IQ_FULL,100,
+2.0,12,,ICACHE.MISSES,100,
+3.0,14,,ICACHE.MISSES,100,
+3.0,6,,ILD_STALL.IQ_FULL,100,
+";
+        let report = parse_perf_stat(text, ',', "p", 0, &c).unwrap();
+        let isf = c.by_abbrev(abbrev::ISF).unwrap().id();
+        assert_eq!(report.run.series(isf).unwrap().values(), &[5.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let c = catalog();
+        assert!(parse_perf_stat("", ',', "p", 0, &c).is_err());
+        assert!(parse_perf_stat("one,two\n", ',', "p", 0, &c).is_err());
+        assert!(parse_perf_stat("abc,1,,ICACHE.MISSES,1,\n", ',', "p", 0, &c).is_err());
+        assert!(parse_perf_stat("1.0,banana,,ICACHE.MISSES,1,\n", ',', "p", 0, &c).is_err());
+        // Only unknown events.
+        assert!(parse_perf_stat("1.0,1,,NOPE.NOPE,1,\n", ',', "p", 0, &c).is_err());
+        // Time going backwards.
+        let backwards = "2.0,1,,ICACHE.MISSES,1,\n1.0,2,,ICACHE.MISSES,1,\n";
+        assert!(parse_perf_stat(backwards, ',', "p", 0, &c).is_err());
+    }
+
+    #[test]
+    fn imported_run_flows_through_the_cleaner() {
+        // The <not counted> zero is classified missing and filled.
+        let c = catalog();
+        let mut text = String::new();
+        for i in 0..40 {
+            let t = i as f64 + 1.0;
+            if i == 20 {
+                text.push_str(&format!("{t},<not counted>,,ICACHE.MISSES,0,\n"));
+            } else {
+                text.push_str(&format!("{t},{},,ICACHE.MISSES,100,\n", 1000 + i % 7));
+            }
+        }
+        let report = parse_perf_stat(&text, ',', "p", 0, &c).unwrap();
+        let icm = c.by_abbrev(abbrev::ICM).unwrap().id();
+        let cleaner = crate::DataCleaner::default();
+        let (cleaned, clean_report) = cleaner
+            .clean_series(report.run.series(icm).unwrap())
+            .unwrap();
+        assert_eq!(clean_report.missing_filled, 1);
+        assert_eq!(cleaned.zero_count(), 0);
+    }
+}

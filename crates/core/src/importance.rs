@@ -1,0 +1,305 @@
+//! The importance ranker (Section III-C): SGBRT performance models with
+//! Event Importance Refinement (EIR).
+//!
+//! A model `IPC = perf(e1, …, en)` is trained, event importances are
+//! computed (Friedman squared-improvement, Eqs. 10–11), the 10 least
+//! important events are pruned, and the model is retrained — iterating
+//! until few events remain. The iteration with the lowest held-out
+//! relative error (Eq. 14) is the **Most Accurate Performance Model
+//! (MAPM)**; its importances are the final ranking.
+
+use crate::CmError;
+use cm_events::EventId;
+use cm_ml::{metrics, Dataset, Sgbrt, SgbrtConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the importance ranker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImportanceConfig {
+    /// SGBRT hyperparameters for every EIR iteration.
+    pub sgbrt: SgbrtConfig,
+    /// Events pruned per iteration (10 in the paper).
+    pub prune_step: usize,
+    /// Fraction of rows held out for model-error evaluation. The paper
+    /// trains on `m` examples and tests on `m/4`, i.e. one fifth held
+    /// out.
+    pub test_fraction: f64,
+    /// Stop pruning when at most this many events remain.
+    pub min_events: usize,
+    /// Seed for the train/test split.
+    pub seed: u64,
+}
+
+impl Default for ImportanceConfig {
+    fn default() -> Self {
+        ImportanceConfig {
+            sgbrt: SgbrtConfig::default(),
+            prune_step: 10,
+            test_fraction: 0.2,
+            min_events: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// One EIR iteration's record: how many events were in the model and how
+/// accurate it was (one point of the Fig. 8 curve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EirIteration {
+    /// Number of input events of this iteration's model.
+    pub n_events: usize,
+    /// Held-out relative error (Eq. 14), as a fraction.
+    pub error: f64,
+}
+
+/// The outcome of the EIR procedure.
+#[derive(Debug)]
+pub struct EirResult {
+    /// The per-iteration error curve, from all events down to
+    /// `min_events` (Fig. 8).
+    pub iterations: Vec<EirIteration>,
+    /// Which iteration produced the most accurate model.
+    pub best_iteration: usize,
+    /// The MAPM ranking: `(event, importance %)`, descending, importance
+    /// normalized to sum to 100 over the MAPM's events.
+    pub ranking: Vec<(EventId, f64)>,
+    /// The most accurate performance model itself.
+    pub mapm: Sgbrt,
+    /// The events (dataset columns) the MAPM uses, in column order.
+    pub mapm_events: Vec<EventId>,
+}
+
+impl EirResult {
+    /// The top `k` events of the MAPM ranking.
+    pub fn top(&self, k: usize) -> &[(EventId, f64)] {
+        &self.ranking[..k.min(self.ranking.len())]
+    }
+
+    /// Held-out error of the MAPM, as a fraction.
+    pub fn best_error(&self) -> f64 {
+        self.iterations[self.best_iteration].error
+    }
+}
+
+/// The importance ranker.
+///
+/// # Examples
+///
+/// See the `importance_integration` test and the `quickstart` example
+/// for end-to-end usage against simulated workloads.
+#[derive(Debug, Clone, Default)]
+pub struct ImportanceRanker {
+    config: ImportanceConfig,
+}
+
+impl ImportanceRanker {
+    /// Creates a ranker with the given configuration.
+    pub fn new(config: ImportanceConfig) -> Self {
+        ImportanceRanker { config }
+    }
+
+    /// The ranker's configuration.
+    pub fn config(&self) -> &ImportanceConfig {
+        &self.config
+    }
+
+    /// Runs EIR on a dataset whose columns correspond to `events`
+    /// (column `j` holds values of `events[j]`) and whose target is IPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmError::Invalid`] when `events` does not match the
+    /// dataset width, or propagates training errors.
+    pub fn rank(&self, data: &Dataset, events: &[EventId]) -> Result<EirResult, CmError> {
+        if events.len() != data.n_features() {
+            return Err(CmError::Invalid(
+                "event list must match dataset feature count",
+            ));
+        }
+        if self.config.prune_step == 0 {
+            return Err(CmError::Invalid("prune_step must be at least 1"));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let (train, test) = data.train_test_split(self.config.test_fraction, &mut rng)?;
+
+        // Active columns into the original dataset, shrinking each round.
+        let mut active: Vec<usize> = (0..data.n_features()).collect();
+        let mut iterations = Vec::new();
+        let mut best: Option<(usize, f64, Sgbrt, Vec<usize>)> = None;
+
+        loop {
+            let train_view = train.select_features(&active)?;
+            let test_view = test.select_features(&active)?;
+            let model = self.config.sgbrt.fit(&train_view)?;
+            let preds = model.predict_batch(test_view.rows());
+            let error = metrics::relative_error(test_view.targets(), &preds)?;
+            iterations.push(EirIteration {
+                n_events: active.len(),
+                error,
+            });
+            let is_better = best.as_ref().is_none_or(|(_, e, _, _)| error < *e);
+            if is_better {
+                best = Some((iterations.len() - 1, error, model.clone(), active.clone()));
+            }
+
+            if active.len() <= self.config.min_events {
+                break;
+            }
+            // Prune the `prune_step` least important events (never below
+            // min_events).
+            let importances = model.feature_importances();
+            let mut order: Vec<usize> = (0..active.len()).collect();
+            order.sort_by(|&a, &b| importances[a].total_cmp(&importances[b]));
+            let prune = self
+                .config
+                .prune_step
+                .min(active.len() - self.config.min_events);
+            let drop: std::collections::HashSet<usize> = order[..prune].iter().copied().collect();
+            active = active
+                .iter()
+                .enumerate()
+                .filter(|(local, _)| !drop.contains(local))
+                .map(|(_, &global)| global)
+                .collect();
+        }
+
+        let (best_iteration, _, mapm, mapm_active) =
+            best.expect("at least one iteration always runs");
+        let mapm_events: Vec<EventId> = mapm_active.iter().map(|&c| events[c]).collect();
+        let importances = mapm.feature_importances();
+        let mut ranking: Vec<(EventId, f64)> = mapm_events
+            .iter()
+            .copied()
+            .zip(importances.iter().copied())
+            .collect();
+        ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        Ok(EirResult {
+            iterations,
+            best_iteration,
+            ranking,
+            mapm,
+            mapm_events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_ml::TreeConfig;
+    use rand::Rng;
+
+    /// y depends strongly on column 0, weakly on 1, not at all on 2..6.
+    fn synthetic(n: usize, seed: u64) -> (Dataset, Vec<EventId>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..7).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                2.0 - 1.0 * (r[0] + 0.3 * r[0] * r[0]) - 0.25 * r[1]
+                    + 0.01 * rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        let events = (0..7).map(EventId::new).collect();
+        (Dataset::new(rows, y).unwrap(), events)
+    }
+
+    fn fast_config() -> ImportanceConfig {
+        ImportanceConfig {
+            sgbrt: SgbrtConfig {
+                n_trees: 60,
+                tree: TreeConfig::default(),
+                ..SgbrtConfig::default()
+            },
+            prune_step: 2,
+            min_events: 3,
+            ..ImportanceConfig::default()
+        }
+    }
+
+    #[test]
+    fn recovers_dominant_feature() {
+        let (data, events) = synthetic(400, 1);
+        let result = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        assert_eq!(result.ranking[0].0, EventId::new(0));
+        assert!(result.ranking[0].1 > 50.0);
+        // Importances sum to 100.
+        let total: f64 = result.ranking.iter().map(|(_, v)| v).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eir_curve_has_expected_bookkeeping() {
+        let (data, events) = synthetic(300, 2);
+        let result = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        // 7 -> 5 -> 3 events.
+        let ns: Vec<usize> = result.iterations.iter().map(|i| i.n_events).collect();
+        assert_eq!(ns, vec![7, 5, 3]);
+        assert!(result.best_iteration < result.iterations.len());
+        assert_eq!(
+            result.best_error(),
+            result.iterations[result.best_iteration].error
+        );
+        assert!(result.mapm_events.len() >= 3);
+    }
+
+    #[test]
+    fn pruning_keeps_informative_features() {
+        let (data, events) = synthetic(400, 3);
+        let result = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        // The dominant event must survive to the MAPM.
+        assert!(result.mapm_events.contains(&EventId::new(0)));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (data, events) = synthetic(200, 4);
+        let result = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        assert_eq!(result.top(2).len(), 2);
+        assert!(result.top(100).len() <= 7);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (data, _) = synthetic(50, 5);
+        let ranker = ImportanceRanker::new(fast_config());
+        let wrong_events: Vec<EventId> = (0..3).map(EventId::new).collect();
+        assert!(ranker.rank(&data, &wrong_events).is_err());
+
+        let bad = ImportanceConfig {
+            prune_step: 0,
+            ..fast_config()
+        };
+        let events: Vec<EventId> = (0..7).map(EventId::new).collect();
+        assert!(ImportanceRanker::new(bad).rank(&data, &events).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, events) = synthetic(200, 6);
+        let a = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        let b = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        assert_eq!(a.ranking, b.ranking);
+        assert_eq!(
+            a.iterations.iter().map(|i| i.error).collect::<Vec<_>>(),
+            b.iterations.iter().map(|i| i.error).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! The interaction ranker (Section III-D).
+//!
+//! For each pair of important events a linear model is fit with all
+//! other events held at their means; the **residual variance** of that
+//! linear model against the performance surface (Eq. 12) measures how
+//! strongly the pair interacts — a linear model captures two
+//! non-interacting events perfectly, so residuals indicate interaction.
+//! Intensities are normalized across pairs (Eq. 13).
+
+use crate::CmError;
+use cm_events::EventId;
+use cm_ml::{Dataset, Sgbrt};
+use cm_stats::regression::MultipleLinear;
+
+/// One ranked event-pair interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairInteraction {
+    /// The event pair (in ranking-list order).
+    pub pair: (EventId, EventId),
+    /// Raw residual variance `v` (Eq. 12).
+    pub intensity: f64,
+    /// Normalized share of the total across ranked pairs (Eq. 13), in
+    /// percent.
+    pub share: f64,
+}
+
+/// The interaction ranker.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionRanker;
+
+impl InteractionRanker {
+    /// Creates an interaction ranker.
+    pub fn new() -> Self {
+        InteractionRanker
+    }
+
+    /// Ranks all pairs among `top_events` by interaction intensity.
+    ///
+    /// `model` is the MAPM over `model_events` (column order), and
+    /// `data` the dataset the model was trained on (same columns).
+    /// For each pair, every other feature is pinned at its dataset mean,
+    /// the pair's observed joint values are swept, the MAPM predicts the
+    /// performance surface, and a linear model in the two events is fit
+    /// to that surface; its residual sum of squares is the intensity.
+    ///
+    /// Returns pairs sorted by descending intensity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CmError::Invalid`] when fewer than two top events are
+    /// given or an event is not a model column; propagates regression
+    /// failures.
+    pub fn rank_pairs(
+        &self,
+        model: &Sgbrt,
+        model_events: &[EventId],
+        data: &Dataset,
+        top_events: &[EventId],
+    ) -> Result<Vec<PairInteraction>, CmError> {
+        if top_events.len() < 2 {
+            return Err(CmError::Invalid(
+                "interaction ranking needs at least two events",
+            ));
+        }
+        if model_events.len() != data.n_features() {
+            return Err(CmError::Invalid(
+                "event list must match dataset feature count",
+            ));
+        }
+        let col_of = |event: EventId| -> Result<usize, CmError> {
+            model_events
+                .iter()
+                .position(|&e| e == event)
+                .ok_or(CmError::Invalid("top event is not a model input"))
+        };
+
+        // Mean row: all features at their dataset means.
+        let n = data.n_rows() as f64;
+        let mut means = vec![0.0; data.n_features()];
+        for row in data.rows() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+
+        let mut out = Vec::new();
+        for (i, &ea) in top_events.iter().enumerate() {
+            for &eb in &top_events[i + 1..] {
+                let ca = col_of(ea)?;
+                let cb = col_of(eb)?;
+                let intensity = pair_intensity(model, data, &means, ca, cb)?;
+                out.push(PairInteraction {
+                    pair: (ea, eb),
+                    intensity,
+                    share: 0.0,
+                });
+            }
+        }
+        let total: f64 = out.iter().map(|p| p.intensity).sum();
+        if total > 0.0 {
+            for p in &mut out {
+                p.share = p.intensity / total * 100.0;
+            }
+        }
+        out.sort_by(|a, b| b.intensity.total_cmp(&a.intensity));
+        Ok(out)
+    }
+
+    /// Ranks pairs by **additivity-corrected** interaction intensity:
+    /// the cross-difference
+    /// `f(a, b) - f(a, ·) - f(·, b) + f(·, ·)` of the MAPM surface,
+    /// squared and summed over the observed joint values (Friedman's
+    /// H-statistic numerator).
+    ///
+    /// Eq. 12's pairwise *linear* residual (see
+    /// [`InteractionRanker::rank_pairs`]) also counts each event's own
+    /// nonlinearity — over a tree-ensemble surface, whose main effects
+    /// are piecewise constant, that term dominates, so every pair
+    /// containing the single most important event ranks high. The
+    /// cross-difference cancels main effects exactly and isolates the
+    /// joint term, matching the paper's *intent* ("if two events are
+    /// orthogonal, the combined effect is predictable from the
+    /// individual ones"). The pipeline uses this variant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InteractionRanker::rank_pairs`].
+    pub fn rank_pairs_additive(
+        &self,
+        model: &Sgbrt,
+        model_events: &[EventId],
+        data: &Dataset,
+        top_events: &[EventId],
+    ) -> Result<Vec<PairInteraction>, CmError> {
+        if top_events.len() < 2 {
+            return Err(CmError::Invalid(
+                "interaction ranking needs at least two events",
+            ));
+        }
+        if model_events.len() != data.n_features() {
+            return Err(CmError::Invalid(
+                "event list must match dataset feature count",
+            ));
+        }
+        let col_of = |event: EventId| -> Result<usize, CmError> {
+            model_events
+                .iter()
+                .position(|&e| e == event)
+                .ok_or(CmError::Invalid("top event is not a model input"))
+        };
+
+        let n = data.n_rows() as f64;
+        let mut means = vec![0.0; data.n_features()];
+        for row in data.rows() {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let f0 = model.predict(&means);
+
+        // Univariate partial responses, shared across pairs.
+        let mut partials: Vec<Vec<f64>> = Vec::with_capacity(top_events.len());
+        let mut cols = Vec::with_capacity(top_events.len());
+        for &e in top_events {
+            let c = col_of(e)?;
+            let mut probe = means.clone();
+            let series: Vec<f64> = data
+                .rows()
+                .iter()
+                .map(|row| {
+                    probe[c] = row[c];
+                    model.predict(&probe)
+                })
+                .collect();
+            partials.push(series);
+            cols.push(c);
+        }
+
+        let mut out = Vec::new();
+        for i in 0..top_events.len() {
+            for j in i + 1..top_events.len() {
+                let (ca, cb) = (cols[i], cols[j]);
+                let mut probe = means.clone();
+                let mut v = 0.0;
+                for (r, row) in data.rows().iter().enumerate() {
+                    probe[ca] = row[ca];
+                    probe[cb] = row[cb];
+                    let f_ab = model.predict(&probe);
+                    probe[ca] = means[ca];
+                    probe[cb] = means[cb];
+                    let cross = f_ab - partials[i][r] - partials[j][r] + f0;
+                    v += cross * cross;
+                }
+                out.push(PairInteraction {
+                    pair: (top_events[i], top_events[j]),
+                    intensity: v,
+                    share: 0.0,
+                });
+            }
+        }
+        let total: f64 = out.iter().map(|p| p.intensity).sum();
+        if total > 0.0 {
+            for p in &mut out {
+                p.share = p.intensity / total * 100.0;
+            }
+        }
+        out.sort_by(|a, b| b.intensity.total_cmp(&a.intensity));
+        Ok(out)
+    }
+
+    /// Interaction intensity between two raw observable series and a
+    /// target (Eq. 12 applied directly to observations). Used for the
+    /// Spark case study's (configuration parameter, event) pairs where
+    /// no MAPM surface exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates regression failures (mismatched lengths, collinear
+    /// inputs, too few points).
+    pub fn observed_intensity(
+        &self,
+        xs_a: &[f64],
+        xs_b: &[f64],
+        target: &[f64],
+    ) -> Result<f64, CmError> {
+        let rows: Vec<Vec<f64>> = xs_a.iter().zip(xs_b).map(|(&a, &b)| vec![a, b]).collect();
+        let linear = MultipleLinear::fit(&rows, target).map_err(CmError::Stats)?;
+        linear
+            .residual_sum_of_squares(&rows, target)
+            .map_err(CmError::Stats)
+    }
+}
+
+fn pair_intensity(
+    model: &Sgbrt,
+    data: &Dataset,
+    means: &[f64],
+    ca: usize,
+    cb: usize,
+) -> Result<f64, CmError> {
+    // Sweep the pair over its observed joint values, others at means.
+    let mut rows = Vec::with_capacity(data.n_rows());
+    let mut pair_rows = Vec::with_capacity(data.n_rows());
+    for row in data.rows() {
+        let mut probe = means.to_vec();
+        probe[ca] = row[ca];
+        probe[cb] = row[cb];
+        pair_rows.push(vec![row[ca], row[cb]]);
+        rows.push(probe);
+    }
+    let surface: Vec<f64> = rows.iter().map(|r| model.predict(r)).collect();
+    let linear = MultipleLinear::fit(&pair_rows, &surface).map_err(CmError::Stats)?;
+    linear
+        .residual_sum_of_squares(&pair_rows, &surface)
+        .map_err(CmError::Stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_ml::SgbrtConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// y = a·b + c (a,b interact; c is additive).
+    fn interacting_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1] + 0.8 * r[2]).collect();
+        Dataset::new(rows, y).unwrap()
+    }
+
+    fn events(n: usize) -> Vec<EventId> {
+        (0..n).map(EventId::new).collect()
+    }
+
+    #[test]
+    fn interacting_pair_ranks_first() {
+        let data = interacting_dataset(500, 1);
+        let ev = events(3);
+        let model = SgbrtConfig {
+            n_trees: 150,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let ranked = InteractionRanker::new()
+            .rank_pairs(&model, &ev, &data, &ev)
+            .unwrap();
+        assert_eq!(ranked.len(), 3);
+        let top = &ranked[0];
+        assert_eq!(
+            (
+                top.pair.0.index().min(top.pair.1.index()),
+                top.pair.0.index().max(top.pair.1.index())
+            ),
+            (0, 1),
+            "expected (e0, e1) to dominate: {ranked:?}"
+        );
+        // Shares sum to 100.
+        let total: f64 = ranked.iter().map(|p| p.share).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+        // Dominance is clear.
+        assert!(top.share > 60.0, "top share {}", top.share);
+    }
+
+    #[test]
+    fn additive_feature_pairs_have_low_intensity() {
+        let data = interacting_dataset(500, 2);
+        let ev = events(3);
+        let model = SgbrtConfig::default().fit(&data).unwrap();
+        let ranked = InteractionRanker::new()
+            .rank_pairs(&model, &ev, &data, &ev)
+            .unwrap();
+        // (0,2) and (1,2) are additive pairs: far weaker than (0,1).
+        let intensity_of = |a: usize, b: usize| {
+            ranked
+                .iter()
+                .find(|p| {
+                    let (x, y) = (p.pair.0.index(), p.pair.1.index());
+                    (x, y) == (a, b) || (x, y) == (b, a)
+                })
+                .unwrap()
+                .intensity
+        };
+        assert!(intensity_of(0, 1) > 3.0 * intensity_of(0, 2));
+        assert!(intensity_of(0, 1) > 3.0 * intensity_of(1, 2));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let data = interacting_dataset(50, 3);
+        let ev = events(3);
+        let model = SgbrtConfig::default().fit(&data).unwrap();
+        let ranker = InteractionRanker::new();
+        assert!(ranker
+            .rank_pairs(&model, &ev, &data, &[EventId::new(0)])
+            .is_err());
+        assert!(ranker
+            .rank_pairs(&model, &ev, &data, &[EventId::new(0), EventId::new(9)])
+            .is_err());
+        assert!(ranker.rank_pairs(&model, &events(2), &data, &ev).is_err());
+    }
+
+    #[test]
+    fn additive_variant_isolates_the_product_pair() {
+        // y = a*b + c^2: the naive Eq. 12 residual flags pairs with c
+        // (its own curvature); the cross-difference must not.
+        let mut rng = StdRng::seed_from_u64(9);
+        let rows: Vec<Vec<f64>> = (0..600)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1] + r[2] * r[2]).collect();
+        let data = Dataset::new(rows, y).unwrap();
+        let ev = events(3);
+        let model = SgbrtConfig {
+            n_trees: 200,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let ranked = InteractionRanker::new()
+            .rank_pairs_additive(&model, &ev, &data, &ev)
+            .unwrap();
+        let top = &ranked[0];
+        let pair = (
+            top.pair.0.index().min(top.pair.1.index()),
+            top.pair.0.index().max(top.pair.1.index()),
+        );
+        assert_eq!(pair, (0, 1), "expected (e0, e1): {ranked:?}");
+        assert!(top.share > 50.0, "top share {}", top.share);
+    }
+
+    #[test]
+    fn additive_variant_validates_like_the_linear_one() {
+        let data = interacting_dataset(50, 10);
+        let ev = events(3);
+        let model = SgbrtConfig::default().fit(&data).unwrap();
+        let ranker = InteractionRanker::new();
+        assert!(ranker
+            .rank_pairs_additive(&model, &ev, &data, &[EventId::new(0)])
+            .is_err());
+        assert!(ranker
+            .rank_pairs_additive(&model, &ev, &data, &[EventId::new(0), EventId::new(9)])
+            .is_err());
+    }
+
+    #[test]
+    fn observed_intensity_detects_product_targets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let linear_target: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| 2.0 * x - y).collect();
+        let product_target: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        let ranker = InteractionRanker::new();
+        let v_linear = ranker.observed_intensity(&a, &b, &linear_target).unwrap();
+        let v_product = ranker.observed_intensity(&a, &b, &product_target).unwrap();
+        assert!(v_linear < 1e-9, "linear target should fit exactly");
+        assert!(v_product > 1.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The end-to-end CounterMiner pipeline (Fig. 4): data collector →
+//! two-level store → data cleaner → importance ranker → interaction
+//! ranker.
+
+use crate::{
+    collector, CleanerConfig, CmError, DataCleaner, EirResult, ImportanceConfig, ImportanceRanker,
+    InteractionRanker, PairInteraction,
+};
+use cm_events::{EventCatalog, EventId, SampleMode};
+use cm_sim::{Benchmark, PmuConfig, SimRun, Workload};
+use cm_store::Database;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinerConfig {
+    /// The simulated PMU.
+    pub pmu: PmuConfig,
+    /// Data-cleaner settings.
+    pub cleaner: CleanerConfig,
+    /// Importance-ranker (EIR) settings.
+    pub importance: ImportanceConfig,
+    /// Profiled runs collected per benchmark.
+    pub runs_per_benchmark: usize,
+    /// How many events to measure (multiplexed); `None` measures the
+    /// whole catalog, the paper's setting for the ranking experiments.
+    pub events_to_measure: Option<usize>,
+    /// Events whose pairs the interaction ranker examines (10 in the
+    /// paper's figures).
+    pub interaction_top_k: usize,
+    /// Consecutive sampling intervals averaged into one training example
+    /// (see [`collector::aggregate_windows`]); 1 disables aggregation.
+    pub aggregation_window: usize,
+    /// Base seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            pmu: PmuConfig::default(),
+            cleaner: CleanerConfig::default(),
+            importance: ImportanceConfig::default(),
+            runs_per_benchmark: 3,
+            events_to_measure: None,
+            interaction_top_k: 10,
+            aggregation_window: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// The complete analysis of one benchmark.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// The benchmark analyzed.
+    pub benchmark: Benchmark,
+    /// EIR outcome: error curve, MAPM, importance ranking.
+    pub eir: EirResult,
+    /// Interaction ranking over the top events.
+    pub interactions: Vec<PairInteraction>,
+    /// Total outliers replaced during cleaning.
+    pub outliers_replaced: usize,
+    /// Total missing values filled during cleaning.
+    pub missing_filled: usize,
+}
+
+/// The pipeline facade: owns the catalog, the store, and the component
+/// configurations.
+///
+/// # Examples
+///
+/// ```no_run
+/// use counterminer::{CounterMiner, MinerConfig};
+/// use cm_sim::Benchmark;
+///
+/// let mut miner = CounterMiner::new(MinerConfig::default());
+/// let report = miner.analyze(Benchmark::Wordcount)?;
+/// for (event, importance) in report.eir.top(3) {
+///     println!("{event}: {importance:.1}%");
+/// }
+/// # Ok::<(), counterminer::CmError>(())
+/// ```
+#[derive(Debug)]
+pub struct CounterMiner {
+    catalog: EventCatalog,
+    config: MinerConfig,
+    db: Database,
+}
+
+impl CounterMiner {
+    /// Creates a pipeline over the Haswell-E model catalog.
+    pub fn new(config: MinerConfig) -> Self {
+        CounterMiner {
+            catalog: EventCatalog::haswell(),
+            config,
+            db: Database::new(),
+        }
+    }
+
+    /// The event catalog.
+    pub fn catalog(&self) -> &EventCatalog {
+        &self.catalog
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// The two-level store of collected runs.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Collects (and stores) the configured number of multiplexed runs
+    /// of a benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns a store error when the same benchmark is collected twice.
+    pub fn collect(&mut self, benchmark: Benchmark) -> Result<Vec<SimRun>, CmError> {
+        let workload = Workload::new(benchmark, &self.catalog);
+        let n_events = self
+            .config
+            .events_to_measure
+            .unwrap_or(self.catalog.len())
+            .min(self.catalog.len());
+        let events = workload.top_event_ids(&self.catalog, n_events);
+        let runs = collector::collect_runs(
+            &workload,
+            &events,
+            SampleMode::Mlpx,
+            self.config.runs_per_benchmark,
+            &self.config.pmu,
+            self.config.seed,
+        );
+        collector::store_runs(&mut self.db, &runs)?;
+        Ok(runs)
+    }
+
+    /// Runs the full pipeline on one benchmark: collect, clean, build
+    /// the dataset, EIR-rank importance, rank interactions among the top
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any stage.
+    pub fn analyze(&mut self, benchmark: Benchmark) -> Result<AnalysisReport, CmError> {
+        let runs = self.collect(benchmark)?;
+        let events: Vec<EventId> = runs[0].record.events().collect();
+
+        // Clean per-series and tally what the cleaner did.
+        let cleaner = DataCleaner::new(self.config.cleaner);
+        let mut outliers_replaced = 0;
+        let mut missing_filled = 0;
+        for run in &runs {
+            for (_, series) in run.record.iter() {
+                let (_, report) = cleaner.clean_series(series)?;
+                outliers_replaced += report.outliers_replaced;
+                missing_filled += report.missing_filled;
+            }
+        }
+
+        let data = collector::build_dataset(&runs, &events, Some(&cleaner))?;
+        let data = collector::aggregate_windows(&data, self.config.aggregation_window)?;
+        let data = collector::normalize_columns(&data)?;
+
+        let ranker = ImportanceRanker::new(self.config.importance);
+        let eir = ranker.rank(&data, &events)?;
+
+        let top: Vec<EventId> = eir
+            .top(self.config.interaction_top_k)
+            .iter()
+            .map(|&(e, _)| e)
+            .collect();
+        // The interaction surface comes from the MAPM, which was trained
+        // on the pruned column set.
+        let mapm_cols: Vec<usize> = eir
+            .mapm_events
+            .iter()
+            .map(|e| events.iter().position(|x| x == e).expect("mapm event"))
+            .collect();
+        let mapm_data = data.select_features(&mapm_cols)?;
+        let interactions = InteractionRanker::new().rank_pairs_additive(
+            &eir.mapm,
+            &eir.mapm_events,
+            &mapm_data,
+            &top,
+        )?;
+
+        Ok(AnalysisReport {
+            benchmark,
+            eir,
+            interactions,
+            outliers_replaced,
+            missing_filled,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_ml::{SgbrtConfig, TreeConfig};
+
+    /// A configuration small enough for debug-mode tests.
+    fn tiny_config() -> MinerConfig {
+        MinerConfig {
+            runs_per_benchmark: 1,
+            events_to_measure: Some(14),
+            importance: ImportanceConfig {
+                sgbrt: SgbrtConfig {
+                    n_trees: 40,
+                    tree: TreeConfig {
+                        max_depth: 3,
+                        ..TreeConfig::default()
+                    },
+                    ..SgbrtConfig::default()
+                },
+                prune_step: 3,
+                min_events: 8,
+                ..ImportanceConfig::default()
+            },
+            interaction_top_k: 4,
+            ..MinerConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_analysis_runs() {
+        let mut miner = CounterMiner::new(tiny_config());
+        let report = miner.analyze(Benchmark::Wordcount).unwrap();
+        assert_eq!(report.benchmark, Benchmark::Wordcount);
+        assert!(!report.eir.ranking.is_empty());
+        assert_eq!(report.interactions.len(), 4 * 3 / 2);
+        // Multiplexing 14 events on 4 counters produces dirty data the
+        // cleaner acts on.
+        assert!(report.outliers_replaced + report.missing_filled > 0);
+        // The collected runs are in the store.
+        assert_eq!(miner.database().run_count(), 1);
+    }
+
+    #[test]
+    fn top_ranked_event_is_a_dominant_profile_event() {
+        let mut miner = CounterMiner::new(MinerConfig {
+            runs_per_benchmark: 2,
+            ..tiny_config()
+        });
+        let report = miner.analyze(Benchmark::Wordcount).unwrap();
+        let profile = Benchmark::Wordcount.importance_profile();
+        let top_abbrevs: Vec<&str> = report
+            .eir
+            .top(4)
+            .iter()
+            .map(|&(e, _)| miner.catalog().info(e).abbrev())
+            .collect();
+        // At least one of the benchmark's dominant events must appear in
+        // the recovered top-4 (the full-scale check lives in the
+        // integration suite; this is the smoke version).
+        assert!(
+            top_abbrevs.iter().any(|a| profile[..3].contains(a)),
+            "top events {top_abbrevs:?} missed all of {:?}",
+            &profile[..3]
+        );
+    }
+
+    #[test]
+    fn double_collect_is_rejected() {
+        let mut miner = CounterMiner::new(tiny_config());
+        miner.collect(Benchmark::Scan).unwrap();
+        assert!(miner.collect(Benchmark::Scan).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the data cleaner's invariants.
+
+use cm_events::TimeSeries;
+use counterminer::{choose_n, CleanerConfig, DataCleaner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cleaning_never_panics_and_reports_consistently(
+        values in prop::collection::vec(0.0..1.0e9f64, 1..256),
+    ) {
+        let cleaner = DataCleaner::default();
+        let series = TimeSeries::from_values(values);
+        let (cleaned, report) = cleaner.clean_series(&series).unwrap();
+        prop_assert_eq!(cleaned.len(), series.len());
+        // Every original zero was either filled or kept.
+        prop_assert!(report.missing_filled + report.zeros_kept <= series.len());
+        prop_assert!(report.n_used >= 0.5);
+    }
+
+    #[test]
+    fn cleaned_values_never_exceed_threshold(
+        mut values in prop::collection::vec(10.0..1.0e3f64, 32..128),
+        spike_at in 0usize..32,
+        spike in 1.0e5..1.0e7f64,
+    ) {
+        values[spike_at] = spike;
+        let cleaner = DataCleaner::default();
+        let (cleaned, report) = cleaner
+            .clean_series(&TimeSeries::from_values(values))
+            .unwrap();
+        for v in cleaned.iter() {
+            prop_assert!(
+                v <= report.threshold * (1.0 + 1e-9),
+                "value {v} above threshold {}",
+                report.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn filled_values_stay_within_valid_range(
+        values in prop::collection::vec(100.0..1.0e4f64, 16..96),
+        zeros in prop::collection::vec(0usize..96, 1..8),
+    ) {
+        let mut v = values.clone();
+        for &z in &zeros {
+            if z < v.len() {
+                v[z] = 0.0;
+            }
+        }
+        let valid_min = v.iter().copied().filter(|&x| x > 0.0).fold(f64::INFINITY, f64::min);
+        let valid_max = v.iter().copied().filter(|&x| x > 0.0).fold(0.0f64, f64::max);
+        let cleaner = DataCleaner::default();
+        let (cleaned, report) = cleaner
+            .clean_series(&TimeSeries::from_values(v))
+            .unwrap();
+        if report.missing_filled > 0 {
+            prop_assert_eq!(cleaned.zero_count(), 0);
+            for x in cleaned.iter() {
+                // Filled values interpolate among valid neighbours and
+                // outlier replacement uses medians: always in range.
+                prop_assert!(x >= valid_min - 1e-9 && x <= valid_max + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn choose_n_returns_a_candidate(data in prop::collection::vec(-1.0e6..1.0e6f64, 1..128)) {
+        let n = choose_n(&data, 0.99).unwrap();
+        prop_assert!([3.0, 4.0, 5.0, 6.0, 7.0].contains(&n));
+    }
+
+    #[test]
+    fn fixed_n_bypasses_distribution_testing(
+        values in prop::collection::vec(1.0..100.0f64, 8..64),
+        n in 1.0..8.0f64,
+    ) {
+        let cleaner = DataCleaner::new(CleanerConfig {
+            fixed_n: Some(n),
+            ..CleanerConfig::default()
+        });
+        let (_, report) = cleaner
+            .clean_series(&TimeSeries::from_values(values))
+            .unwrap();
+        prop_assert_eq!(report.n_used, n);
+    }
+}

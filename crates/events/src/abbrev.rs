@@ -1,0 +1,134 @@
+//! Event abbreviations used throughout the paper (Table III).
+//!
+//! Figures 9–13 and 16 of the paper label events by three-letter
+//! abbreviations. These constants name every abbreviation that appears in
+//! a top-10 importance or interaction list, so experiment code and tests
+//! can refer to events symbolically instead of via string literals.
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_events::{EventCatalog, abbrev};
+//!
+//! let catalog = EventCatalog::haswell();
+//! assert!(catalog.by_abbrev(abbrev::BRB).is_some());
+//! ```
+
+/// Stall cycles due to the instruction queue being full — the paper's most
+/// important event for the majority of cloud benchmarks.
+pub const ISF: &str = "ISF";
+/// Branch instructions executed.
+pub const BRE: &str = "BRE";
+/// Successfully retired branch instructions.
+pub const BRB: &str = "BRB";
+/// Mispredicted but finally retired branch instructions.
+pub const BMP: &str = "BMP";
+/// Retired conditional branch instructions.
+pub const BRC: &str = "BRC";
+/// Retired not-taken branch instructions.
+pub const BNT: &str = "BNT";
+/// Branch address clears (front-end resteers).
+pub const BAA: &str = "BAA";
+/// Offcore read requests served by remote DRAM.
+pub const ORA: &str = "ORA";
+/// Offcore requests served by a remote cache.
+pub const ORO: &str = "ORO";
+/// Uops retired, all.
+pub const URA: &str = "URA";
+/// Uops retired, retire slots used.
+pub const URS: &str = "URS";
+/// Instructions retired (precise distribution).
+pub const IPD: &str = "IPD";
+/// Memory uops retired: split loads.
+pub const MSL: &str = "MSL";
+/// Memory uops retired: split stores.
+pub const MST: &str = "MST";
+/// Memory load uops retired missing the last-level cache.
+pub const MLL: &str = "MLL";
+/// Memory uops retired: all loads.
+pub const MUL: &str = "MUL";
+/// Load uops whose L3 miss was served by remote DRAM.
+pub const MMR: &str = "MMR";
+/// Load uops hitting L3 with a cross-core snoop hit.
+pub const LMH: &str = "LMH";
+/// Load uops hitting L3 without snoop.
+pub const LHN: &str = "LHN";
+/// Load uops whose L3 miss hit a remote cache in modified state.
+pub const LRC: &str = "LRC";
+/// Load uops whose L3 miss was forwarded from a remote cache.
+pub const LRA: &str = "LRA";
+/// Instruction TLB misses causing a page walk.
+pub const ITM: &str = "ITM";
+/// Instruction TLB miss walks completed.
+pub const IMT: &str = "IMT";
+/// Data TLB store misses causing a page walk.
+pub const DSP: &str = "DSP";
+/// Data TLB store misses hitting the second-level TLB.
+pub const DSH: &str = "DSH";
+/// Uops delivered to the instruction decode queue from the decode stream
+/// buffer — the outlier example of Fig. 2(a).
+pub const IDU: &str = "IDU";
+/// Cycles the IDQ delivered four uops from the MITE path.
+pub const IM4: &str = "IM4";
+/// Cycles the MITE path delivered uops to the IDQ.
+pub const IMC: &str = "IMC";
+/// Cycles the IDQ delivered four uops from the DSB path — the case study's
+/// deliberately unimportant event.
+pub const I4U: &str = "I4U";
+/// Instruction cache misses — the error-metric event of Figs. 1, 6 and the
+/// missing-value example of Fig. 2(b).
+pub const ICM: &str = "ICM";
+/// Cycles with a pending L1D miss.
+pub const CAC: &str = "CAC";
+/// Hardware assists of any kind.
+pub const OTS: &str = "OTS";
+/// Second-level TLB flushes.
+pub const TFA: &str = "TFA";
+/// Instruction-TLB page-walker loads hitting the L3.
+pub const PI3: &str = "PI3";
+/// Machine clears due to memory ordering.
+pub const MIE: &str = "MIE";
+/// Machine clears, total count.
+pub const MCO: &str = "MCO";
+/// Offcore request buffer (super queue) full cycles.
+pub const CRX: &str = "CRX";
+/// Instruction-length-decoder stalls on length-changing prefixes.
+pub const ISL: &str = "ISL";
+/// L2 demand data read hits.
+pub const L2H: &str = "L2H";
+/// L2 demand data reads, total.
+pub const L2R: &str = "L2R";
+/// L2 code read hits.
+pub const L2C: &str = "L2C";
+/// L2 code reads, total.
+pub const L2A: &str = "L2A";
+/// L2 demand data read misses.
+pub const L2M: &str = "L2M";
+/// L2 RFO (store) requests.
+pub const L2S: &str = "L2S";
+
+/// All named abbreviations, in catalog order.
+pub const ALL_NAMED: &[&str] = &[
+    ISF, BRE, BRB, BMP, BRC, BNT, BAA, ORA, ORO, URA, URS, IPD, MSL, MST, MLL, MUL, MMR, LMH, LHN,
+    LRC, LRA, ITM, IMT, DSP, DSH, IDU, IM4, IMC, I4U, ICM, CAC, OTS, TFA, PI3, MIE, MCO, CRX, ISL,
+    L2H, L2R, L2C, L2A, L2M, L2S,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn named_abbrevs_are_unique() {
+        let set: HashSet<&str> = ALL_NAMED.iter().copied().collect();
+        assert_eq!(set.len(), ALL_NAMED.len());
+    }
+
+    #[test]
+    fn named_abbrevs_are_three_letters() {
+        for a in ALL_NAMED {
+            assert_eq!(a.len(), 3, "abbrev {a} is not three characters");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+use std::fmt;
+
+/// Identifier of a microarchitectural event within an [`EventCatalog`].
+///
+/// Event ids are dense indices `0..catalog.len()`, so they can be used
+/// directly to index per-event arrays.
+///
+/// [`EventCatalog`]: crate::EventCatalog
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::EventId;
+///
+/// let id = EventId::new(42);
+/// assert_eq!(id.index(), 42);
+/// assert_eq!(format!("{id}"), "e42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u16);
+
+impl EventId {
+    /// Creates an event id from a dense catalog index.
+    pub fn new(index: usize) -> Self {
+        EventId(u16::try_from(index).expect("event index fits in u16"))
+    }
+
+    /// Returns the dense catalog index of this event.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<EventId> for usize {
+    fn from(id: EventId) -> usize {
+        id.index()
+    }
+}
+
+/// An ordered, duplicate-free set of events selected for measurement.
+///
+/// The order is meaningful: a PMU multiplexing schedule assigns events to
+/// counters in set order, and importance rankings preserve it for
+/// tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::{EventId, EventSet};
+///
+/// let mut set = EventSet::new();
+/// set.insert(EventId::new(3));
+/// set.insert(EventId::new(1));
+/// set.insert(EventId::new(3)); // duplicate, ignored
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(EventId::new(1)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventSet {
+    ids: Vec<EventId>,
+}
+
+impl EventSet {
+    /// Creates an empty event set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set holding the first `n` catalog events, `e0..e(n-1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cm_events::EventSet;
+    /// let set = EventSet::first_n(4);
+    /// assert_eq!(set.len(), 4);
+    /// ```
+    pub fn first_n(n: usize) -> Self {
+        EventSet {
+            ids: (0..n).map(EventId::new).collect(),
+        }
+    }
+
+    /// Inserts an event, keeping insertion order; duplicates are ignored.
+    ///
+    /// Returns `true` if the event was newly inserted.
+    pub fn insert(&mut self, id: EventId) -> bool {
+        if self.ids.contains(&id) {
+            false
+        } else {
+            self.ids.push(id);
+            true
+        }
+    }
+
+    /// Removes an event if present. Returns `true` if it was present.
+    pub fn remove(&mut self, id: EventId) -> bool {
+        match self.ids.iter().position(|&e| e == id) {
+            Some(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns `true` if `id` is in the set.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the set holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates over the events in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Returns the events as a slice in insertion order.
+    pub fn as_slice(&self) -> &[EventId] {
+        &self.ids
+    }
+
+    /// Union: `self`'s events followed by `other`'s new ones.
+    pub fn union(&self, other: &EventSet) -> EventSet {
+        let mut out = self.clone();
+        out.extend(other.iter());
+        out
+    }
+
+    /// Intersection, in `self`'s order.
+    pub fn intersection(&self, other: &EventSet) -> EventSet {
+        self.iter().filter(|&e| other.contains(e)).collect()
+    }
+
+    /// Events of `self` not in `other`, in `self`'s order.
+    pub fn difference(&self, other: &EventSet) -> EventSet {
+        self.iter().filter(|&e| !other.contains(e)).collect()
+    }
+}
+
+impl FromIterator<EventId> for EventSet {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        let mut set = EventSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<EventId> for EventSet {
+    fn extend<I: IntoIterator<Item = EventId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EventSet {
+    type Item = EventId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, EventId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_roundtrip() {
+        let id = EventId::new(117);
+        assert_eq!(id.index(), 117);
+        assert_eq!(usize::from(id), 117);
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(EventId::new(0).to_string(), "e0");
+        assert_eq!(EventId::new(228).to_string(), "e228");
+    }
+
+    #[test]
+    fn set_insert_preserves_order_and_dedups() {
+        let mut set = EventSet::new();
+        assert!(set.insert(EventId::new(5)));
+        assert!(set.insert(EventId::new(2)));
+        assert!(!set.insert(EventId::new(5)));
+        let order: Vec<usize> = set.iter().map(|e| e.index()).collect();
+        assert_eq!(order, vec![5, 2]);
+    }
+
+    #[test]
+    fn set_remove() {
+        let mut set = EventSet::first_n(3);
+        assert!(set.remove(EventId::new(1)));
+        assert!(!set.remove(EventId::new(1)));
+        assert_eq!(set.len(), 2);
+        assert!(!set.contains(EventId::new(1)));
+    }
+
+    #[test]
+    fn set_from_iterator_dedups() {
+        let set: EventSet = [0, 1, 1, 2, 0].into_iter().map(EventId::new).collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: EventSet = [1, 2, 3].into_iter().map(EventId::new).collect();
+        let b: EventSet = [3, 4].into_iter().map(EventId::new).collect();
+
+        let union = a.union(&b);
+        assert_eq!(
+            union.iter().map(|e| e.index()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        let inter = a.intersection(&b);
+        assert_eq!(inter.iter().map(|e| e.index()).collect::<Vec<_>>(), vec![3]);
+        let diff = a.difference(&b);
+        assert_eq!(
+            diff.iter().map(|e| e.index()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        // Identities.
+        assert_eq!(a.union(&EventSet::new()), a);
+        assert!(a.intersection(&EventSet::new()).is_empty());
+        assert_eq!(a.difference(&EventSet::new()), a);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = EventSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.iter().count(), 0);
+    }
+}

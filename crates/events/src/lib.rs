@@ -1,0 +1,36 @@
+//! Event catalog and time-series primitives for CounterMiner.
+//!
+//! This crate models the *measurement vocabulary* of a modern performance
+//! monitoring unit (PMU): the set of microarchitectural events a processor
+//! can count, and the variable-length time series produced when a profiler
+//! samples those events while a program runs.
+//!
+//! The catalog is modeled on the Haswell-E processors used in the paper
+//! (Intel Xeon E5-2630 v3): **229 events**, of which roughly 100 have
+//! Gaussian-distributed per-interval values and 129 have long-tail
+//! (generalized extreme value) distributions — the split the paper reports
+//! from its Anderson–Darling testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_events::{EventCatalog, abbrev};
+//!
+//! let catalog = EventCatalog::haswell();
+//! assert_eq!(catalog.len(), 229);
+//!
+//! let isf = catalog.by_abbrev(abbrev::ISF).unwrap();
+//! assert!(isf.description().contains("instruction queue"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abbrev;
+mod catalog;
+mod id;
+mod series;
+
+pub use catalog::{EventCatalog, EventInfo, EventKind, TailFamily};
+pub use id::{EventId, EventSet};
+pub use series::{RunRecord, SampleMode, TimeSeries};

@@ -1,0 +1,296 @@
+use crate::id::EventId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a run's event values were measured (Section II-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SampleMode {
+    /// One counter one event: each selected event owns a hardware counter
+    /// for the whole run. Accurate but limited to `#counters` events.
+    Ocoe,
+    /// Multiplexing: events time-share counters; full behaviour is
+    /// extrapolated from samples. Efficient but noisy.
+    Mlpx,
+}
+
+impl fmt::Display for SampleMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleMode::Ocoe => f.write_str("OCOE"),
+            SampleMode::Mlpx => f.write_str("MLPX"),
+        }
+    }
+}
+
+/// A variable-length series of sampled event values (Eq. 5 of the paper).
+///
+/// Series lengths differ between runs of the same program because of OS
+/// nondeterminism, which is why the paper compares series with dynamic
+/// time warping rather than pointwise distance.
+///
+/// Missing values are recorded as `0.0`, mirroring what a multiplexing
+/// profiler emits when an event was never scheduled while it occurred;
+/// the data cleaner decides which zeros are genuine.
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::TimeSeries;
+///
+/// let ts: TimeSeries = [1.0, 2.0, 0.0, 4.0].into_iter().collect();
+/// assert_eq!(ts.len(), 4);
+/// assert_eq!(ts.zero_count(), 1);
+/// assert_eq!(ts.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty time series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series from raw sampled values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        TimeSeries { values }
+    }
+
+    /// Appends a sampled value.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples in the series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the sample values (used by the data cleaner).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the series, returning the underlying vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Iterates over sample values.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Minimum sample value, or `None` for an empty series.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample value, or `None` for an empty series.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Arithmetic mean, or `None` for an empty series.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Number of exactly-zero samples (candidate missing values).
+    pub fn zero_count(&self) -> usize {
+        self.values.iter().filter(|&&v| v == 0.0).count()
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        TimeSeries {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    fn from(values: Vec<f64>) -> Self {
+        TimeSeries { values }
+    }
+}
+
+impl<'a> IntoIterator for &'a TimeSeries {
+    type Item = f64;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, f64>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter().copied()
+    }
+}
+
+/// Everything measured during one run of one program: per-event time
+/// series plus run metadata.
+///
+/// This is the unit the data collector hands to the store (one
+/// second-level table per run, in the paper's two-level organization).
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    program: String,
+    run_index: u32,
+    mode: SampleMode,
+    exec_time_secs: f64,
+    series: BTreeMap<EventId, TimeSeries>,
+}
+
+impl RunRecord {
+    /// Creates an empty record for one run of `program`.
+    pub fn new(program: impl Into<String>, run_index: u32, mode: SampleMode) -> Self {
+        RunRecord {
+            program: program.into(),
+            run_index,
+            mode,
+            exec_time_secs: 0.0,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The profiled program's name.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// Which run of the program this is (0-based).
+    pub fn run_index(&self) -> u32 {
+        self.run_index
+    }
+
+    /// The measurement mode used for this run.
+    pub fn mode(&self) -> SampleMode {
+        self.mode
+    }
+
+    /// Wall-clock execution time of the run, in seconds.
+    pub fn exec_time_secs(&self) -> f64 {
+        self.exec_time_secs
+    }
+
+    /// Sets the wall-clock execution time.
+    pub fn set_exec_time_secs(&mut self, secs: f64) {
+        self.exec_time_secs = secs;
+    }
+
+    /// Adds (or replaces) the series measured for `event`.
+    pub fn insert_series(&mut self, event: EventId, series: TimeSeries) {
+        self.series.insert(event, series);
+    }
+
+    /// The series measured for `event`, if it was part of this run.
+    pub fn series(&self, event: EventId) -> Option<&TimeSeries> {
+        self.series.get(&event)
+    }
+
+    /// Iterates over `(event, series)` pairs in event-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &TimeSeries)> {
+        self.series.iter().map(|(&id, ts)| (id, ts))
+    }
+
+    /// The events measured in this run, in id order.
+    pub fn events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Number of events measured in this run.
+    pub fn event_count(&self) -> usize {
+        self.series.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_stats() {
+        let ts = TimeSeries::from_values(vec![3.0, 1.0, 2.0]);
+        assert_eq!(ts.min(), Some(1.0));
+        assert_eq!(ts.max(), Some(3.0));
+        assert_eq!(ts.mean(), Some(2.0));
+        assert_eq!(ts.sum(), 6.0);
+    }
+
+    #[test]
+    fn empty_series_stats_are_none() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.min(), None);
+        assert_eq!(ts.max(), None);
+        assert_eq!(ts.mean(), None);
+        assert_eq!(ts.sum(), 0.0);
+    }
+
+    #[test]
+    fn zero_count_counts_exact_zeros() {
+        let ts = TimeSeries::from_values(vec![0.0, 0.5, 0.0, -0.0]);
+        // -0.0 == 0.0 in IEEE comparison.
+        assert_eq!(ts.zero_count(), 3);
+    }
+
+    #[test]
+    fn series_collect_and_extend() {
+        let mut ts: TimeSeries = [1.0, 2.0].into_iter().collect();
+        ts.extend([3.0]);
+        ts.push(4.0);
+        assert_eq!(ts.values(), &[1.0, 2.0, 3.0, 4.0]);
+        let v = ts.into_values();
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn run_record_accessors() {
+        let mut run = RunRecord::new("wordcount", 2, SampleMode::Mlpx);
+        run.set_exec_time_secs(12.5);
+        run.insert_series(EventId::new(7), TimeSeries::from_values(vec![1.0]));
+        run.insert_series(EventId::new(3), TimeSeries::from_values(vec![2.0, 3.0]));
+
+        assert_eq!(run.program(), "wordcount");
+        assert_eq!(run.run_index(), 2);
+        assert_eq!(run.mode(), SampleMode::Mlpx);
+        assert_eq!(run.exec_time_secs(), 12.5);
+        assert_eq!(run.event_count(), 2);
+        // BTreeMap keeps id order.
+        let ids: Vec<usize> = run.events().map(|e| e.index()).collect();
+        assert_eq!(ids, vec![3, 7]);
+        assert!(run.series(EventId::new(7)).is_some());
+        assert!(run.series(EventId::new(9)).is_none());
+    }
+
+    #[test]
+    fn sample_mode_display() {
+        assert_eq!(SampleMode::Ocoe.to_string(), "OCOE");
+        assert_eq!(SampleMode::Mlpx.to_string(), "MLPX");
+    }
+}

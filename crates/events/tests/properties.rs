@@ -1,0 +1,55 @@
+//! Property-based tests for event-set and time-series primitives.
+
+use cm_events::{EventId, EventSet, TimeSeries};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_set_behaves_like_a_set(indices in prop::collection::vec(0usize..256, 0..64)) {
+        let set: EventSet = indices.iter().map(|&i| EventId::new(i)).collect();
+        let reference: std::collections::BTreeSet<usize> = indices.iter().copied().collect();
+        prop_assert_eq!(set.len(), reference.len());
+        for &i in &reference {
+            prop_assert!(set.contains(EventId::new(i)));
+        }
+        // Insertion order is first-occurrence order.
+        let mut seen = std::collections::HashSet::new();
+        let expected_order: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| seen.insert(i))
+            .collect();
+        let actual: Vec<usize> = set.iter().map(|e| e.index()).collect();
+        prop_assert_eq!(actual, expected_order);
+    }
+
+    #[test]
+    fn remove_undoes_insert(indices in prop::collection::vec(0usize..64, 1..32)) {
+        let mut set: EventSet = indices.iter().map(|&i| EventId::new(i)).collect();
+        let victim = EventId::new(indices[0]);
+        prop_assert!(set.remove(victim));
+        prop_assert!(!set.contains(victim));
+        prop_assert!(!set.remove(victim));
+    }
+
+    #[test]
+    fn time_series_stats_are_consistent(values in prop::collection::vec(-1.0e9..1.0e9f64, 1..128)) {
+        let ts = TimeSeries::from_values(values.clone());
+        let min = ts.min().unwrap();
+        let max = ts.max().unwrap();
+        let mean = ts.mean().unwrap();
+        prop_assert!(min <= max);
+        prop_assert!(mean >= min - 1e-6 && mean <= max + 1e-6);
+        prop_assert!((ts.sum() - values.iter().sum::<f64>()).abs() < 1e-3);
+        prop_assert_eq!(ts.len(), values.len());
+    }
+
+    #[test]
+    fn zero_count_matches_manual_count(values in prop::collection::vec(prop_oneof![Just(0.0f64), -10.0..10.0f64], 0..64)) {
+        let ts = TimeSeries::from_values(values.clone());
+        let manual = values.iter().filter(|&&v| v == 0.0).count();
+        prop_assert_eq!(ts.zero_count(), manual);
+    }
+}

@@ -1,0 +1,243 @@
+use crate::MlError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A row-major supervised-learning dataset: one feature row and one
+/// target per sample.
+///
+/// In CounterMiner a row is the event values of one sampling interval
+/// (or one run) and the target is the measured IPC.
+///
+/// # Examples
+///
+/// ```
+/// use cm_ml::Dataset;
+///
+/// let data = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0.5, 0.7])?;
+/// assert_eq!(data.n_rows(), 2);
+/// assert_eq!(data.n_features(), 2);
+/// # Ok::<(), cm_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating that all rows have equal width and
+    /// pair one-to-one with targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] for zero rows and
+    /// [`MlError::InconsistentShape`] for ragged rows or mismatched
+    /// target counts.
+    pub fn new(rows: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self, MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if rows.len() != targets.len() {
+            return Err(MlError::InconsistentShape {
+                expected: rows.len(),
+                found: targets.len(),
+            });
+        }
+        let width = rows[0].len();
+        for row in &rows {
+            if row.len() != width {
+                return Err(MlError::InconsistentShape {
+                    expected: width,
+                    found: row.len(),
+                });
+            }
+        }
+        Ok(Dataset { rows, targets })
+    }
+
+    /// Number of samples.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// One feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// One target value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// All feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of rows going to
+    /// the test set, shuffled by `rng`.
+    ///
+    /// The paper trains on `m` examples and evaluates on `m/4` unseen
+    /// ones, i.e. `test_fraction = 0.2` of the combined pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidConfig`] unless `0 < test_fraction < 1`
+    /// leaves both sides non-empty.
+    pub fn train_test_split<R: Rng + ?Sized>(
+        &self,
+        test_fraction: f64,
+        rng: &mut R,
+    ) -> Result<(Dataset, Dataset), MlError> {
+        if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+            return Err(MlError::InvalidConfig("test_fraction must be in (0, 1)"));
+        }
+        let n_test = ((self.n_rows() as f64) * test_fraction).round() as usize;
+        if n_test == 0 || n_test >= self.n_rows() {
+            return Err(MlError::InvalidConfig(
+                "test_fraction leaves an empty train or test set",
+            ));
+        }
+        let mut order: Vec<usize> = (0..self.n_rows()).collect();
+        order.shuffle(rng);
+        let (test_idx, train_idx) = order.split_at(n_test);
+        Ok((self.subset(train_idx), self.subset(test_idx)))
+    }
+
+    fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+
+    /// Projects the dataset onto a subset of feature columns, in the
+    /// given order. Used by the EIR loop when pruning events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureOutOfRange`] for bad indices and
+    /// [`MlError::InvalidConfig`] for an empty selection.
+    pub fn select_features(&self, columns: &[usize]) -> Result<Dataset, MlError> {
+        if columns.is_empty() {
+            return Err(MlError::InvalidConfig(
+                "feature selection must keep at least one column",
+            ));
+        }
+        let width = self.n_features();
+        if let Some(&bad) = columns.iter().find(|&&c| c >= width) {
+            return Err(MlError::FeatureOutOfRange { index: bad, width });
+        }
+        Ok(Dataset {
+            rows: self
+                .rows
+                .iter()
+                .map(|row| columns.iter().map(|&c| row[c]).collect())
+                .collect(),
+            targets: self.targets.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let targets: Vec<f64> = (0..n).map(|i| i as f64 * 2.0).collect();
+        Dataset::new(rows, targets).unwrap()
+    }
+
+    #[test]
+    fn validates_shapes() {
+        assert_eq!(Dataset::new(vec![], vec![]), Err(MlError::EmptyDataset));
+        assert!(Dataset::new(vec![vec![1.0]], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let data = make(100);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (train, test) = data.train_test_split(0.25, &mut rng).unwrap();
+        assert_eq!(train.n_rows(), 75);
+        assert_eq!(test.n_rows(), 25);
+        // Rows must be a partition: every (x0, target) pair accounted for.
+        let mut seen: Vec<f64> = train
+            .rows()
+            .iter()
+            .chain(test.rows())
+            .map(|r| r[0])
+            .collect();
+        seen.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let data = make(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(data.train_test_split(0.0, &mut rng).is_err());
+        assert!(data.train_test_split(1.0, &mut rng).is_err());
+        assert!(data.train_test_split(0.999, &mut rng).is_err());
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let data = make(50);
+        let split = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            data.train_test_split(0.2, &mut rng).unwrap()
+        };
+        let (a_train, _) = split(4);
+        let (b_train, _) = split(4);
+        assert_eq!(a_train, b_train);
+        let (c_train, _) = split(5);
+        assert_ne!(a_train, c_train);
+    }
+
+    #[test]
+    fn select_features_projects_columns() {
+        let data = make(5);
+        let projected = data.select_features(&[1]).unwrap();
+        assert_eq!(projected.n_features(), 1);
+        assert_eq!(projected.row(3), &[9.0]);
+        assert_eq!(projected.targets(), data.targets());
+        // Order is respected and duplication allowed.
+        let doubled = data.select_features(&[1, 0, 1]).unwrap();
+        assert_eq!(doubled.row(2), &[4.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn select_features_validates() {
+        let data = make(5);
+        assert!(data.select_features(&[]).is_err());
+        assert_eq!(
+            data.select_features(&[2]),
+            Err(MlError::FeatureOutOfRange { index: 2, width: 2 })
+        );
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dataset handling and model training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// The dataset has no rows.
+    EmptyDataset,
+    /// Feature rows have inconsistent lengths, or targets do not pair
+    /// with rows.
+    InconsistentShape {
+        /// What was expected.
+        expected: usize,
+        /// What was found.
+        found: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig(&'static str),
+    /// A feature index was outside the dataset's width.
+    FeatureOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of features available.
+        width: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => f.write_str("dataset has no rows"),
+            MlError::InconsistentShape { expected, found } => {
+                write!(f, "inconsistent shape: expected {expected}, found {found}")
+            }
+            MlError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            MlError::FeatureOutOfRange { index, width } => {
+                write!(f, "feature index {index} out of range for width {width}")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(MlError::EmptyDataset.to_string(), "dataset has no rows");
+        assert!(MlError::FeatureOutOfRange { index: 9, width: 3 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<MlError>();
+    }
+}

@@ -1,0 +1,449 @@
+use crate::tree::{RegressionTree, TreeConfig};
+use crate::{Dataset, MlError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for the stochastic gradient boosted ensemble
+/// (Friedman 2002, the algorithm the paper uses via scikit-learn).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgbrtConfig {
+    /// Number of boosting stages.
+    pub n_trees: usize,
+    /// Shrinkage applied to each stage's contribution.
+    pub learning_rate: f64,
+    /// Fraction of rows sampled (without replacement) per stage — the
+    /// "stochastic" in SGBRT.
+    pub subsample: f64,
+    /// Per-stage tree shape.
+    pub tree: TreeConfig,
+    /// RNG seed for the row subsampling, making training reproducible.
+    pub seed: u64,
+}
+
+impl Default for SgbrtConfig {
+    fn default() -> Self {
+        SgbrtConfig {
+            n_trees: 120,
+            learning_rate: 0.1,
+            subsample: 0.7,
+            tree: TreeConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl SgbrtConfig {
+    /// Returns the config with a different seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Trains with early stopping: a `validation_fraction` of rows is
+    /// held out, and boosting stops once the validation MSE has not
+    /// improved for `patience` consecutive stages. The returned model is
+    /// truncated at the best validation stage, preventing the late-stage
+    /// overfitting that plain [`SgbrtConfig::fit`] allows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SgbrtConfig::fit`], plus invalid
+    /// `validation_fraction` (must leave both sides non-empty) or zero
+    /// `patience`.
+    pub fn fit_early_stopping(
+        self,
+        data: &Dataset,
+        validation_fraction: f64,
+        patience: usize,
+    ) -> Result<Sgbrt, MlError> {
+        if patience == 0 {
+            return Err(MlError::InvalidConfig("patience must be at least 1"));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED);
+        let (train, validation) = data.train_test_split(validation_fraction, &mut rng)?;
+        let full = self.fit(&train)?;
+
+        // Walk the staged predictions over the validation set.
+        let mut preds: Vec<f64> = vec![full.base; validation.n_rows()];
+        let mut best_stage = 0usize;
+        let mut best_mse = mse_of(&preds, validation.targets());
+        let mut since_best = 0usize;
+        for (stage, tree) in full.trees.iter().enumerate() {
+            for (p, row) in preds.iter_mut().zip(validation.rows()) {
+                *p += full.learning_rate * tree.predict(row);
+            }
+            let mse = mse_of(&preds, validation.targets());
+            if mse < best_mse {
+                best_mse = mse;
+                best_stage = stage + 1;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= patience {
+                    break;
+                }
+            }
+        }
+        let mut truncated = full;
+        truncated.trees.truncate(best_stage.max(1));
+        Ok(truncated)
+    }
+
+    /// Trains an ensemble on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidConfig`] for out-of-range
+    /// hyperparameters or [`MlError::EmptyDataset`] via dataset
+    /// construction.
+    pub fn fit(self, data: &Dataset) -> Result<Sgbrt, MlError> {
+        if self.n_trees == 0 {
+            return Err(MlError::InvalidConfig("n_trees must be at least 1"));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
+            return Err(MlError::InvalidConfig("learning_rate must be in (0, 1]"));
+        }
+        if !(self.subsample > 0.0 && self.subsample <= 1.0) {
+            return Err(MlError::InvalidConfig("subsample must be in (0, 1]"));
+        }
+
+        let n = data.n_rows();
+        let base = data.targets().iter().sum::<f64>() / n as f64;
+        let mut residuals: Vec<f64> = data.targets().iter().map(|&y| y - base).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trees = Vec::with_capacity(self.n_trees);
+        let subsample_n = ((n as f64) * self.subsample).round().max(1.0) as usize;
+        let mut all_indices: Vec<usize> = (0..n).collect();
+
+        for _ in 0..self.n_trees {
+            // Stage dataset: same features, residuals as targets.
+            let stage = Dataset::new(data.rows().to_vec(), residuals.clone())?;
+            all_indices.shuffle(&mut rng);
+            let sample = &all_indices[..subsample_n];
+            let tree = RegressionTree::fit_indices(&stage, sample, self.tree)?;
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= self.learning_rate * tree.predict(data.row(i));
+            }
+            trees.push(tree);
+        }
+
+        Ok(Sgbrt {
+            base,
+            learning_rate: self.learning_rate,
+            trees,
+            n_features: data.n_features(),
+        })
+    }
+}
+
+/// K-fold cross-validation of an SGBRT configuration: returns the
+/// held-out relative error (Eq. 14 of the paper) of each fold.
+///
+/// Folds are contiguous row ranges (rows are assumed already shuffled or
+/// exchangeable, as the simulator's interval rows are after windowing).
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidConfig`] unless `2 <= k <= n_rows`, plus
+/// any training failure.
+pub fn cross_validate(config: SgbrtConfig, data: &Dataset, k: usize) -> Result<Vec<f64>, MlError> {
+    if k < 2 || k > data.n_rows() {
+        return Err(MlError::InvalidConfig("k must be in 2..=n_rows"));
+    }
+    let n = data.n_rows();
+    let mut errors = Vec::with_capacity(k);
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let train_idx: Vec<usize> = (0..n).filter(|i| *i < lo || *i >= hi).collect();
+        let test_idx: Vec<usize> = (lo..hi).collect();
+        let pick = |idx: &[usize]| {
+            Dataset::new(
+                idx.iter().map(|&i| data.row(i).to_vec()).collect(),
+                idx.iter().map(|&i| data.target(i)).collect(),
+            )
+        };
+        let train = pick(&train_idx)?;
+        let test = pick(&test_idx)?;
+        let model = config.fit(&train)?;
+        let preds = model.predict_batch(test.rows());
+        errors.push(crate::metrics::relative_error(test.targets(), &preds)?);
+    }
+    Ok(errors)
+}
+
+fn mse_of(preds: &[f64], targets: &[f64]) -> f64 {
+    preds
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / preds.len() as f64
+}
+
+/// A trained stochastic gradient boosted regression tree ensemble.
+///
+/// # Examples
+///
+/// ```
+/// use cm_ml::{Dataset, SgbrtConfig};
+///
+/// let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![(i % 10) as f64]).collect();
+/// let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
+/// let data = Dataset::new(rows, y)?;
+/// let model = SgbrtConfig::default().with_seed(3).fit(&data)?;
+/// // Nonlinear fit: prediction near the true square.
+/// assert!((model.predict(&[7.0]) - 49.0).abs() < 5.0);
+/// # Ok::<(), cm_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgbrt {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+    n_features: usize,
+}
+
+impl Sgbrt {
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the training width.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of boosting stages.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Friedman relative feature importance, normalized to sum to 100
+    /// (Eqs. 10–11 of the paper): each feature's squared-error
+    /// improvements are summed over the splits that use it and averaged
+    /// over trees.
+    ///
+    /// Returns all zeros when no tree made any split (constant target).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            tree.accumulate_importance(&mut acc);
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for v in &mut acc {
+                *v *= 100.0 / total;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn friedman_like(n: usize, seed: u64) -> Dataset {
+        // y = 10·sin(x0) + 5·x1² + x2, x3 irrelevant.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..3.0)).collect())
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 10.0 * r[0].sin() + 5.0 * r[1] * r[1] + r[2])
+            .collect();
+        Dataset::new(rows, y).unwrap()
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let train = friedman_like(400, 1);
+        let test = friedman_like(100, 2);
+        let model = SgbrtConfig {
+            n_trees: 200,
+            ..SgbrtConfig::default()
+        }
+        .fit(&train)
+        .unwrap();
+        let preds = model.predict_batch(test.rows());
+        let err = metrics::relative_error(test.targets(), &preds).unwrap();
+        assert!(err < 0.15, "relative error {err}");
+    }
+
+    #[test]
+    fn importance_ranks_strong_features_first() {
+        let data = friedman_like(500, 3);
+        let model = SgbrtConfig::default().with_seed(1).fit(&data).unwrap();
+        let imp = model.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+        // x1 (quadratic, biggest range of effect) dominates; x3 is noise.
+        assert!(imp[1] > imp[3]);
+        assert!(imp[0] > imp[3]);
+        assert!(imp[3] < 5.0, "irrelevant feature importance {}", imp[3]);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let data = Dataset::new(rows, vec![3.25; 20]).unwrap();
+        let model = SgbrtConfig::default().fit(&data).unwrap();
+        assert!((model.predict(&[100.0]) - 3.25).abs() < 1e-9);
+        assert!(model.feature_importances().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let data = friedman_like(150, 4);
+        let a = SgbrtConfig::default().with_seed(7).fit(&data).unwrap();
+        let b = SgbrtConfig::default().with_seed(7).fit(&data).unwrap();
+        let c = SgbrtConfig::default().with_seed(8).fit(&data).unwrap();
+        let row = data.row(0);
+        assert_eq!(a.predict(row), b.predict(row));
+        // Different subsampling almost surely changes the model.
+        assert_ne!(a.predict(row), c.predict(row));
+    }
+
+    #[test]
+    fn shrinkage_slows_fitting() {
+        let data = friedman_like(200, 5);
+        let fast = SgbrtConfig {
+            n_trees: 10,
+            learning_rate: 0.5,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let slow = SgbrtConfig {
+            n_trees: 10,
+            learning_rate: 0.01,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let fast_err = metrics::mse(data.targets(), &fast.predict_batch(data.rows())).unwrap();
+        let slow_err = metrics::mse(data.targets(), &slow.predict_batch(data.rows())).unwrap();
+        assert!(fast_err < slow_err);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let data = friedman_like(50, 6);
+        for cfg in [
+            SgbrtConfig {
+                n_trees: 0,
+                ..SgbrtConfig::default()
+            },
+            SgbrtConfig {
+                learning_rate: 0.0,
+                ..SgbrtConfig::default()
+            },
+            SgbrtConfig {
+                learning_rate: 1.5,
+                ..SgbrtConfig::default()
+            },
+            SgbrtConfig {
+                subsample: 0.0,
+                ..SgbrtConfig::default()
+            },
+        ] {
+            assert!(cfg.fit(&data).is_err(), "{cfg:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn early_stopping_truncates_and_does_not_hurt() {
+        // Pure-noise target: extra stages only overfit, so early stopping
+        // should truncate well before the full 200 stages.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(12);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let y: Vec<f64> = (0..300).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data = Dataset::new(rows, y).unwrap();
+        let config = SgbrtConfig {
+            n_trees: 200,
+            ..SgbrtConfig::default()
+        };
+        let stopped = config.fit_early_stopping(&data, 0.25, 5).unwrap();
+        assert!(
+            stopped.n_trees() < 200,
+            "expected truncation, kept {}",
+            stopped.n_trees()
+        );
+        assert!(stopped.n_trees() >= 1);
+    }
+
+    #[test]
+    fn early_stopping_keeps_signal_stages() {
+        let data = friedman_like(400, 13);
+        let config = SgbrtConfig {
+            n_trees: 150,
+            ..SgbrtConfig::default()
+        };
+        let stopped = config.fit_early_stopping(&data, 0.2, 10).unwrap();
+        // A real signal keeps many stages and predicts decently.
+        assert!(stopped.n_trees() > 20, "kept {}", stopped.n_trees());
+        let test = friedman_like(100, 14);
+        let err =
+            metrics::relative_error(test.targets(), &stopped.predict_batch(test.rows())).unwrap();
+        assert!(err < 0.2, "error {err}");
+    }
+
+    #[test]
+    fn early_stopping_validates_inputs() {
+        let data = friedman_like(50, 15);
+        assert!(SgbrtConfig::default()
+            .fit_early_stopping(&data, 0.2, 0)
+            .is_err());
+        assert!(SgbrtConfig::default()
+            .fit_early_stopping(&data, 0.0, 3)
+            .is_err());
+    }
+
+    #[test]
+    fn cross_validation_returns_k_fold_errors() {
+        let data = friedman_like(200, 20);
+        let config = SgbrtConfig {
+            n_trees: 40,
+            ..SgbrtConfig::default()
+        };
+        let errors = cross_validate(config, &data, 4).unwrap();
+        assert_eq!(errors.len(), 4);
+        // A learnable function: every fold achieves a sane error.
+        for e in &errors {
+            assert!(*e < 0.5, "fold error {e}");
+        }
+        assert!(cross_validate(config, &data, 1).is_err());
+        assert!(cross_validate(config, &data, 500).is_err());
+    }
+
+    #[test]
+    fn subsample_one_uses_all_rows() {
+        let data = friedman_like(100, 7);
+        let model = SgbrtConfig {
+            subsample: 1.0,
+            n_trees: 20,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        assert_eq!(model.n_trees(), 20);
+        assert_eq!(model.n_features(), 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Model-quality metrics, including the paper's relative IPC error
+//! (Eq. 14).
+
+use crate::MlError;
+
+fn check_paired(actual: &[f64], predicted: &[f64]) -> Result<(), MlError> {
+    if actual.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    if actual.len() != predicted.len() {
+        return Err(MlError::InconsistentShape {
+            expected: actual.len(),
+            found: predicted.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Mean squared error.
+///
+/// # Errors
+///
+/// Returns an error for empty or mismatched inputs.
+pub fn mse(actual: &[f64], predicted: &[f64]) -> Result<f64, MlError> {
+    check_paired(actual, predicted)?;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64)
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// Returns an error for empty or mismatched inputs.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64, MlError> {
+    check_paired(actual, predicted)?;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64)
+}
+
+/// The paper's model error (Eq. 14), averaged over samples:
+///
+/// ```text
+/// err = mean( |IPC_meas - IPC_pred| / IPC_meas )
+/// ```
+///
+/// Samples with `actual == 0` are skipped (relative error undefined).
+/// Returned as a fraction (multiply by 100 for percent).
+///
+/// # Errors
+///
+/// Returns an error for empty or mismatched inputs, or when every actual
+/// value is zero.
+pub fn relative_error(actual: &[f64], predicted: &[f64]) -> Result<f64, MlError> {
+    check_paired(actual, predicted)?;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            sum += ((a - p) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return Err(MlError::InvalidConfig(
+            "relative error undefined when all actual values are zero",
+        ));
+    }
+    Ok(sum / count as f64)
+}
+
+/// Coefficient of determination R².
+///
+/// # Errors
+///
+/// Returns an error for empty/mismatched inputs or constant actuals.
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> Result<f64, MlError> {
+    check_paired(actual, predicted)?;
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let tss: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    if tss == 0.0 {
+        return Err(MlError::InvalidConfig(
+            "r-squared undefined for constant actuals",
+        ));
+    }
+    let rss: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p) * (a - p))
+        .sum();
+    Ok(1.0 - rss / tss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&y, &y).unwrap(), 0.0);
+        assert_eq!(mae(&y, &y).unwrap(), 0.0);
+        assert_eq!(relative_error(&y, &y).unwrap(), 0.0);
+        assert_eq!(r_squared(&y, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let actual = [2.0, 4.0];
+        let predicted = [1.0, 6.0];
+        assert_eq!(mse(&actual, &predicted).unwrap(), 2.5);
+        assert_eq!(mae(&actual, &predicted).unwrap(), 1.5);
+        // (0.5 + 0.5) / 2
+        assert_eq!(relative_error(&actual, &predicted).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_actuals() {
+        let actual = [0.0, 2.0];
+        let predicted = [5.0, 3.0];
+        assert_eq!(relative_error(&actual, &predicted).unwrap(), 0.5);
+        assert!(relative_error(&[0.0, 0.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(mse(&[], &[]).is_err());
+        assert!(mae(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(r_squared(&[1.0, 1.0], &[1.0, 1.0]).is_err()); // constant
+    }
+
+    #[test]
+    fn r_squared_of_mean_prediction_is_zero() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        let predicted = [2.5; 4];
+        assert!((r_squared(&actual, &predicted).unwrap()).abs() < 1e-12);
+    }
+}

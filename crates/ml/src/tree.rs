@@ -1,0 +1,392 @@
+use crate::{Dataset, MlError};
+
+/// Configuration for a single CART regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth; depth 1 is a single split (a stump).
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+        }
+    }
+}
+
+impl TreeConfig {
+    fn validate(&self) -> Result<(), MlError> {
+        if self.max_depth == 0 {
+            return Err(MlError::InvalidConfig("max_depth must be at least 1"));
+        }
+        if self.min_samples_leaf == 0 {
+            return Err(MlError::InvalidConfig(
+                "min_samples_leaf must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Squared-error improvement contributed by this split — the
+        /// `P²(k)` ingredient of the paper's importance measure (Eq. 10).
+        improvement: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART regression tree with variance-reduction splits.
+///
+/// Trees record the squared-error improvement of every split so the
+/// ensemble can compute Friedman feature importance.
+///
+/// # Examples
+///
+/// ```
+/// use cm_ml::{Dataset, RegressionTree, TreeConfig};
+///
+/// let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = rows.iter().map(|r| if r[0] < 10.0 { 1.0 } else { 5.0 }).collect();
+/// let data = Dataset::new(rows, y)?;
+/// let tree = RegressionTree::fit(&data, TreeConfig::default())?;
+/// assert!((tree.predict(&[3.0]) - 1.0).abs() < 1e-9);
+/// assert!((tree.predict(&[15.0]) - 5.0).abs() < 1e-9);
+/// # Ok::<(), cm_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to the full dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidConfig`] for a bad configuration.
+    pub fn fit(data: &Dataset, config: TreeConfig) -> Result<Self, MlError> {
+        let indices: Vec<usize> = (0..data.n_rows()).collect();
+        Self::fit_indices(data, &indices, config)
+    }
+
+    /// Fits a tree to a row subset (used by the boosted ensemble's
+    /// stochastic subsampling). Rows may repeat.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidConfig`] for a bad configuration or
+    /// [`MlError::EmptyDataset`] for an empty index set.
+    pub fn fit_indices(
+        data: &Dataset,
+        indices: &[usize],
+        config: TreeConfig,
+    ) -> Result<Self, MlError> {
+        config.validate()?;
+        if indices.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features: data.n_features(),
+        };
+        let mut idx = indices.to_vec();
+        tree.build(data, &mut idx, 0, config);
+        Ok(tree)
+    }
+
+    /// Builds a subtree over `indices`, returning its node id.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        depth: usize,
+        config: TreeConfig,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| data.target(i)).sum::<f64>() / indices.len() as f64;
+        if depth >= config.max_depth || indices.len() < config.min_samples_split {
+            return self.push(Node::Leaf { value: mean });
+        }
+        match best_split(data, indices, config.min_samples_leaf) {
+            None => self.push(Node::Leaf { value: mean }),
+            Some(split) => {
+                // Partition in place around the chosen threshold.
+                let mid = partition(data, indices, split.feature, split.threshold);
+                let (left_idx, right_idx) = indices.split_at_mut(mid);
+                let left = self.build(data, left_idx, depth + 1, config);
+                let right = self.build(data, right_idx, depth + 1, config);
+                self.push(Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    improvement: split.improvement,
+                    left,
+                    right,
+                })
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn root(&self) -> usize {
+        // Children are pushed before their parent, so the root is last.
+        self.nodes.len() - 1
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the training width.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(
+            row.len(),
+            self.n_features,
+            "feature row length does not match the fitted tree"
+        );
+        let mut node = self.root();
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of decision nodes (splits) in the tree.
+    pub fn split_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Split { .. }))
+            .count()
+    }
+
+    /// Accumulates each feature's squared-improvement into `acc`
+    /// (`acc.len()` must equal the training feature count).
+    pub(crate) fn accumulate_importance(&self, acc: &mut [f64]) {
+        debug_assert_eq!(acc.len(), self.n_features);
+        for node in &self.nodes {
+            if let Node::Split {
+                feature,
+                improvement,
+                ..
+            } = node
+            {
+                acc[*feature] += improvement;
+            }
+        }
+    }
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    improvement: f64,
+}
+
+/// Finds the variance-reduction-optimal split over all features, or
+/// `None` when no split satisfies the leaf-size constraint or improves
+/// the squared error.
+fn best_split(data: &Dataset, indices: &[usize], min_leaf: usize) -> Option<SplitChoice> {
+    let n = indices.len();
+    if n < 2 * min_leaf {
+        return None;
+    }
+    let total_sum: f64 = indices.iter().map(|&i| data.target(i)).sum();
+    let total_sq: f64 = indices
+        .iter()
+        .map(|&i| data.target(i) * data.target(i))
+        .sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best: Option<SplitChoice> = None;
+    let mut order: Vec<usize> = indices.to_vec();
+    for feature in 0..data.n_features() {
+        order.sort_by(|&a, &b| data.row(a)[feature].total_cmp(&data.row(b)[feature]));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for pos in 0..n - 1 {
+            let i = order[pos];
+            let y = data.target(i);
+            left_sum += y;
+            left_sq += y * y;
+            let left_n = pos + 1;
+            let right_n = n - left_n;
+            if left_n < min_leaf || right_n < min_leaf {
+                continue;
+            }
+            let x_here = data.row(i)[feature];
+            let x_next = data.row(order[pos + 1])[feature];
+            if x_here == x_next {
+                continue; // cannot split between equal values
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let left_sse = left_sq - left_sum * left_sum / left_n as f64;
+            let right_sse = right_sq - right_sum * right_sum / right_n as f64;
+            let improvement = parent_sse - left_sse - right_sse;
+            if improvement > 1e-12 && best.as_ref().is_none_or(|b| improvement > b.improvement) {
+                best = Some(SplitChoice {
+                    feature,
+                    threshold: 0.5 * (x_here + x_next),
+                    improvement,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Partitions `indices` so rows with `feature <= threshold` come first;
+/// returns the boundary position.
+fn partition(data: &Dataset, indices: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut mid = 0;
+    for i in 0..indices.len() {
+        if data.row(indices[i])[feature] <= threshold {
+            indices.swap(i, mid);
+            mid += 1;
+        }
+    }
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, 0.0]).collect();
+        let y: Vec<f64> = (0..n).map(|i| if i < n / 2 { -1.0 } else { 1.0 }).collect();
+        Dataset::new(rows, y).unwrap()
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let data = step_data(40);
+        let tree = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
+        assert_eq!(tree.predict(&[0.0, 0.0]), -1.0);
+        assert_eq!(tree.predict(&[39.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let data = Dataset::new(rows, vec![7.0; 10]).unwrap();
+        let tree = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
+        assert_eq!(tree.split_count(), 0);
+        assert_eq!(tree.predict(&[123.0]), 7.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let data = step_data(64);
+        let tree = RegressionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 1,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(tree.split_count(), 1);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let data = step_data(8);
+        let tree = RegressionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 10,
+                min_samples_leaf: 4,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        // Only one split (4 | 4) is legal.
+        assert_eq!(tree.split_count(), 1);
+    }
+
+    #[test]
+    fn importance_lands_on_informative_feature() {
+        let data = step_data(40); // feature 1 is constant noise
+        let tree = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
+        let mut acc = vec![0.0; 2];
+        tree.accumulate_importance(&mut acc);
+        assert!(acc[0] > 0.0);
+        assert_eq!(acc[1], 0.0);
+    }
+
+    #[test]
+    fn fit_indices_uses_subset_only() {
+        let data = step_data(40);
+        // All-left subset: the tree never sees a positive target.
+        let indices: Vec<usize> = (0..20).collect();
+        let tree = RegressionTree::fit_indices(&data, &indices, TreeConfig::default()).unwrap();
+        assert_eq!(tree.predict(&[39.0, 0.0]), -1.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let data = step_data(8);
+        assert!(RegressionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            }
+        )
+        .is_err());
+        assert!(RegressionTree::fit_indices(&data, &[], TreeConfig::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature row length")]
+    fn predict_wrong_width_panics() {
+        let data = step_data(8);
+        let tree = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
+        tree.predict(&[1.0]);
+    }
+
+    #[test]
+    fn ties_in_feature_values_handled() {
+        // All x equal: no legal split, falls back to mean leaf.
+        let rows = vec![vec![5.0]; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let data = Dataset::new(rows, y).unwrap();
+        let tree = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
+        assert_eq!(tree.split_count(), 0);
+        assert!((tree.predict(&[5.0]) - 4.5).abs() < 1e-12);
+    }
+}

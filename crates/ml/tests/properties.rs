@@ -1,0 +1,107 @@
+//! Property-based tests for the ML substrate.
+
+use cm_ml::{metrics, Dataset, RegressionTree, SgbrtConfig, TreeConfig};
+use proptest::prelude::*;
+
+fn dataset_strategy(max_rows: usize) -> impl Strategy<Value = Dataset> {
+    (2usize..5, 4usize..max_rows).prop_flat_map(|(width, rows)| {
+        (
+            prop::collection::vec(
+                prop::collection::vec(-100.0..100.0f64, width..=width),
+                rows..=rows,
+            ),
+            prop::collection::vec(-100.0..100.0f64, rows..=rows),
+        )
+            .prop_map(|(x, y)| Dataset::new(x, y).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tree_predictions_stay_within_target_range(data in dataset_strategy(40)) {
+        let tree = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
+        let min = data.targets().iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.targets().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for row in data.rows() {
+            let p = tree.predict(row);
+            prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deeper_trees_never_fit_worse_on_training_data(data in dataset_strategy(40)) {
+        let shallow = RegressionTree::fit(
+            &data,
+            TreeConfig { max_depth: 1, ..TreeConfig::default() },
+        )
+        .unwrap();
+        let deep = RegressionTree::fit(
+            &data,
+            TreeConfig { max_depth: 6, ..TreeConfig::default() },
+        )
+        .unwrap();
+        let err = |t: &RegressionTree| {
+            let preds: Vec<f64> = data.rows().iter().map(|r| t.predict(r)).collect();
+            metrics::mse(data.targets(), &preds).unwrap()
+        };
+        prop_assert!(err(&deep) <= err(&shallow) + 1e-9);
+    }
+
+    #[test]
+    fn split_partitions_every_row(data in dataset_strategy(40), frac in 0.1..0.9f64) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        if let Ok((train, test)) = data.train_test_split(frac, &mut rng) {
+            prop_assert_eq!(train.n_rows() + test.n_rows(), data.n_rows());
+            prop_assert_eq!(train.n_features(), data.n_features());
+        }
+    }
+
+    #[test]
+    fn importances_are_normalized_or_zero(data in dataset_strategy(30)) {
+        let model = SgbrtConfig {
+            n_trees: 10,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let imp = model.feature_importances();
+        prop_assert_eq!(imp.len(), data.n_features());
+        let total: f64 = imp.iter().sum();
+        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+        prop_assert!(total.abs() < 1e-9 || (total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_agree_on_perfect_predictions(y in prop::collection::vec(0.5..100.0f64, 1..32)) {
+        prop_assert_eq!(metrics::mse(&y, &y).unwrap(), 0.0);
+        prop_assert_eq!(metrics::mae(&y, &y).unwrap(), 0.0);
+        prop_assert_eq!(metrics::relative_error(&y, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mse_dominates_squared_mae(
+        a in prop::collection::vec(-100.0..100.0f64, 2..32),
+    ) {
+        // Jensen: mean(e^2) >= mean(|e|)^2.
+        let zeros = vec![0.0; a.len()];
+        let mse = metrics::mse(&a, &zeros).unwrap();
+        let mae = metrics::mae(&a, &zeros).unwrap();
+        prop_assert!(mse + 1e-9 >= mae * mae);
+    }
+
+    #[test]
+    fn select_features_preserves_rows_and_targets(
+        data in dataset_strategy(30),
+        col in 0usize..2,
+    ) {
+        let projected = data.select_features(&[col]).unwrap();
+        prop_assert_eq!(projected.n_rows(), data.n_rows());
+        prop_assert_eq!(projected.targets(), data.targets());
+        for (orig, proj) in data.rows().iter().zip(projected.rows()) {
+            prop_assert_eq!(proj[0], orig[col]);
+        }
+    }
+}

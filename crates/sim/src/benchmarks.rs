@@ -1,0 +1,575 @@
+use std::fmt;
+
+/// The benchmark suite a program belongs to (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// CloudSuite 3.0 — cloud services on heterogeneous frameworks
+    /// (Hadoop, Memcached, Cassandra, Spark/GraphX, Nginx…).
+    CloudSuite,
+    /// HiBench with Spark 2.0 ("SparkBench") — MapReduce-style programs
+    /// all on the Apache Spark framework.
+    HiBench,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::CloudSuite => f.write_str("CloudSuite"),
+            Suite::HiBench => f.write_str("HiBench"),
+        }
+    }
+}
+
+/// The sixteen benchmarks of the paper's evaluation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are program names
+pub enum Benchmark {
+    // HiBench (Spark 2.0)
+    Wordcount,
+    Pagerank,
+    Aggregation,
+    Join,
+    Scan,
+    Sort,
+    Bayes,
+    Kmeans,
+    // CloudSuite 3.0
+    DataAnalytics,
+    DataCaching,
+    DataServing,
+    GraphAnalytics,
+    InMemoryAnalytics,
+    MediaStreaming,
+    WebSearch,
+    WebServing,
+}
+
+/// The eight HiBench benchmarks.
+pub const HIBENCH: [Benchmark; 8] = [
+    Benchmark::Wordcount,
+    Benchmark::Pagerank,
+    Benchmark::Aggregation,
+    Benchmark::Join,
+    Benchmark::Scan,
+    Benchmark::Sort,
+    Benchmark::Bayes,
+    Benchmark::Kmeans,
+];
+
+/// The eight CloudSuite benchmarks.
+pub const CLOUDSUITE: [Benchmark; 8] = [
+    Benchmark::DataAnalytics,
+    Benchmark::DataCaching,
+    Benchmark::DataServing,
+    Benchmark::GraphAnalytics,
+    Benchmark::InMemoryAnalytics,
+    Benchmark::MediaStreaming,
+    Benchmark::WebSearch,
+    Benchmark::WebServing,
+];
+
+/// All sixteen benchmarks, HiBench first (the paper's figure order).
+pub const ALL_BENCHMARKS: [Benchmark; 16] = [
+    Benchmark::Wordcount,
+    Benchmark::Pagerank,
+    Benchmark::Aggregation,
+    Benchmark::Join,
+    Benchmark::Scan,
+    Benchmark::Sort,
+    Benchmark::Bayes,
+    Benchmark::Kmeans,
+    Benchmark::DataAnalytics,
+    Benchmark::DataCaching,
+    Benchmark::DataServing,
+    Benchmark::GraphAnalytics,
+    Benchmark::InMemoryAnalytics,
+    Benchmark::MediaStreaming,
+    Benchmark::WebSearch,
+    Benchmark::WebServing,
+];
+
+impl Benchmark {
+    /// The program name as used in store keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Wordcount => "wordcount",
+            Benchmark::Pagerank => "pagerank",
+            Benchmark::Aggregation => "aggregation",
+            Benchmark::Join => "join",
+            Benchmark::Scan => "scan",
+            Benchmark::Sort => "sort",
+            Benchmark::Bayes => "bayes",
+            Benchmark::Kmeans => "kmeans",
+            Benchmark::DataAnalytics => "DataAnalytics",
+            Benchmark::DataCaching => "DataCaching",
+            Benchmark::DataServing => "DataServing",
+            Benchmark::GraphAnalytics => "GraphAnalytics",
+            Benchmark::InMemoryAnalytics => "In-memoryAnalytics",
+            Benchmark::MediaStreaming => "MediaStreaming",
+            Benchmark::WebSearch => "WebSearch",
+            Benchmark::WebServing => "WebServing",
+        }
+    }
+
+    /// The three-letter program abbreviation of Fig. 1.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Benchmark::Wordcount => "WDC",
+            Benchmark::Pagerank => "PGR",
+            Benchmark::Aggregation => "AGG",
+            Benchmark::Join => "JON",
+            Benchmark::Scan => "SCN",
+            Benchmark::Sort => "SOT",
+            Benchmark::Bayes => "BAY",
+            Benchmark::Kmeans => "KME",
+            Benchmark::DataAnalytics => "DAA",
+            Benchmark::DataCaching => "DAC",
+            Benchmark::DataServing => "DAS",
+            Benchmark::GraphAnalytics => "GPA",
+            Benchmark::InMemoryAnalytics => "IMA",
+            Benchmark::MediaStreaming => "MES",
+            Benchmark::WebSearch => "WSH",
+            Benchmark::WebServing => "WSG",
+        }
+    }
+
+    /// Which suite the benchmark belongs to.
+    pub fn suite(self) -> Suite {
+        if HIBENCH.contains(&self) {
+            Suite::HiBench
+        } else {
+            Suite::CloudSuite
+        }
+    }
+
+    /// The framework the benchmark runs on (Table II).
+    pub fn framework(self) -> &'static str {
+        match self {
+            Benchmark::DataAnalytics => "Hadoop/Mahout",
+            Benchmark::DataCaching => "Memcached",
+            Benchmark::DataServing => "Cassandra",
+            Benchmark::GraphAnalytics => "Spark/GraphX",
+            Benchmark::InMemoryAnalytics => "Spark/MLlib",
+            Benchmark::MediaStreaming => "Nginx/httperf",
+            Benchmark::WebSearch => "Solr",
+            Benchmark::WebServing => "Nginx/PHP/MySQL/Memcached",
+            _ => "Spark 2.0",
+        }
+    }
+
+    /// The workload category (Table II: websearch, SQL, machine
+    /// learning, micro benchmark for HiBench; service class for
+    /// CloudSuite).
+    pub fn category(self) -> &'static str {
+        match self {
+            Benchmark::Wordcount | Benchmark::Sort => "micro benchmark",
+            Benchmark::Pagerank => "websearch",
+            Benchmark::Aggregation | Benchmark::Join | Benchmark::Scan => "SQL",
+            Benchmark::Bayes | Benchmark::Kmeans => "machine learning",
+            Benchmark::DataAnalytics => "batch analytics",
+            Benchmark::DataCaching => "in-memory caching",
+            Benchmark::DataServing => "NoSQL serving",
+            Benchmark::GraphAnalytics => "graph analytics",
+            Benchmark::InMemoryAnalytics => "in-memory analytics",
+            Benchmark::MediaStreaming => "video streaming",
+            Benchmark::WebSearch => "search indexing/serving",
+            Benchmark::WebServing => "web serving",
+        }
+    }
+
+    /// Number of software tiers in the deployed service. The paper
+    /// observes that more tiers produce stronger dominant event
+    /// interactions (Section V-C): WebServing has four tiers and a 64 %
+    /// dominant pair; GraphAnalytics implements one algorithm and peaks
+    /// at 19 %.
+    pub fn tier_count(self) -> usize {
+        match self {
+            Benchmark::WebServing => 4,
+            Benchmark::MediaStreaming | Benchmark::WebSearch => 3,
+            Benchmark::DataCaching | Benchmark::DataServing | Benchmark::DataAnalytics => 2,
+            _ => 1,
+        }
+    }
+
+    /// Nominal number of sampling intervals in one run (before the OS
+    /// nondeterminism jitter applied per run).
+    pub fn base_intervals(self) -> usize {
+        match self.suite() {
+            Suite::HiBench => 420,
+            Suite::CloudSuite => 480,
+        }
+    }
+
+    /// Nominal wall-clock execution time in seconds, used by the Spark
+    /// case study's runtime model.
+    pub fn base_exec_secs(self) -> f64 {
+        match self {
+            Benchmark::Wordcount => 95.0,
+            Benchmark::Pagerank => 210.0,
+            Benchmark::Aggregation => 130.0,
+            Benchmark::Join => 150.0,
+            Benchmark::Scan => 110.0,
+            Benchmark::Sort => 140.0,
+            Benchmark::Bayes => 260.0,
+            Benchmark::Kmeans => 240.0,
+            _ => 300.0,
+        }
+    }
+
+    /// Ground-truth importance profile: the paper's top-10 event
+    /// abbreviations in descending importance (Figs. 9 and 10).
+    pub fn importance_profile(self) -> [&'static str; 10] {
+        use cm_events::abbrev::*;
+        match self {
+            Benchmark::Wordcount => [ISF, BRE, ORA, IPD, BRB, BMP, MSL, URA, URS, ITM],
+            Benchmark::Pagerank => [BRE, ISF, BRB, LMH, BMP, ITM, PI3, MCO, BRC, TFA],
+            Benchmark::Aggregation => [ISF, BRE, BRB, MSL, BAA, MMR, PI3, BMP, IPD, MCO],
+            Benchmark::Join => [BRE, LRC, ISF, BRB, LMH, IPD, BMP, IMC, IM4, ITM],
+            Benchmark::Scan => [BRE, ISF, LMH, BRB, MSL, PI3, MMR, BMP, MIE, CAC],
+            Benchmark::Sort => [ORO, IDU, ISF, LRA, BRE, BRB, BMP, LMH, MSL, MST],
+            Benchmark::Bayes => [BRE, ISF, PI3, MSL, BRB, IPD, MST, TFA, MMR, LMH],
+            Benchmark::Kmeans => [ISF, BRE, IPD, BRB, IMT, MSL, PI3, OTS, BMP, MCO],
+            Benchmark::DataAnalytics => [ISF, BRB, BRE, IPD, MMR, MSL, LMH, MUL, MST, MLL],
+            Benchmark::DataCaching => [ISF, BRB, IPD, BRE, MSL, BMP, MMR, LMH, MST, MLL],
+            Benchmark::DataServing => [ISF, PI3, BRE, BRB, IPD, MMR, MSL, LMH, ITM, BMP],
+            Benchmark::GraphAnalytics => [ISF, BRE, BRB, MSL, DSP, TFA, MMR, DSH, MST, BMP],
+            Benchmark::InMemoryAnalytics => [BRE, ISF, BRB, MSL, IPD, MMR, BMP, PI3, LMH, MLL],
+            Benchmark::MediaStreaming => [BRE, ISF, BRB, MMR, IPD, MSL, LMH, BMP, MCO, PI3],
+            Benchmark::WebSearch => [ISF, MSL, IPD, BRE, MMR, BMP, BRB, MST, LHN, MLL],
+            Benchmark::WebServing => [MSL, ISF, BMP, MMR, LHN, IPD, ISL, BRE, MLL, LMH],
+        }
+    }
+
+    /// How many leading profile events are "significantly more
+    /// important" — the paper's one-three SMI law. Peak importances in
+    /// Figs. 9–10 run from roughly 3.7 % to 7.6 %.
+    pub fn dominant_count(self) -> usize {
+        match self {
+            Benchmark::Wordcount => 3, // ISF, BRE, ORA above 5 %
+            Benchmark::Sort => 2,      // ORO, IDU
+            Benchmark::Pagerank | Benchmark::Scan | Benchmark::Bayes => 2,
+            _ => 1,
+        }
+    }
+
+    /// Ground-truth interaction profile: the paper's strongest event
+    /// pairs with relative strengths (Figs. 11 and 12). The first pair
+    /// dominates; CloudSuite benchmarks have stronger dominance than
+    /// HiBench ones (tier effect).
+    pub fn interaction_profile(self) -> Vec<(&'static str, &'static str, f64)> {
+        use cm_events::abbrev::*;
+        let tiers = self.tier_count() as f64;
+        // Dominance grows with software tiers: ~0.14 relative strength
+        // for single-tier programs up to ~0.64 for four tiers.
+        let top = 0.06 + 0.145 * tiers;
+        match self {
+            Benchmark::Wordcount => vec![
+                (BRB, BMP, top),
+                (ORA, BRB, 0.6 * top),
+                (URA, URS, 0.5 * top),
+                (BRB, ITM, 0.4 * top),
+                (ORA, BMP, 0.35 * top),
+                (ISF, BRB, 0.3 * top),
+                (BRB, URA, 0.28 * top),
+                (BRE, BRB, 0.26 * top),
+                (ORA, ITM, 0.24 * top),
+                (ISF, BRE, 0.22 * top),
+            ],
+            Benchmark::Pagerank => vec![
+                (BRB, BMP, top),
+                (BRE, ISF, 0.62 * top),
+                (BRE, BRB, 0.5 * top),
+                (BRE, BMP, 0.42 * top),
+                (ISF, BRB, 0.36 * top),
+                (ISF, BMP, 0.32 * top),
+                (BRB, BRC, 0.28 * top),
+                (BRE, PI3, 0.25 * top),
+                (BRE, ITM, 0.22 * top),
+                (ISF, ITM, 0.2 * top),
+            ],
+            Benchmark::Aggregation => vec![
+                (BRE, MSL, top),
+                (ISF, MSL, 0.6 * top),
+                (MSL, BMP, 0.5 * top),
+                (MSL, BAA, 0.42 * top),
+                (MMR, BMP, 0.36 * top),
+                (ISF, BRE, 0.32 * top),
+                (MSL, PI3, 0.28 * top),
+                (BRB, BMP, 0.25 * top),
+                (BRB, MSL, 0.22 * top),
+                (BRE, BRB, 0.2 * top),
+            ],
+            Benchmark::Join => vec![
+                (BRB, BMP, top),
+                (BRE, BRB, 0.6 * top),
+                (ISF, BMP, 0.5 * top),
+                (ISF, BRB, 0.42 * top),
+                (BRE, ISF, 0.36 * top),
+                (BRE, BMP, 0.32 * top),
+                (LRC, BRB, 0.28 * top),
+                (LRC, BMP, 0.25 * top),
+                (BRE, IPD, 0.22 * top),
+                (BMP, IMC, 0.2 * top),
+            ],
+            Benchmark::Scan => vec![
+                (ISF, BMP, top),
+                (ISF, LMH, 0.6 * top),
+                (BRE, BMP, 0.5 * top),
+                (LMH, MMR, 0.42 * top),
+                (LMH, BMP, 0.36 * top),
+                (BRE, LMH, 0.32 * top),
+                (BRE, ISF, 0.28 * top),
+                (MMR, BMP, 0.25 * top),
+                (ISF, MMR, 0.22 * top),
+                (BRE, MMR, 0.2 * top),
+            ],
+            Benchmark::Sort => vec![
+                (ISF, MST, top),
+                (LRA, MST, 0.62 * top),
+                (ORO, MST, 0.52 * top),
+                (BRE, MST, 0.44 * top),
+                (IDU, MST, 0.38 * top),
+                (BMP, LMH, 0.32 * top),
+                (LRA, BRE, 0.28 * top),
+                (BMP, MST, 0.25 * top),
+                (ORO, LRA, 0.22 * top),
+                (BRE, MSL, 0.2 * top),
+            ],
+            Benchmark::Bayes => vec![
+                (ISF, BRB, top),
+                (BRE, BRB, 0.6 * top),
+                (BRE, ISF, 0.5 * top),
+                (PI3, BRB, 0.42 * top),
+                (ISF, PI3, 0.36 * top),
+                (BRE, PI3, 0.32 * top),
+                (MSL, MST, 0.28 * top),
+                (MMR, LMH, 0.25 * top),
+                (BRB, LMH, 0.22 * top),
+                (BRE, LMH, 0.2 * top),
+            ],
+            Benchmark::Kmeans => vec![
+                (BRB, BMP, top),
+                (ISF, BMP, 0.6 * top),
+                (ISF, BRB, 0.5 * top),
+                (ITM, BMP, 0.42 * top),
+                (BRB, ITM, 0.36 * top),
+                (BRE, BRB, 0.32 * top),
+                (BRE, BMP, 0.28 * top),
+                (PI3, BMP, 0.25 * top),
+                (MSL, BMP, 0.22 * top),
+                (BRB, PI3, 0.2 * top),
+            ],
+            Benchmark::DataAnalytics => vec![
+                (ISF, BRB, top),
+                (BRB, BMP, 0.55 * top),
+                (BRE, BRB, 0.45 * top),
+                (MMR, BMP, 0.38 * top),
+                (ISF, BMP, 0.32 * top),
+                (MSL, BMP, 0.28 * top),
+                (BRE, ISF, 0.25 * top),
+                (IPD, BRB, 0.22 * top),
+                (MUL, MLL, 0.2 * top),
+                (LMH, BMP, 0.18 * top),
+            ],
+            Benchmark::DataCaching => vec![
+                (BRB, BMP, top),
+                (ISF, BRB, 0.5 * top),
+                (BRE, BMP, 0.42 * top),
+                (MSL, BRB, 0.36 * top),
+                (IPD, BMP, 0.3 * top),
+                (MMR, LMH, 0.26 * top),
+                (BRE, BRB, 0.23 * top),
+                (ISF, BMP, 0.2 * top),
+                (MST, MLL, 0.18 * top),
+                (BRE, ISF, 0.16 * top),
+            ],
+            Benchmark::DataServing => vec![
+                (BRB, BMP, top),
+                (PI3, BRB, 0.52 * top),
+                (ISF, BRB, 0.44 * top),
+                (BRE, BMP, 0.37 * top),
+                (PI3, ISF, 0.31 * top),
+                (MMR, BMP, 0.27 * top),
+                (ITM, BRB, 0.24 * top),
+                (MSL, LMH, 0.21 * top),
+                (BRE, BRB, 0.19 * top),
+                (IPD, BMP, 0.17 * top),
+            ],
+            Benchmark::GraphAnalytics => vec![
+                (BRE, BRB, top),
+                (ISF, BRB, 0.55 * top),
+                (BRE, ISF, 0.46 * top),
+                (DSP, DSH, 0.38 * top),
+                (MSL, BRB, 0.32 * top),
+                (TFA, DSP, 0.28 * top),
+                (MMR, BMP, 0.24 * top),
+                (BRB, BMP, 0.21 * top),
+                (MST, MSL, 0.19 * top),
+                (ISF, TFA, 0.17 * top),
+            ],
+            Benchmark::InMemoryAnalytics => vec![
+                (BRB, BMP, top),
+                (BRE, BRB, 0.54 * top),
+                (BRE, ISF, 0.45 * top),
+                (MSL, BMP, 0.37 * top),
+                (ISF, BRB, 0.31 * top),
+                (MMR, BMP, 0.27 * top),
+                (IPD, BRB, 0.23 * top),
+                (PI3, BMP, 0.2 * top),
+                (LMH, MMR, 0.18 * top),
+                (MLL, MSL, 0.16 * top),
+            ],
+            Benchmark::MediaStreaming => vec![
+                (BRB, BMP, top),
+                (BRE, BRB, 0.52 * top),
+                (MMR, BRB, 0.43 * top),
+                (ISF, BMP, 0.36 * top),
+                (BRE, MMR, 0.3 * top),
+                (IPD, BMP, 0.26 * top),
+                (MSL, LMH, 0.23 * top),
+                (BRE, ISF, 0.2 * top),
+                (MCO, BRB, 0.18 * top),
+                (PI3, BMP, 0.16 * top),
+            ],
+            Benchmark::WebSearch => vec![
+                (BRB, BMP, top),
+                (ISF, MSL, 0.52 * top),
+                (MSL, BMP, 0.43 * top),
+                (IPD, BRB, 0.36 * top),
+                (MMR, BMP, 0.3 * top),
+                (BRE, BRB, 0.26 * top),
+                (ISF, BMP, 0.23 * top),
+                (MST, MSL, 0.2 * top),
+                (LHN, MMR, 0.18 * top),
+                (BRE, ISF, 0.16 * top),
+            ],
+            Benchmark::WebServing => vec![
+                (BRB, BMP, top),
+                (MSL, ISF, 0.5 * top),
+                (MSL, BMP, 0.4 * top),
+                (MMR, LHN, 0.33 * top),
+                (ISF, BMP, 0.28 * top),
+                (ISL, MSL, 0.24 * top),
+                (BRE, BRB, 0.21 * top),
+                (IPD, BMP, 0.19 * top),
+                (MLL, MMR, 0.17 * top),
+                (LMH, MSL, 0.15 * top),
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_events::EventCatalog;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sixteen_distinct_benchmarks() {
+        let names: HashSet<&str> = ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 16);
+        let abbrevs: HashSet<&str> = ALL_BENCHMARKS.iter().map(|b| b.abbrev()).collect();
+        assert_eq!(abbrevs.len(), 16);
+    }
+
+    #[test]
+    fn suites_partition_benchmarks() {
+        for b in HIBENCH {
+            assert_eq!(b.suite(), Suite::HiBench);
+        }
+        for b in CLOUDSUITE {
+            assert_eq!(b.suite(), Suite::CloudSuite);
+        }
+    }
+
+    #[test]
+    fn hibench_runs_on_spark() {
+        for b in HIBENCH {
+            assert_eq!(b.framework(), "Spark 2.0");
+        }
+        // CloudSuite uses heterogeneous frameworks.
+        let frameworks: HashSet<&str> = CLOUDSUITE.iter().map(|b| b.framework()).collect();
+        assert!(frameworks.len() > 4);
+    }
+
+    #[test]
+    fn importance_profiles_resolve_in_catalog() {
+        let catalog = EventCatalog::haswell();
+        for b in ALL_BENCHMARKS {
+            let profile = b.importance_profile();
+            let distinct: HashSet<&str> = profile.iter().copied().collect();
+            assert_eq!(distinct.len(), 10, "{b} has duplicate profile events");
+            for a in profile {
+                assert!(
+                    catalog.by_abbrev(a).is_some(),
+                    "{b}: abbrev {a} not in catalog"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_profiles_resolve_and_rank() {
+        let catalog = EventCatalog::haswell();
+        for b in ALL_BENCHMARKS {
+            let pairs = b.interaction_profile();
+            assert_eq!(pairs.len(), 10, "{b}");
+            for (a, c, s) in &pairs {
+                assert!(catalog.by_abbrev(a).is_some(), "{b}: {a}");
+                assert!(catalog.by_abbrev(c).is_some(), "{b}: {c}");
+                assert!(*s > 0.0);
+                assert_ne!(a, c, "{b}: self-interaction");
+            }
+            // The first pair dominates.
+            assert!(pairs[0].2 > pairs[1].2, "{b}");
+        }
+    }
+
+    #[test]
+    fn isf_tops_most_benchmarks() {
+        // The paper: ISF is the most important event for most cloud
+        // programs.
+        let isf_first = ALL_BENCHMARKS
+            .iter()
+            .filter(|b| b.importance_profile()[0] == cm_events::abbrev::ISF)
+            .count();
+        assert!(isf_first >= 8, "ISF first for only {isf_first} benchmarks");
+    }
+
+    #[test]
+    fn brb_bmp_dominates_ten_benchmarks() {
+        // The paper: BRB-BMP is the top interaction pair in 10 of 16.
+        use cm_events::abbrev::{BMP, BRB};
+        let count = ALL_BENCHMARKS
+            .iter()
+            .filter(|b| {
+                let p = &b.interaction_profile()[0];
+                (p.0, p.1) == (BRB, BMP)
+            })
+            .count();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn webserving_has_strongest_interaction_dominance() {
+        let ws = Benchmark::WebServing.interaction_profile()[0].2;
+        let gpa = Benchmark::GraphAnalytics.interaction_profile()[0].2;
+        assert!(ws > 2.5 * gpa);
+        assert_eq!(Benchmark::WebServing.tier_count(), 4);
+    }
+
+    #[test]
+    fn dominant_counts_follow_one_three_smi() {
+        for b in ALL_BENCHMARKS {
+            let d = b.dominant_count();
+            assert!((1..=3).contains(&d), "{b}: dominant count {d}");
+        }
+    }
+}

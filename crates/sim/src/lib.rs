@@ -1,0 +1,58 @@
+//! Workload and PMU simulator for CounterMiner.
+//!
+//! The paper evaluates CounterMiner on four Haswell-E servers running
+//! sixteen cloud benchmarks profiled with Linux `perf`. This crate is the
+//! substitute substrate (see DESIGN.md): it simulates
+//!
+//! * the **sixteen benchmarks** (eight from CloudSuite 3.0, eight from
+//!   the Spark 2.0 version of HiBench — Table II) as stochastic event
+//!   processes with per-benchmark phase structure and a ground-truth
+//!   nonlinear IPC model whose importance profile matches the paper's
+//!   Figs. 9–12 findings,
+//! * the **PMU** with a configurable number of hardware counters,
+//!   measuring events either one-counter-one-event ([`SampleMode::Ocoe`])
+//!   or multiplexed ([`SampleMode::Mlpx`]) with round-robin scheduling
+//!   and linear extrapolation — organically producing the outliers and
+//!   missing values of Fig. 2,
+//! * the **Spark configuration response** used by the paper's case study
+//!   (Section V-D, Table IV),
+//! * **co-located workloads** sharing the PMU and caches (Section V-E).
+//!
+//! Everything is deterministic given a seed.
+//!
+//! [`SampleMode::Ocoe`]: cm_events::SampleMode::Ocoe
+//! [`SampleMode::Mlpx`]: cm_events::SampleMode::Mlpx
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_events::EventCatalog;
+//! use cm_sim::{Benchmark, PmuConfig, Workload};
+//!
+//! let catalog = EventCatalog::haswell();
+//! let workload = Workload::new(Benchmark::Wordcount, &catalog);
+//! let events = workload.top_event_ids(&catalog, 10);
+//! let pmu = PmuConfig::default(); // 4 programmable counters
+//!
+//! let run = pmu.simulate_mlpx(&workload, &events, 0, 42);
+//! assert_eq!(run.record.event_count(), 10);
+//! assert_eq!(run.ipc.len(), run.intervals());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod colocate;
+mod pmu;
+mod process;
+mod spark;
+mod truth;
+mod workload;
+
+pub use benchmarks::{Benchmark, Suite, ALL_BENCHMARKS, CLOUDSUITE, HIBENCH};
+pub use colocate::ColocatedWorkload;
+pub use pmu::{ActivitySource, Extrapolation, PmuConfig, Scheduling, SimRun};
+pub use spark::{SparkConfig, SparkParam, SparkStudy, ALL_PARAMS};
+pub use truth::{global_noise_events, TrueModel, NOISE_EVENT_COUNT};
+pub use workload::Workload;

@@ -1,0 +1,346 @@
+//! Per-event stochastic processes.
+//!
+//! Each event's per-interval activity is an AR(1) process with
+//! family-dependent innovations (Gaussian for Gaussian-tagged events,
+//! centred Gumbel for long-tail ones), occasional bursts, and phase
+//! effects (the cold-start instruction-cache spike of Fig. 2(b), periodic
+//! shuffle bursts). The process produces both a *normalized activity*
+//! `z` (what the ground-truth IPC model consumes) and a *raw count*
+//! (what the PMU measures).
+
+use cm_events::{EventInfo, EventKind, TailFamily};
+use rand::Rng;
+
+/// Static parameters of one event's activity process for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProcessParams {
+    /// Mean per-interval count.
+    pub mu: f64,
+    /// Coefficient of variation mapping `z` to counts.
+    pub cv: f64,
+    /// AR(1) autocorrelation.
+    pub rho: f64,
+    /// Within-interval burst concentration in `[0, 1)`; high values mean
+    /// the interval's activity lands in few subslices (what makes MLPX
+    /// lossy).
+    pub burstiness: f64,
+    /// Probability of a burst interval (adds a large positive `z` jump).
+    pub burst_prob: f64,
+    /// Innovation family.
+    pub family: TailFamily,
+    /// Cold-start multiplier applied over the first ~5 % of intervals
+    /// (1.0 = no cold-start effect).
+    pub cold_start: f64,
+    /// Amplitude of the periodic phase component (shuffle waves in batch
+    /// jobs, request waves in services); 0 disables it.
+    pub phase_amplitude: f64,
+    /// Period of the phase component, in intervals.
+    pub phase_period: f64,
+    /// Phase offset, radians.
+    pub phase_offset: f64,
+}
+
+impl ProcessParams {
+    /// Derives process parameters for an event within a benchmark,
+    /// deterministically from the event metadata and a benchmark salt.
+    pub fn derive(info: &EventInfo, salt: u64) -> Self {
+        // Cheap deterministic hash for per-(event, benchmark) variety.
+        let h = mix(info.id().index() as u64 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let unit = |k: u64| ((h >> k) & 0xFFFF) as f64 / 65535.0;
+
+        let (cv, rho, burstiness, burst_prob) = match info.family() {
+            TailFamily::Gaussian => (
+                0.10 + 0.10 * unit(0),
+                0.55 + 0.25 * unit(16),
+                0.05 + 0.20 * unit(32),
+                0.002,
+            ),
+            TailFamily::LongTail => (
+                0.25 + 0.25 * unit(0),
+                0.45 + 0.30 * unit(16),
+                0.45 + 0.40 * unit(32),
+                0.02 + 0.03 * unit(48),
+            ),
+        };
+        // Cold caches and TLBs: strong start-of-run transient.
+        let cold_start = match info.kind() {
+            EventKind::Cache | EventKind::Frontend => 3.0 + 1.5 * unit(8),
+            EventKind::Tlb => 2.0 + 2.0 * unit(8),
+            _ => 1.0,
+        };
+        // Memory and cache events ride the workload's phase structure
+        // (map/shuffle waves, request bursts); front-end throughput
+        // events are steadier.
+        let phase_amplitude = match info.kind() {
+            EventKind::Memory | EventKind::Cache => 0.45 + 0.45 * unit(40),
+            EventKind::Tlb => 0.15 + 0.25 * unit(40),
+            _ => 0.1 * unit(40),
+        };
+        ProcessParams {
+            mu: info.base_scale() * (0.5 + unit(24)),
+            cv,
+            rho,
+            burstiness,
+            burst_prob,
+            family: info.family(),
+            cold_start,
+            phase_amplitude,
+            phase_period: 32.0 + 96.0 * unit(44),
+            phase_offset: 2.0 * std::f64::consts::PI * unit(52),
+        }
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Evolving state of one event's process during a run.
+#[derive(Debug, Clone)]
+pub(crate) struct ProcessState {
+    params: ProcessParams,
+    ar: f64,
+}
+
+impl ProcessState {
+    pub fn new(params: ProcessParams) -> Self {
+        ProcessState { params, ar: 0.0 }
+    }
+
+    /// Advances one interval; returns `(z, count)`.
+    ///
+    /// `t` is the interval index and `n` the total interval count of the
+    /// run (for phase effects).
+    pub fn step<R: Rng + ?Sized>(&mut self, t: usize, n: usize, rng: &mut R) -> (f64, f64) {
+        let p = &self.params;
+        let eps = match p.family {
+            TailFamily::Gaussian => gaussian(rng),
+            // Centred Gumbel: right-skewed innovations with mean 0 and
+            // roughly unit variance.
+            TailFamily::LongTail => (gumbel_std(rng) - 0.5772) / 1.2825,
+        };
+        self.ar = p.rho * self.ar + (1.0 - p.rho * p.rho).sqrt() * eps;
+        let mut z = self.ar;
+        if rng.gen::<f64>() < p.burst_prob {
+            z += 1.8 + 2.2 * rng.gen::<f64>();
+        }
+        // Periodic workload phase (shuffle/request waves).
+        if p.phase_amplitude > 0.0 {
+            z += p.phase_amplitude
+                * (2.0 * std::f64::consts::PI * t as f64 / p.phase_period + p.phase_offset).sin();
+        }
+        // Cold-start transient over the first 5 % of the run, decaying
+        // geometrically.
+        if p.cold_start > 1.0 {
+            let horizon = (n / 20).max(1);
+            if t < horizon {
+                let decay = 1.0 - t as f64 / horizon as f64;
+                z += (p.cold_start - 1.0) * decay;
+            }
+        }
+        let count = p.mu * (1.0 + p.cv * z).max(0.0);
+        (z, count)
+    }
+}
+
+/// Splits an interval's activity across `s` subslices, returning weights
+/// summing to 1.
+///
+/// Calm intervals spread activity near-uniformly (mild jitter), so
+/// time-based extrapolation is only mildly wrong — matching the paper's
+/// moderate baseline MLPX error. *Burst* intervals (`z` well above the
+/// process mean) concentrate activity: a burst may land entirely in one
+/// subslice, which produces a gross over-estimate when that slice is
+/// observed (Fig. 2(a)'s outliers) and an exact zero when it is not
+/// (Fig. 2(b)'s missing values).
+pub(crate) fn subslice_weights<R: Rng + ?Sized>(
+    s: usize,
+    burstiness: f64,
+    z: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    debug_assert!(s > 0);
+    let mut w: Vec<f64> = (0..s).map(|_| 1.0 + 0.25 * rng.gen::<f64>()).collect();
+    if z > 1.35 {
+        let gamma = (burstiness * (z - 1.35) / 2.5).clamp(0.0, 0.95);
+        let hot = rng.gen_range(0..s);
+        if rng.gen::<f64>() < 0.5 * gamma {
+            // The whole burst lands in one subslice.
+            w.fill(0.0);
+            w[hot] = 1.0;
+            return w;
+        }
+        // Partial concentration: a mild gamma-fraction rides the hot
+        // slice (gross concentrations were handled above).
+        let gamma = 0.3 * gamma;
+        let total: f64 = w.iter().sum();
+        for x in &mut w {
+            *x *= (1.0 - gamma) / total;
+        }
+        w[hot] += gamma;
+        return w;
+    }
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; one value per call keeps the state simple.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn gumbel_std<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    -(-u.ln()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_events::{abbrev, EventCatalog};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn catalog() -> EventCatalog {
+        EventCatalog::haswell()
+    }
+
+    #[test]
+    fn params_are_deterministic_per_salt() {
+        let c = catalog();
+        let info = c.by_abbrev(abbrev::ISF).unwrap();
+        let a = ProcessParams::derive(info, 1);
+        let b = ProcessParams::derive(info, 1);
+        assert_eq!(a.mu, b.mu);
+        assert_eq!(a.burstiness, b.burstiness);
+        let other = ProcessParams::derive(info, 2);
+        assert_ne!(a.mu, other.mu);
+    }
+
+    #[test]
+    fn long_tail_events_are_burstier() {
+        let c = catalog();
+        let gaussian_b = ProcessParams::derive(c.by_abbrev(abbrev::BRB).unwrap(), 0).burstiness;
+        let longtail_b = ProcessParams::derive(c.by_abbrev(abbrev::MSL).unwrap(), 0).burstiness;
+        assert!(longtail_b > gaussian_b);
+    }
+
+    #[test]
+    fn cache_events_have_cold_start() {
+        let c = catalog();
+        let icm = ProcessParams::derive(c.by_abbrev(abbrev::ICM).unwrap(), 0);
+        assert!(icm.cold_start > 2.0);
+        let brb = ProcessParams::derive(c.by_abbrev(abbrev::BRB).unwrap(), 0);
+        assert_eq!(brb.cold_start, 1.0);
+    }
+
+    #[test]
+    fn cold_start_raises_early_counts() {
+        let c = catalog();
+        let params = ProcessParams::derive(c.by_abbrev(abbrev::ICM).unwrap(), 3);
+        let mut early_sum = 0.0;
+        let mut late_sum = 0.0;
+        for seed in 0..20 {
+            let mut state = ProcessState::new(params);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 200;
+            for t in 0..n {
+                let (_, count) = state.step(t, n, &mut rng);
+                if t < 5 {
+                    early_sum += count;
+                } else if t >= n - 5 {
+                    late_sum += count;
+                }
+            }
+        }
+        assert!(
+            early_sum > 1.5 * late_sum,
+            "early {early_sum} vs late {late_sum}"
+        );
+    }
+
+    #[test]
+    fn memory_events_carry_a_periodic_phase() {
+        let c = catalog();
+        let msl = ProcessParams::derive(c.by_abbrev(abbrev::MSL).unwrap(), 0);
+        assert!(msl.phase_amplitude > 0.2);
+        assert!(msl.phase_period >= 32.0);
+        // Autocorrelation at the phase period should be visible: the
+        // series has structure a pure AR(1) would not.
+        let mut state = ProcessState::new(msl);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 2048;
+        let zs: Vec<f64> = (0..n).map(|t| state.step(t, n, &mut rng).0).collect();
+        let lag = msl.phase_period.round() as usize;
+        let acf = cm_stats::descriptive::autocorrelation(&zs, lag).unwrap();
+        let rho_phase = acf[lag];
+        // AR(1) with rho ~0.6 would decay to ~0.6^lag ~ 0: a clearly
+        // positive value at the full period indicates the wave.
+        assert!(rho_phase > 0.03, "lag-{lag} autocorrelation {rho_phase}");
+    }
+
+    #[test]
+    fn counts_are_nonnegative() {
+        let c = catalog();
+        for info in c.iter().take(30) {
+            let mut state = ProcessState::new(ProcessParams::derive(info, 9));
+            let mut rng = StdRng::seed_from_u64(1);
+            for t in 0..300 {
+                let (_, count) = state.step(t, 300, &mut rng);
+                assert!(count >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn subslice_weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(s, b, z) in &[(1usize, 0.0, 0.0), (12, 0.5, 0.0), (12, 0.9, 4.0)] {
+            let w = subslice_weights(s, b, z, &mut rng);
+            assert_eq!(w.len(), s);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn high_burstiness_concentrates_weight() {
+        // Averaged over draws: bursty intervals put far more weight in
+        // their hottest slice than calm ones.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mean_max = |burstiness: f64, z: f64| {
+            let mut rng2 = StdRng::seed_from_u64(rng.gen());
+            (0..200)
+                .map(|_| {
+                    subslice_weights(10, burstiness, z, &mut rng2)
+                        .into_iter()
+                        .fold(0.0, f64::max)
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        let flat = mean_max(0.0, 0.0);
+        let spiky = mean_max(0.9, 4.0);
+        assert!(spiky > 3.0 * flat, "spiky {spiky} vs flat {flat}");
+    }
+
+    #[test]
+    fn ar_process_is_autocorrelated() {
+        let c = catalog();
+        let params = ProcessParams::derive(c.by_abbrev(abbrev::BRB).unwrap(), 0);
+        let mut state = ProcessState::new(params);
+        let mut rng = StdRng::seed_from_u64(11);
+        let zs: Vec<f64> = (0..4000).map(|t| state.step(t, 4000, &mut rng).0).collect();
+        let rho_hat = cm_stats::descriptive::autocorrelation(&zs, 1).unwrap()[1];
+        assert!(rho_hat > 0.3, "lag-1 autocorrelation {rho_hat}");
+    }
+}

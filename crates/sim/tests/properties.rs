@@ -1,0 +1,89 @@
+//! Property-based tests for the workload/PMU simulator: determinism,
+//! conservation, and measurement sanity over arbitrary seeds.
+
+use cm_events::EventCatalog;
+use cm_sim::{Benchmark, ColocatedWorkload, PmuConfig, Workload, ALL_BENCHMARKS};
+use proptest::prelude::*;
+
+fn catalog() -> EventCatalog {
+    EventCatalog::haswell()
+}
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    (0usize..ALL_BENCHMARKS.len()).prop_map(|i| ALL_BENCHMARKS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_runs_are_deterministic(b in any_benchmark(), seed in 0u64..1000, run in 0u32..4) {
+        let c = catalog();
+        let w = Workload::new(b, &c);
+        let x = w.generate_run(run, seed);
+        let y = w.generate_run(run, seed);
+        prop_assert_eq!(x.intervals, y.intervals);
+        prop_assert_eq!(x.ipc, y.ipc);
+        prop_assert_eq!(&x.counts[0], &y.counts[0]);
+    }
+
+    #[test]
+    fn true_counts_are_finite_and_nonnegative(b in any_benchmark(), seed in 0u64..200) {
+        let c = catalog();
+        let w = Workload::new(b, &c);
+        let run = w.generate_run(0, seed);
+        for series in run.counts.iter().take(40) {
+            for &v in series {
+                prop_assert!(v.is_finite());
+                prop_assert!(v >= 0.0);
+            }
+        }
+        prop_assert!(run.ipc.iter().all(|&v| v > 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn ocoe_measurement_stays_close_to_truth(b in any_benchmark(), seed in 0u64..100) {
+        let c = catalog();
+        let w = Workload::new(b, &c);
+        let events = w.top_event_ids(&c, 6);
+        let run = PmuConfig::default().simulate_ocoe(&w, &events, 0, seed);
+        for (event, measured) in run.record.iter() {
+            let truth = &run.true_counts[&event];
+            for (m, t) in measured.iter().zip(truth.iter()) {
+                if t > 1.0 {
+                    prop_assert!((m - t).abs() / t < 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mlpx_measurement_is_deterministic(seed in 0u64..100) {
+        let c = catalog();
+        let w = Workload::new(Benchmark::Join, &c);
+        let events = w.top_event_ids(&c, 12);
+        let pmu = PmuConfig::default();
+        let a = pmu.simulate_mlpx(&w, &events, 0, seed);
+        let b = pmu.simulate_mlpx(&w, &events, 0, seed);
+        for (event, series) in a.record.iter() {
+            prop_assert_eq!(series, b.record.series(event).unwrap());
+        }
+    }
+
+    #[test]
+    fn colocated_counts_dominate_each_member(seed in 0u64..50) {
+        let c = catalog();
+        let pair = ColocatedWorkload::new(Benchmark::DataCaching, Benchmark::WebSearch, &c);
+        let merged = pair.generate_run(0, seed);
+        let solo = Workload::new(Benchmark::DataCaching, &c).generate_run(0, seed);
+        let n = merged.intervals.min(solo.intervals);
+        for e in (0..c.len()).step_by(23) {
+            for t in 0..n {
+                prop_assert!(
+                    merged.counts[e][t] >= solo.counts[e][t] - 1e-9,
+                    "event {e} interval {t}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+use rand::Rng;
+
+/// A continuous univariate probability distribution.
+///
+/// All four distributions in this crate ([`Normal`], [`Gev`], [`Gumbel`],
+/// [`Logistic`]) implement this trait; the Anderson–Darling test and the
+/// workload simulator are generic over it.
+///
+/// Sampling uses inverse-transform via [`Distribution::quantile`], so
+/// implementors only need an accurate quantile function.
+///
+/// [`Normal`]: crate::Normal
+/// [`Gev`]: crate::Gev
+/// [`Gumbel`]: crate::Gumbel
+/// [`Logistic`]: crate::Logistic
+pub trait Distribution {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile (inverse CDF) at probability `p` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `p` is outside `(0, 1)`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+
+    /// Draws one sample using inverse-transform sampling.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64
+    where
+        Self: Sized,
+    {
+        // gen() yields [0, 1); nudge away from 0 where quantiles diverge.
+        let u: f64 = rng.gen::<f64>().max(1e-16);
+        self.quantile(u.min(1.0 - 1e-16))
+    }
+}

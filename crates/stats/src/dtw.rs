@@ -1,0 +1,181 @@
+//! Dynamic time warping (DTW) distance between numeric series.
+//!
+//! The paper measures the error of multiplexed counter series with DTW
+//! (Eqs. 1–4) because different runs of the same program produce series
+//! of *different lengths* — pointwise distances (Euclidean, Manhattan)
+//! do not apply. DTW warps the time axes of both series to find the
+//! alignment minimizing accumulated pointwise cost.
+//!
+//! Two variants are provided: [`distance`] (exact, `O(n·m)` time with
+//! `O(min(n,m))` memory) and [`distance_banded`] (Sakoe–Chiba band,
+//! faster for long, roughly aligned series).
+
+/// Exact DTW distance with absolute-difference local cost.
+///
+/// Returns `f64::INFINITY` if exactly one input is empty, and `0.0` when
+/// both are empty.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::dtw::distance;
+///
+/// // A time-shifted copy aligns perfectly.
+/// let a = [0.0, 1.0, 2.0, 1.0, 0.0];
+/// let b = [0.0, 0.0, 1.0, 2.0, 1.0, 0.0];
+/// assert_eq!(distance(&a, &b), 0.0);
+/// ```
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    // Keep the shorter series in the inner dimension to minimize memory.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let m = inner.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for &x in outer {
+        curr[0] = f64::INFINITY;
+        for j in 1..=m {
+            let cost = (x - inner[j - 1]).abs();
+            curr[j] = cost + prev[j].min(curr[j - 1]).min(prev[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// DTW distance constrained to a Sakoe–Chiba band of half-width `radius`
+/// around the (length-normalized) diagonal.
+///
+/// With a radius of at least `|a.len() - b.len()|` plus the true
+/// alignment spread, this equals [`distance`]; smaller radii trade
+/// accuracy for speed. The band is automatically widened to at least the
+/// length difference so a path always exists.
+///
+/// Returns `f64::INFINITY` if exactly one input is empty.
+pub fn distance_banded(a: &[f64], b: &[f64], radius: usize) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let n = a.len();
+    let m = b.len();
+    let radius = radius.max(n.abs_diff(m));
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        // Project row i onto the diagonal of the (possibly rectangular)
+        // grid and take the band around it.
+        let center = i * m / n;
+        let lo = center.saturating_sub(radius).max(1);
+        let hi = (center + radius).min(m);
+        curr.fill(f64::INFINITY);
+        // The DP origin prev[0] = 0 is only reachable diagonally from
+        // (1, 1); curr[0] stays infinite so later rows cannot skip
+        // matching earlier samples.
+        for j in lo..=hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Normalized DTW distance: [`distance`] divided by the warping-path
+/// upper-bound length `a.len() + b.len()`, giving a per-step cost that is
+/// comparable across series lengths.
+pub fn normalized_distance(a: &[f64], b: &[f64]) -> f64 {
+    let d = distance(a, b);
+    if a.is_empty() && b.is_empty() {
+        0.0
+    } else {
+        d / (a.len() + b.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(distance(&[], &[]), 0.0);
+        assert_eq!(distance(&[1.0], &[]), f64::INFINITY);
+        assert_eq!(distance_banded(&[], &[1.0], 3), f64::INFINITY);
+        assert_eq!(normalized_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn warping_absorbs_time_stretch() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let stretched = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        assert_eq!(distance(&a, &stretched), 0.0);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // Classic hand-computable case.
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 2.0, 3.0, 4.0];
+        // Alignment: 1-2 (1), 2-2 (0), 2-2 (0), 3-3 (0), 3-4 (1) = 2.
+        assert_eq!(distance(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let b = [2.0, 4.0, 4.0, 7.0];
+        assert_eq!(distance(&a, &b), distance(&b, &a));
+    }
+
+    #[test]
+    fn banded_with_large_radius_equals_exact() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.25).sin() + 0.1).collect();
+        let exact = distance(&a, &b);
+        let banded = distance_banded(&a, &b, 60);
+        assert!((exact - banded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banded_is_upper_bound_of_exact() {
+        let a: Vec<f64> = (0..80).map(|i| ((i * 7919) % 13) as f64).collect();
+        let b: Vec<f64> = (0..70).map(|i| ((i * 104729) % 17) as f64).collect();
+        let exact = distance(&a, &b);
+        for radius in [5, 10, 20, 40] {
+            let banded = distance_banded(&a, &b, radius);
+            assert!(
+                banded >= exact - 1e-9,
+                "radius {radius}: banded {banded} < exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_distance_scales_down() {
+        let a = [0.0; 10];
+        let b = [1.0; 10];
+        assert!((distance(&a, &b) - 10.0).abs() < 1e-12);
+        assert!((normalized_distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element_series() {
+        assert_eq!(distance(&[3.0], &[5.0]), 2.0);
+        assert_eq!(distance(&[3.0], &[5.0, 4.0]), 3.0);
+    }
+}

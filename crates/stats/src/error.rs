@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// An input slice was empty where at least one value is required.
+    EmptyInput,
+    /// Two paired inputs had different lengths.
+    MismatchedLengths {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A distribution or algorithm parameter was out of range.
+    InvalidParameter(&'static str),
+    /// A linear system was singular (e.g. collinear regressors).
+    SingularSystem,
+    /// Not enough data points for the requested computation.
+    NotEnoughData {
+        /// Points required.
+        required: usize,
+        /// Points available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => f.write_str("input slice was empty"),
+            StatsError::MismatchedLengths { left, right } => {
+                write!(
+                    f,
+                    "paired inputs have different lengths ({left} vs {right})"
+                )
+            }
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::SingularSystem => f.write_str("linear system is singular"),
+            StatsError::NotEnoughData {
+                required,
+                available,
+            } => write!(f, "need at least {required} data points, got {available}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            StatsError::EmptyInput.to_string(),
+            StatsError::MismatchedLengths { left: 1, right: 2 }.to_string(),
+            StatsError::InvalidParameter("sigma must be positive").to_string(),
+            StatsError::SingularSystem.to_string(),
+            StatsError::NotEnoughData {
+                required: 4,
+                available: 1,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<StatsError>();
+    }
+}

@@ -1,0 +1,292 @@
+use crate::distribution::Distribution;
+use crate::gumbel::{Gumbel, EULER_GAMMA};
+use crate::special::gamma;
+use crate::StatsError;
+
+/// Generalized extreme value (GEV) distribution.
+///
+/// Parameterized by location `mu`, scale `sigma > 0`, and shape `xi`
+/// (`xi > 0` gives a heavy right tail — the Fréchet domain the paper
+/// found to best fit 129 of the 229 events; `xi = 0` is Gumbel;
+/// `xi < 0` is reversed Weibull with a bounded upper tail).
+///
+/// Fitting uses L-moments (Hosking's estimator), which is robust on the
+/// small, dirty samples the cleaner deals with.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::{Distribution, Gev};
+///
+/// let g = Gev::new(0.0, 1.0, 0.2)?;
+/// for p in [0.1, 0.5, 0.9] {
+///     assert!((g.cdf(g.quantile(p)) - p).abs() < 1e-10);
+/// }
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gev {
+    mu: f64,
+    sigma: f64,
+    xi: f64,
+}
+
+/// Shapes with `|xi|` below this are treated as the Gumbel limit.
+const XI_EPS: f64 = 1e-6;
+
+impl Gev {
+    /// Creates a GEV distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `sigma > 0` and
+    /// all parameters are finite.
+    pub fn new(mu: f64, sigma: f64, xi: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() || !sigma.is_finite() || !xi.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "gev requires finite parameters and sigma > 0",
+            ));
+        }
+        Ok(Gev { mu, sigma, xi })
+    }
+
+    /// Fits a GEV by the method of L-moments (Hosking 1990).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for fewer than four values
+    /// and [`StatsError::InvalidParameter`] for constant data.
+    pub fn fit(data: &[f64]) -> Result<Self, StatsError> {
+        if data.len() < 4 {
+            return Err(StatsError::NotEnoughData {
+                required: 4,
+                available: data.len(),
+            });
+        }
+        let mut x = data.to_vec();
+        x.sort_by(f64::total_cmp);
+        let n = x.len() as f64;
+
+        // Probability-weighted moments b0, b1, b2.
+        let b0: f64 = x.iter().sum::<f64>() / n;
+        let mut b1 = 0.0;
+        let mut b2 = 0.0;
+        for (i, &xi_val) in x.iter().enumerate() {
+            let i = i as f64;
+            b1 += i / (n - 1.0) * xi_val;
+            if n > 2.0 {
+                b2 += i * (i - 1.0) / ((n - 1.0) * (n - 2.0)) * xi_val;
+            }
+        }
+        b1 /= n;
+        b2 /= n;
+
+        let l1 = b0;
+        let l2 = 2.0 * b1 - b0;
+        let l3 = 6.0 * b2 - 6.0 * b1 + b0;
+        if l2 <= 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "gev fit requires non-constant data",
+            ));
+        }
+        let t3 = l3 / l2;
+
+        // Hosking's approximation; k is the GEV shape in the k = -xi
+        // convention.
+        let c = 2.0 / (3.0 + t3) - std::f64::consts::LN_2 / 3f64.ln();
+        let k = 7.8590 * c + 2.9554 * c * c;
+
+        if k.abs() < XI_EPS {
+            let g = Gumbel::fit(data)?;
+            return Gev::new(g.mu(), g.beta(), 0.0);
+        }
+        let gk = gamma(1.0 + k);
+        let sigma = l2 * k / ((1.0 - 2f64.powf(-k)) * gk);
+        let mu = l1 - sigma * (1.0 - gk) / k;
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "gev fit produced a non-positive scale",
+            ));
+        }
+        Gev::new(mu, sigma, -k)
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Shape parameter (`xi > 0` means heavy right tail).
+    pub fn xi(&self) -> f64 {
+        self.xi
+    }
+
+    fn z(&self, x: f64) -> f64 {
+        (x - self.mu) / self.sigma
+    }
+}
+
+impl Distribution for Gev {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = self.z(x);
+        if self.xi.abs() < XI_EPS {
+            return ((-z - (-z).exp()).exp()) / self.sigma;
+        }
+        let s = 1.0 + self.xi * z;
+        if s <= 0.0 {
+            return 0.0;
+        }
+        let t = s.powf(-1.0 / self.xi);
+        t.powf(self.xi + 1.0) * (-t).exp() / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = self.z(x);
+        if self.xi.abs() < XI_EPS {
+            return (-(-z).exp()).exp();
+        }
+        let s = 1.0 + self.xi * z;
+        if s <= 0.0 {
+            // Outside the support: below the lower bound for xi > 0,
+            // above the upper bound for xi < 0.
+            return if self.xi > 0.0 { 0.0 } else { 1.0 };
+        }
+        (-s.powf(-1.0 / self.xi)).exp()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+        if self.xi.abs() < XI_EPS {
+            self.mu - self.sigma * (-p.ln()).ln()
+        } else {
+            self.mu + self.sigma * ((-p.ln()).powf(-self.xi) - 1.0) / self.xi
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.xi.abs() < XI_EPS {
+            self.mu + self.sigma * EULER_GAMMA
+        } else if self.xi < 1.0 {
+            self.mu + self.sigma * (gamma(1.0 - self.xi) - 1.0) / self.xi
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.xi.abs() < XI_EPS {
+            let pi = std::f64::consts::PI;
+            pi * pi * self.sigma * self.sigma / 6.0
+        } else if self.xi < 0.5 {
+            let g1 = gamma(1.0 - self.xi);
+            let g2 = gamma(1.0 - 2.0 * self.xi);
+            self.sigma * self.sigma * (g2 - g1 * g1) / (self.xi * self.xi)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gev::new(0.0, 0.0, 0.1).is_err());
+        assert!(Gev::new(0.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_shape_matches_gumbel() {
+        let gev = Gev::new(1.0, 2.0, 0.0).unwrap();
+        let gum = Gumbel::new(1.0, 2.0).unwrap();
+        for x in [-3.0, 0.0, 1.0, 4.0, 10.0] {
+            assert!((gev.cdf(x) - gum.cdf(x)).abs() < 1e-12);
+            assert!((gev.pdf(x) - gum.pdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_for_all_shapes() {
+        for xi in [-0.3, 0.0, 0.2, 0.5] {
+            let g = Gev::new(3.0, 1.5, xi).unwrap();
+            for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+                let x = g.quantile(p);
+                assert!((g.cdf(x) - p).abs() < 1e-9, "xi = {xi}, p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn support_bounds_respected() {
+        // xi > 0: lower bound at mu - sigma/xi.
+        let g = Gev::new(0.0, 1.0, 0.5).unwrap();
+        assert_eq!(g.cdf(-2.5), 0.0);
+        assert_eq!(g.pdf(-2.5), 0.0);
+        // xi < 0: upper bound at mu - sigma/xi.
+        let g = Gev::new(0.0, 1.0, -0.5).unwrap();
+        assert_eq!(g.cdf(2.5), 1.0);
+        assert_eq!(g.pdf(2.5), 0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_heavy_tail() {
+        let g = Gev::new(0.0, 1.0, 0.2).unwrap();
+        let (lo, hi, steps) = (-4.9, 400.0, 400_000);
+        let h = (hi - lo) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| g.pdf(lo + (i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let truth = Gev::new(5.0, 2.0, 0.15).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let data: Vec<f64> = (0..40_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = Gev::fit(&data).unwrap();
+        assert!((fitted.mu() - 5.0).abs() < 0.15, "mu = {}", fitted.mu());
+        assert!(
+            (fitted.sigma() - 2.0).abs() < 0.15,
+            "sigma = {}",
+            fitted.sigma()
+        );
+        assert!((fitted.xi() - 0.15).abs() < 0.05, "xi = {}", fitted.xi());
+    }
+
+    #[test]
+    fn fit_rejects_tiny_or_constant_data() {
+        assert!(Gev::fit(&[1.0, 2.0, 3.0]).is_err());
+        assert!(Gev::fit(&[2.0, 2.0, 2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mean_matches_sample_mean() {
+        let g = Gev::new(1.0, 1.0, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<f64> = (0..60_000).map(|_| g.sample(&mut rng)).collect();
+        let sample_mean = data.iter().sum::<f64>() / data.len() as f64;
+        assert!(
+            (Distribution::mean(&g) - sample_mean).abs() < 0.05,
+            "analytic = {}, sample = {sample_mean}",
+            Distribution::mean(&g)
+        );
+    }
+
+    #[test]
+    fn heavy_shape_has_infinite_moments() {
+        let g = Gev::new(0.0, 1.0, 1.2).unwrap();
+        assert!(Distribution::mean(&g).is_infinite());
+        let g = Gev::new(0.0, 1.0, 0.7).unwrap();
+        assert!(g.variance().is_infinite());
+    }
+}

@@ -1,0 +1,162 @@
+use crate::descriptive;
+use crate::distribution::Distribution;
+use crate::StatsError;
+
+/// Euler–Mascheroni constant.
+pub(crate) const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Gumbel (type-I extreme value) distribution.
+///
+/// The GEV family degenerates to Gumbel when its shape parameter is zero;
+/// the paper lists Gumbel among the long-tail candidates it tested with
+/// Anderson–Darling before settling on GEV.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::{Distribution, Gumbel};
+///
+/// let g = Gumbel::new(0.0, 1.0)?;
+/// // Mode of the standard Gumbel is at 0 with CDF exp(-1).
+/// assert!((g.cdf(0.0) - (-1.0f64).exp()).abs() < 1e-12);
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    mu: f64,
+    beta: f64,
+}
+
+impl Gumbel {
+    /// Creates a Gumbel distribution with location `mu` and scale `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `beta > 0` and
+    /// both parameters are finite.
+    pub fn new(mu: f64, beta: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() || !beta.is_finite() || beta <= 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "gumbel requires finite mu and beta > 0",
+            ));
+        }
+        Ok(Gumbel { mu, beta })
+    }
+
+    /// Fits by the method of moments: `beta = s·sqrt(6)/pi`,
+    /// `mu = mean - beta·gamma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for fewer than two values or zero-variance data.
+    pub fn fit(data: &[f64]) -> Result<Self, StatsError> {
+        if data.len() < 2 {
+            return Err(StatsError::NotEnoughData {
+                required: 2,
+                available: data.len(),
+            });
+        }
+        let m = descriptive::mean(data)?;
+        let sd = descriptive::std_dev(data)?;
+        let beta = sd * 6.0f64.sqrt() / std::f64::consts::PI;
+        Gumbel::new(m - beta * EULER_GAMMA, beta)
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Distribution for Gumbel {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.beta;
+        ((-z - (-z).exp()).exp()) / self.beta
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.beta;
+        (-(-z).exp()).exp()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+        self.mu - self.beta * (-p.ln()).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu + self.beta * EULER_GAMMA
+    }
+
+    fn variance(&self) -> f64 {
+        let pi = std::f64::consts::PI;
+        pi * pi * self.beta * self.beta / 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gumbel::new(0.0, 0.0).is_err());
+        assert!(Gumbel::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gumbel::new(2.0, 0.5).unwrap();
+        for p in [0.01, 0.2, 0.5, 0.8, 0.99] {
+            assert!((g.cdf(g.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gumbel::new(0.0, 1.0).unwrap();
+        let (lo, hi, steps) = (-5.0, 20.0, 40_000);
+        let h = (hi - lo) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| g.pdf(lo + (i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let truth = Gumbel::new(10.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<f64> = (0..30_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = Gumbel::fit(&data).unwrap();
+        assert!((fitted.mu() - 10.0).abs() < 0.1, "mu = {}", fitted.mu());
+        assert!(
+            (fitted.beta() - 2.0).abs() < 0.1,
+            "beta = {}",
+            fitted.beta()
+        );
+    }
+
+    #[test]
+    fn moments_match_formulas() {
+        let g = Gumbel::new(1.0, 3.0).unwrap();
+        assert!((Distribution::mean(&g) - (1.0 + 3.0 * EULER_GAMMA)).abs() < 1e-12);
+        let pi = std::f64::consts::PI;
+        assert!((g.variance() - pi * pi * 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_tail_is_heavier_than_left() {
+        let g = Gumbel::new(0.0, 1.0).unwrap();
+        // P(X > mean + 3) should exceed P(X < mean - 3).
+        let m = Distribution::mean(&g);
+        assert!(1.0 - g.cdf(m + 3.0) > g.cdf(m - 3.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! K-nearest-neighbor regression.
+//!
+//! The paper fills missing (non-zero-category) counter values with KNN
+//! regression: a missing sample is replaced by the average of its `k`
+//! nearest neighbors along the time axis (k = 5 after trying 3..8,
+//! Section III-B.2). [`KnnRegressor`] is the general 1-D regressor;
+//! [`impute_series`] is the convenience entry point the data cleaner uses.
+
+use crate::StatsError;
+
+/// 1-D K-nearest-neighbor regressor.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::knn::KnnRegressor;
+///
+/// let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+/// let ys = [0.0, 2.0, 4.0, 6.0, 8.0];
+/// let knn = KnnRegressor::fit(&xs, &ys, 2)?;
+/// // Nearest two neighbors of x = 2.2 are x = 2 and x = 3.
+/// assert_eq!(knn.predict(2.2), 5.0);
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    points: Vec<(f64, f64)>,
+    k: usize,
+}
+
+impl KnnRegressor {
+    /// Builds a regressor over training points `(xs[i], ys[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `k == 0`, when the inputs are empty or of
+    /// different lengths, or when there are fewer than `k` points.
+    pub fn fit(xs: &[f64], ys: &[f64], k: usize) -> Result<Self, StatsError> {
+        if k == 0 {
+            return Err(StatsError::InvalidParameter("k must be at least 1"));
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::MismatchedLengths {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        if xs.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if xs.len() < k {
+            return Err(StatsError::NotEnoughData {
+                required: k,
+                available: xs.len(),
+            });
+        }
+        let mut points: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Ok(KnnRegressor { points, k })
+    }
+
+    /// Number of neighbors used per prediction.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Predicts the value at `x` as the mean of the `k` nearest training
+    /// points (by absolute distance along x).
+    pub fn predict(&self, x: f64) -> f64 {
+        // Points are sorted by x: locate the insertion point and expand
+        // outward, which is O(log n + k).
+        let n = self.points.len();
+        let start = self.points.partition_point(|&(px, _)| px < x);
+        let mut left = start;
+        let mut right = start; // right is exclusive of chosen region start
+        let mut sum = 0.0;
+        for _ in 0..self.k {
+            let take_left = match (left > 0, right < n) {
+                (true, true) => {
+                    (x - self.points[left - 1].0).abs() <= (self.points[right].0 - x).abs()
+                }
+                (true, false) => true,
+                (false, true) => false,
+                (false, false) => unreachable!("k <= n is enforced at fit time"),
+            };
+            if take_left {
+                left -= 1;
+                sum += self.points[left].1;
+            } else {
+                sum += self.points[right].1;
+                right += 1;
+            }
+        }
+        sum / self.k as f64
+    }
+}
+
+/// Fills the `missing` positions of `values` by KNN over the non-missing
+/// positions, using sample index as the x coordinate (the cleaner's
+/// configuration; the paper's Eq. 8 example).
+///
+/// Positions listed in `missing` take no part in neighbor search, so a
+/// run of consecutive missing values is filled from the valid samples
+/// around the run.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] when fewer than `k` valid
+/// samples exist, and [`StatsError::InvalidParameter`] for `k == 0` or
+/// an out-of-range missing index.
+pub fn impute_series(values: &mut [f64], missing: &[usize], k: usize) -> Result<(), StatsError> {
+    if missing.is_empty() {
+        return Ok(());
+    }
+    if missing.iter().any(|&i| i >= values.len()) {
+        return Err(StatsError::InvalidParameter("missing index out of range"));
+    }
+    let missing_set: std::collections::HashSet<usize> = missing.iter().copied().collect();
+    let mut xs = Vec::with_capacity(values.len() - missing_set.len());
+    let mut ys = Vec::with_capacity(xs.capacity());
+    for (i, &v) in values.iter().enumerate() {
+        if !missing_set.contains(&i) {
+            xs.push(i as f64);
+            ys.push(v);
+        }
+    }
+    let knn = KnnRegressor::fit(&xs, &ys, k)?;
+    for &i in missing {
+        values[i] = knn.predict(i as f64);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_validates_inputs() {
+        assert!(KnnRegressor::fit(&[], &[], 1).is_err());
+        assert!(KnnRegressor::fit(&[1.0], &[1.0, 2.0], 1).is_err());
+        assert!(KnnRegressor::fit(&[1.0, 2.0], &[1.0, 2.0], 0).is_err());
+        assert!(KnnRegressor::fit(&[1.0, 2.0], &[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn k_equals_one_returns_nearest() {
+        let knn = KnnRegressor::fit(&[0.0, 10.0], &[5.0, 50.0], 1).unwrap();
+        assert_eq!(knn.predict(1.0), 5.0);
+        assert_eq!(knn.predict(9.0), 50.0);
+    }
+
+    #[test]
+    fn k_equals_n_returns_global_mean() {
+        let knn = KnnRegressor::fit(&[0.0, 1.0, 2.0], &[3.0, 6.0, 9.0], 3).unwrap();
+        assert_eq!(knn.predict(-100.0), 6.0);
+        assert_eq!(knn.predict(100.0), 6.0);
+    }
+
+    #[test]
+    fn prediction_at_edges_uses_available_side() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 1.0, 2.0, 3.0];
+        let knn = KnnRegressor::fit(&xs, &ys, 2).unwrap();
+        assert_eq!(knn.predict(-5.0), 0.5); // two leftmost
+        assert_eq!(knn.predict(9.0), 2.5); // two rightmost
+    }
+
+    #[test]
+    fn impute_fills_interior_gap() {
+        let mut v = vec![1.0, 2.0, 0.0, 4.0, 5.0, 6.0];
+        impute_series(&mut v, &[2], 2).unwrap();
+        // Neighbors of index 2 among valid xs {0,1,3,4,5}: 1 and 3.
+        assert_eq!(v[2], 3.0);
+    }
+
+    #[test]
+    fn impute_fills_leading_run() {
+        // Cold-start shape from Fig. 2(b): leading missing values.
+        let mut v = vec![0.0, 0.0, 0.0, 10.0, 12.0, 11.0, 13.0, 12.0];
+        impute_series(&mut v, &[0, 1, 2], 5).unwrap();
+        for i in 0..3 {
+            assert!(v[i] > 9.0, "position {i} still near zero: {}", v[i]);
+        }
+    }
+
+    #[test]
+    fn impute_validates() {
+        let mut v = vec![1.0, 2.0];
+        assert!(impute_series(&mut v, &[5], 1).is_err());
+        let mut v = vec![1.0, 0.0];
+        assert!(impute_series(&mut v, &[1], 2).is_err()); // only 1 valid
+        let mut v = vec![1.0, 2.0, 3.0];
+        assert!(impute_series(&mut v, &[], 0).is_ok()); // nothing to do
+    }
+
+    #[test]
+    fn impute_ignores_missing_neighbors() {
+        // The two zeros are adjacent; each must be filled from valid
+        // samples only, never from the other zero.
+        let mut v = vec![8.0, 8.0, 0.0, 0.0, 8.0, 8.0];
+        impute_series(&mut v, &[2, 3], 4).unwrap();
+        assert_eq!(v[2], 8.0);
+        assert_eq!(v[3], 8.0);
+    }
+}

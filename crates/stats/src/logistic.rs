@@ -1,0 +1,138 @@
+use crate::descriptive;
+use crate::distribution::Distribution;
+use crate::StatsError;
+
+/// Logistic distribution — one of the long-tail candidates the paper
+/// tested (and rejected in favour of GEV) when classifying event value
+/// distributions.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::{Distribution, Logistic};
+///
+/// let l = Logistic::new(0.0, 1.0)?;
+/// assert!((l.cdf(0.0) - 0.5).abs() < 1e-12);
+/// assert!((l.quantile(0.75) - 3f64.ln()).abs() < 1e-12);
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Logistic {
+    mu: f64,
+    s: f64,
+}
+
+impl Logistic {
+    /// Creates a logistic distribution with location `mu` and scale `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `s > 0` and both
+    /// parameters are finite.
+    pub fn new(mu: f64, s: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() || !s.is_finite() || s <= 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "logistic requires finite mu and s > 0",
+            ));
+        }
+        Ok(Logistic { mu, s })
+    }
+
+    /// Fits by the method of moments: `s = std·sqrt(3)/pi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for fewer than two values or zero-variance data.
+    pub fn fit(data: &[f64]) -> Result<Self, StatsError> {
+        if data.len() < 2 {
+            return Err(StatsError::NotEnoughData {
+                required: 2,
+                available: data.len(),
+            });
+        }
+        let m = descriptive::mean(data)?;
+        let sd = descriptive::std_dev(data)?;
+        Logistic::new(m, sd * 3f64.sqrt() / std::f64::consts::PI)
+    }
+
+    /// Location parameter (mean and median).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+}
+
+impl Distribution for Logistic {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = ((x - self.mu) / self.s).exp();
+        z / (self.s * (1.0 + z) * (1.0 + z))
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        1.0 / (1.0 + (-(x - self.mu) / self.s).exp())
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+        self.mu + self.s * (p / (1.0 - p)).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        let pi = std::f64::consts::PI;
+        self.s * self.s * pi * pi / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Logistic::new(0.0, 0.0).is_err());
+        assert!(Logistic::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let l = Logistic::new(-1.0, 0.4).unwrap();
+        for p in [0.05, 0.3, 0.5, 0.9, 0.999] {
+            assert!((l.cdf(l.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pdf_is_symmetric_around_mu() {
+        let l = Logistic::new(2.0, 1.3).unwrap();
+        for d in [0.1, 1.0, 3.0] {
+            assert!((l.pdf(2.0 + d) - l.pdf(2.0 - d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let truth = Logistic::new(7.0, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<f64> = (0..30_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = Logistic::fit(&data).unwrap();
+        assert!((fitted.mu() - 7.0).abs() < 0.1);
+        assert!((fitted.s() - 1.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn variance_formula() {
+        let l = Logistic::new(0.0, 2.0).unwrap();
+        let pi = std::f64::consts::PI;
+        assert!((l.variance() - 4.0 * pi * pi / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+use crate::descriptive;
+use crate::distribution::Distribution;
+use crate::special::erf;
+use crate::StatsError;
+
+/// Normal (Gaussian) distribution.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::{Distribution, Normal};
+///
+/// let n = Normal::new(10.0, 2.0)?;
+/// assert!((n.cdf(10.0) - 0.5).abs() < 1e-6);
+/// assert!((n.quantile(0.975) - 13.92).abs() < 0.01);
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard
+    /// deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `sigma > 0` and
+    /// both parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "normal requires finite mu and sigma > 0",
+            ));
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// The standard normal, `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Fits a normal distribution to data by maximum likelihood
+    /// (sample mean and population standard deviation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for fewer than two values or zero-variance data.
+    pub fn fit(data: &[f64]) -> Result<Self, StatsError> {
+        if data.len() < 2 {
+            return Err(StatsError::NotEnoughData {
+                required: 2,
+                available: data.len(),
+            });
+        }
+        let mu = descriptive::mean(data)?;
+        let sigma = descriptive::std_dev(data)?;
+        Normal::new(mu, sigma)
+    }
+
+    /// Location parameter (mean).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter (standard deviation).
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+        self.mu + self.sigma * standard_normal_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Acklam's rational approximation to the standard normal quantile
+/// (relative error below 1.15e-9 over the full range).
+fn standard_normal_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn standard_cdf_values() {
+        let n = Normal::standard();
+        assert!((n.cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((n.cdf(1.959964) - 0.975).abs() < 1e-5);
+        assert!((n.cdf(-1.959964) - 0.025).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(5.0, 3.0).unwrap();
+        for p in [0.001, 0.05, 0.3, 0.5, 0.7, 0.95, 0.999] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let n = Normal::new(-2.0, 0.7).unwrap();
+        let (lo, hi, steps) = (-9.0, 5.0, 20_000);
+        let h = (hi - lo) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| n.pdf(lo + (i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let truth = Normal::new(100.0, 15.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<f64> = (0..20_000).map(|_| truth.sample(&mut rng)).collect();
+        let fitted = Normal::fit(&data).unwrap();
+        assert!((fitted.mu() - 100.0).abs() < 0.5);
+        assert!((fitted.sigma() - 15.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_data() {
+        assert!(Normal::fit(&[1.0]).is_err());
+        assert!(Normal::fit(&[2.0, 2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        assert_eq!(Distribution::mean(&n), 3.0);
+        assert_eq!(n.variance(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires")]
+    fn quantile_out_of_range_panics() {
+        Normal::standard().quantile(1.0);
+    }
+}

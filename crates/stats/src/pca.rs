@@ -1,0 +1,281 @@
+//! Principal component analysis, power-iteration flavour.
+//!
+//! The paper's related work (Section VI-A; Ahn & Vetter's "scalable
+//! analysis techniques") extracts important features from counter data
+//! with PCA. CounterMiner argues PCA tells you *which* events matter
+//! only implicitly — a principal component is a mixture — and cannot
+//! quantify per-event importance with respect to performance. This
+//! module implements that baseline so the claim can be measured (see
+//! the `baseline_pca` experiment).
+//!
+//! Deterministic power iteration with deflation; adequate for the
+//! leading handful of components of standardized counter matrices.
+
+use crate::StatsError;
+
+/// Result of a PCA decomposition.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    components: Vec<Vec<f64>>,
+    explained_variance: Vec<f64>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits the leading `k` principal components of `rows` (observations
+    /// × features). Columns are centred internally (not rescaled — pass
+    /// standardized data for correlation-matrix PCA).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty matrix, ragged rows, `k` of zero,
+    /// or `k` exceeding the feature count.
+    pub fn fit(rows: &[Vec<f64>], k: usize) -> Result<Self, StatsError> {
+        if rows.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(StatsError::InvalidParameter(
+                "feature rows have inconsistent lengths",
+            ));
+        }
+        if k == 0 || k > width {
+            return Err(StatsError::InvalidParameter(
+                "component count must be in 1..=n_features",
+            ));
+        }
+        let n = rows.len() as f64;
+
+        // Centre.
+        let mut mean = vec![0.0; width];
+        for row in rows {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut centred: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+            .collect();
+
+        let total_variance = centred
+            .iter()
+            .flat_map(|r| r.iter().map(|&v| v * v))
+            .sum::<f64>()
+            / n;
+
+        let mut components = Vec::with_capacity(k);
+        let mut explained_variance = Vec::with_capacity(k);
+        for comp_idx in 0..k {
+            let (component, variance) = power_iteration(&centred, width, comp_idx);
+            if variance <= 1e-12 {
+                break; // remaining variance exhausted
+            }
+            // Deflate: remove the component's projection from the data.
+            for row in &mut centred {
+                let score: f64 = row.iter().zip(&component).map(|(&v, &c)| v * c).sum();
+                for (v, &c) in row.iter_mut().zip(&component) {
+                    *v -= score * c;
+                }
+            }
+            components.push(component);
+            explained_variance.push(variance / n);
+        }
+        if components.is_empty() {
+            return Err(StatsError::InvalidParameter(
+                "matrix has no variance to decompose",
+            ));
+        }
+        Ok(Pca {
+            components,
+            explained_variance,
+            total_variance,
+        })
+    }
+
+    /// The principal components (unit-norm loading vectors), strongest
+    /// first.
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+
+    /// Variance explained by each component.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total variance explained by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        self.explained_variance
+            .iter()
+            .map(|&v| v / self.total_variance.max(1e-300))
+            .collect()
+    }
+
+    /// A per-feature importance proxy: the sum over components of
+    /// `|loading| · explained-variance-ratio`. This is the natural way
+    /// to turn PCA output into an event ranking — and the baseline the
+    /// paper argues is weaker than model-based importance, because it
+    /// ranks events by *data variance*, not by *relevance to
+    /// performance*.
+    pub fn loading_importance(&self) -> Vec<f64> {
+        let ratios = self.explained_variance_ratio();
+        let width = self.components[0].len();
+        let mut scores = vec![0.0; width];
+        for (component, &ratio) in self.components.iter().zip(&ratios) {
+            for (s, &l) in scores.iter_mut().zip(component) {
+                *s += l.abs() * ratio;
+            }
+        }
+        let total: f64 = scores.iter().sum();
+        if total > 0.0 {
+            for s in &mut scores {
+                *s *= 100.0 / total;
+            }
+        }
+        scores
+    }
+}
+
+/// Leading eigenvector of the (implicit) covariance matrix via power
+/// iteration. Returns `(unit vector, eigenvalue·n)`.
+fn power_iteration(centred: &[Vec<f64>], width: usize, salt: usize) -> (Vec<f64>, f64) {
+    // Deterministic, non-degenerate start vector.
+    let mut v: Vec<f64> = (0..width)
+        .map(|i| 1.0 + ((i * 31 + salt * 17) % 97) as f64 / 97.0)
+        .collect();
+    normalize(&mut v);
+    let mut eigenvalue = 0.0;
+    for _ in 0..300 {
+        // w = Cov · v  computed as  Xᵀ(X v).
+        let scores: Vec<f64> = centred
+            .iter()
+            .map(|row| row.iter().zip(&v).map(|(&x, &c)| x * c).sum())
+            .collect();
+        let mut w = vec![0.0; width];
+        for (row, &s) in centred.iter().zip(&scores) {
+            for (acc, &x) in w.iter_mut().zip(row) {
+                *acc += x * s;
+            }
+        }
+        let norm = normalize(&mut w);
+        let delta: f64 = w.iter().zip(&v).map(|(&a, &b)| (a - b).abs()).sum();
+        v = w;
+        eigenvalue = norm;
+        if delta < 1e-12 {
+            break;
+        }
+    }
+    (v, eigenvalue)
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Data stretched along a known direction in 3-D.
+    fn anisotropic(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let main: f64 = rng.gen_range(-10.0..10.0);
+                let minor: f64 = rng.gen_range(-1.0..1.0);
+                // Dominant direction (1, 1, 0)/sqrt(2).
+                vec![main + minor, main - minor, rng.gen_range(-0.5..0.5)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_dominant_direction() {
+        let data = anisotropic(500, 1);
+        let pca = Pca::fit(&data, 2).unwrap();
+        let c0 = &pca.components()[0];
+        let expected = 1.0 / 2f64.sqrt();
+        assert!((c0[0].abs() - expected).abs() < 0.05, "c0 = {c0:?}");
+        assert!((c0[1].abs() - expected).abs() < 0.05);
+        assert!(c0[2].abs() < 0.1);
+        // Leading component dominates the variance.
+        let ratios = pca.explained_variance_ratio();
+        assert!(ratios[0] > 0.9, "ratios {ratios:?}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = anisotropic(300, 2);
+        let pca = Pca::fit(&data, 3).unwrap();
+        for (i, a) in pca.components().iter().enumerate() {
+            let norm: f64 = a.iter().map(|&x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-6, "component {i} not unit");
+            for b in &pca.components()[i + 1..] {
+                let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+                assert!(dot.abs() < 1e-3, "components not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_descends_and_sums_below_total() {
+        let data = anisotropic(300, 3);
+        let pca = Pca::fit(&data, 3).unwrap();
+        let ev = pca.explained_variance();
+        for pair in ev.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9);
+        }
+        let ratios = pca.explained_variance_ratio();
+        let sum: f64 = ratios.iter().sum();
+        assert!(sum <= 1.0 + 1e-6);
+        assert!(sum > 0.95); // 3 of 3 components = all variance
+    }
+
+    #[test]
+    fn loading_importance_tracks_variance_not_relevance() {
+        // The high-variance feature wins regardless of any target —
+        // exactly the weakness the paper points out.
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(-100.0..100.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let imp = pca.loading_importance();
+        assert!(imp[0] > imp[1]);
+        assert!((imp.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(Pca::fit(&[], 1).is_err());
+        assert!(Pca::fit(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
+        assert!(Pca::fit(&[vec![1.0, 2.0]], 0).is_err());
+        assert!(Pca::fit(&[vec![1.0, 2.0]], 3).is_err());
+        // Constant data has no variance.
+        let constant = vec![vec![5.0, 5.0]; 10];
+        assert!(Pca::fit(&constant, 1).is_err());
+    }
+
+    #[test]
+    fn requesting_more_components_than_rank_truncates() {
+        // Rank-1 data: only one component is returned.
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 2.0 * i as f64, -i as f64])
+            .collect();
+        let pca = Pca::fit(&data, 3).unwrap();
+        assert_eq!(pca.components().len(), 1);
+    }
+}

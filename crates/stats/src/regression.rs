@@ -1,0 +1,347 @@
+//! Ordinary least squares regression.
+//!
+//! The interaction ranker (Section III-D) fits a linear model per pair of
+//! important events and uses the residual variance as the interaction
+//! intensity. [`MultipleLinear`] solves the general `y ~ X` problem via
+//! normal equations with partial-pivot Gaussian elimination;
+//! [`SimpleLinear`] is the one-regressor fast path.
+
+use crate::StatsError;
+
+/// Simple linear regression `y = intercept + slope·x`.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::regression::SimpleLinear;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// let ys = [3.0, 5.0, 7.0, 9.0];
+/// let fit = SimpleLinear::fit(&xs, &ys)?;
+/// assert!((fit.slope() - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept() - 1.0).abs() < 1e-12);
+/// assert!((fit.predict(5.0) - 11.0).abs() < 1e-12);
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleLinear {
+    intercept: f64,
+    slope: f64,
+}
+
+impl SimpleLinear {
+    /// Fits by least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched lengths, fewer than two points,
+    /// or constant `x`.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, StatsError> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::MismatchedLengths {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::NotEnoughData {
+                required: 2,
+                available: xs.len(),
+            });
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|&x| (x - mx) * (x - mx)).sum();
+        if sxx == 0.0 {
+            return Err(StatsError::SingularSystem);
+        }
+        let sxy: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+        let slope = sxy / sxx;
+        Ok(SimpleLinear {
+            intercept: my - slope * mx,
+            slope,
+        })
+    }
+
+    /// Fitted slope.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Multiple linear regression `y = b0 + b1·x1 + … + bp·xp`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipleLinear {
+    /// `coefficients[0]` is the intercept; `coefficients[1..]` pair with
+    /// the feature columns.
+    coefficients: Vec<f64>,
+}
+
+impl MultipleLinear {
+    /// Fits by least squares over rows `x[i]` (each of equal length) and
+    /// targets `y[i]`, solving the normal equations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inconsistent shapes, fewer rows than
+    /// `p + 1`, or a singular design (e.g. perfectly collinear columns).
+    pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<Self, StatsError> {
+        if x.len() != y.len() {
+            return Err(StatsError::MismatchedLengths {
+                left: x.len(),
+                right: y.len(),
+            });
+        }
+        if x.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let p = x[0].len();
+        if x.iter().any(|row| row.len() != p) {
+            return Err(StatsError::InvalidParameter(
+                "feature rows have inconsistent lengths",
+            ));
+        }
+        let dims = p + 1; // + intercept
+        if x.len() < dims {
+            return Err(StatsError::NotEnoughData {
+                required: dims,
+                available: x.len(),
+            });
+        }
+
+        // Build X'X (dims x dims) and X'y with an implicit leading 1s
+        // column for the intercept.
+        let mut xtx = vec![vec![0.0; dims]; dims];
+        let mut xty = vec![0.0; dims];
+        for (row, &target) in x.iter().zip(y) {
+            let aug = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+            for (i, (xty_i, xtx_i)) in xty.iter_mut().zip(xtx.iter_mut()).enumerate() {
+                *xty_i += aug(i) * target;
+                for (j, xtx_ij) in xtx_i.iter_mut().enumerate().skip(i) {
+                    *xtx_ij += aug(i) * aug(j);
+                }
+            }
+        }
+        // Mirror the upper triangle. Indexed loops are the clear way to
+        // address (i, j) and (j, i) across two rows at once.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..dims {
+            for j in 0..i {
+                xtx[i][j] = xtx[j][i];
+            }
+        }
+
+        let coefficients = solve(xtx, xty)?;
+        Ok(MultipleLinear { coefficients })
+    }
+
+    /// Fitted coefficients: intercept first, then one per feature.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Predicts `y` for a feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() + 1 != coefficients().len()`.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(
+            row.len() + 1,
+            self.coefficients.len(),
+            "feature row length does not match the fitted model"
+        );
+        self.coefficients[0]
+            + row
+                .iter()
+                .zip(&self.coefficients[1..])
+                .map(|(&x, &b)| x * b)
+                .sum::<f64>()
+    }
+
+    /// Sum of squared residuals over a dataset.
+    ///
+    /// This is the paper's interaction intensity `v` (Eq. 12): the
+    /// residual variance of the pairwise linear model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::MismatchedLengths`] when `x` and `y`
+    /// lengths differ.
+    pub fn residual_sum_of_squares(&self, x: &[Vec<f64>], y: &[f64]) -> Result<f64, StatsError> {
+        if x.len() != y.len() {
+            return Err(StatsError::MismatchedLengths {
+                left: x.len(),
+                right: y.len(),
+            });
+        }
+        Ok(x.iter()
+            .zip(y)
+            .map(|(row, &target)| {
+                let r = self.predict(row) - target;
+                r * r
+            })
+            .sum())
+    }
+
+    /// Coefficient of determination R² over a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for mismatched lengths or empty/constant `y`.
+    pub fn r_squared(&self, x: &[Vec<f64>], y: &[f64]) -> Result<f64, StatsError> {
+        let rss = self.residual_sum_of_squares(x, y)?;
+        let my = crate::descriptive::mean(y)?;
+        let tss: f64 = y.iter().map(|&v| (v - my) * (v - my)).sum();
+        if tss == 0.0 {
+            return Err(StatsError::InvalidParameter(
+                "r-squared undefined for constant targets",
+            ));
+        }
+        Ok(1.0 - rss / tss)
+    }
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, StatsError> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty pivot range");
+        if a[pivot][col].abs() < 1e-10 {
+            return Err(StatsError::SingularSystem);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            // Row operation reads a[col] while writing a[row]; indexed
+            // access keeps the two-row borrow simple.
+            #[allow(clippy::needless_range_loop)]
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in row + 1..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_exact_line() {
+        let fit = SimpleLinear::fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+        assert!((fit.slope() - 2.0).abs() < 1e-12);
+        assert!((fit.intercept() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_rejects_degenerate() {
+        assert!(SimpleLinear::fit(&[1.0], &[1.0]).is_err());
+        assert!(SimpleLinear::fit(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(SimpleLinear::fit(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn simple_minimizes_squared_error() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let fit = SimpleLinear::fit(&xs, &ys).unwrap();
+        let rss: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| (fit.predict(x) - y).powi(2))
+            .sum();
+        // Perturbing the slope must not reduce RSS.
+        for eps in [-0.01, 0.01] {
+            let perturbed: f64 = xs
+                .iter()
+                .zip(&ys)
+                .map(|(&x, &y)| (fit.intercept() + (fit.slope() + eps) * x - y).powi(2))
+                .sum();
+            assert!(perturbed >= rss);
+        }
+    }
+
+    #[test]
+    fn multiple_exact_plane() {
+        // y = 1 + 2a - 3b
+        let x: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 1.0],
+            vec![1.0, 2.0],
+        ];
+        let y: Vec<f64> = x.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let fit = MultipleLinear::fit(&x, &y).unwrap();
+        let c = fit.coefficients();
+        assert!((c[0] - 1.0).abs() < 1e-9);
+        assert!((c[1] - 2.0).abs() < 1e-9);
+        assert!((c[2] + 3.0).abs() < 1e-9);
+        assert!(fit.residual_sum_of_squares(&x, &y).unwrap() < 1e-12);
+        assert!((fit.r_squared(&x, &y).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_detects_collinearity() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(MultipleLinear::fit(&x, &y), Err(StatsError::SingularSystem));
+    }
+
+    #[test]
+    fn multiple_validates_shapes() {
+        assert!(MultipleLinear::fit(&[], &[]).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(MultipleLinear::fit(&ragged, &[1.0, 2.0]).is_err());
+        let x = vec![vec![1.0, 2.0]];
+        assert!(MultipleLinear::fit(&x, &[1.0]).is_err()); // too few rows
+    }
+
+    #[test]
+    fn residuals_capture_nonlinearity() {
+        // y = x^2 cannot be captured linearly: RSS must be clearly
+        // positive — this is exactly how the interaction ranker detects
+        // interacting event pairs.
+        let x: Vec<Vec<f64>> = (-5..=5).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let fit = MultipleLinear::fit(&x, &y).unwrap();
+        assert!(fit.residual_sum_of_squares(&x, &y).unwrap() > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature row length")]
+    fn predict_with_wrong_arity_panics() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![0.0, 1.0, 2.0];
+        let fit = MultipleLinear::fit(&x, &y).unwrap();
+        fit.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the statistical substrate.
+
+use cm_stats::{descriptive, dtw, knn, regression, Distribution, Gev, Gumbel, Logistic, Normal};
+use proptest::prelude::*;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6f64, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dtw_identity_is_zero(a in finite_series(64)) {
+        prop_assert!(dtw::distance(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_is_symmetric(a in finite_series(48), b in finite_series(48)) {
+        let ab = dtw::distance(&a, &b);
+        let ba = dtw::distance(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dtw_is_nonnegative(a in finite_series(48), b in finite_series(48)) {
+        prop_assert!(dtw::distance(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn dtw_ignores_duplicated_samples(a in finite_series(32)) {
+        // Warping absorbs repetition: duplicating every sample costs 0.
+        let doubled: Vec<f64> = a.iter().flat_map(|&v| [v, v]).collect();
+        prop_assert!(dtw::distance(&a, &doubled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banded_dtw_upper_bounds_exact(
+        a in finite_series(40),
+        b in finite_series(40),
+        radius in 1usize..16,
+    ) {
+        let exact = dtw::distance(&a, &b);
+        let banded = dtw::distance_banded(&a, &b, radius);
+        prop_assert!(banded >= exact - 1e-9 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn mean_lies_between_min_and_max(data in finite_series(64)) {
+        let mean = descriptive::mean(&data).unwrap();
+        let min = descriptive::min(&data).unwrap();
+        let max = descriptive::max(&data).unwrap();
+        prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(data in finite_series(64), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = descriptive::quantile(&data, lo).unwrap();
+        let b = descriptive::quantile(&data, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn fraction_within_is_monotone_in_threshold(
+        data in finite_series(64),
+        t1 in -1.0e6..1.0e6f64,
+        t2 in -1.0e6..1.0e6f64,
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let a = descriptive::fraction_within(&data, lo).unwrap();
+        let b = descriptive::fraction_within(&data, hi).unwrap();
+        prop_assert!(a <= b);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(
+        mu in -100.0..100.0f64,
+        sigma in 0.1..50.0f64,
+        p in 0.001..0.999f64,
+    ) {
+        let d = Normal::new(mu, sigma).unwrap();
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gumbel_quantile_inverts_cdf(
+        mu in -100.0..100.0f64,
+        beta in 0.1..50.0f64,
+        p in 0.001..0.999f64,
+    ) {
+        let d = Gumbel::new(mu, beta).unwrap();
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logistic_quantile_inverts_cdf(
+        mu in -100.0..100.0f64,
+        s in 0.1..50.0f64,
+        p in 0.001..0.999f64,
+    ) {
+        let d = Logistic::new(mu, s).unwrap();
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gev_quantile_inverts_cdf(
+        mu in -10.0..10.0f64,
+        sigma in 0.1..10.0f64,
+        xi in -0.45..0.45f64,
+        p in 0.001..0.999f64,
+    ) {
+        let d = Gev::new(mu, sigma, xi).unwrap();
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cdfs_are_monotone(
+        mu in -10.0..10.0f64,
+        sigma in 0.1..10.0f64,
+        x1 in -100.0..100.0f64,
+        x2 in -100.0..100.0f64,
+    ) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn knn_prediction_within_target_range(
+        ys in prop::collection::vec(-1.0e3..1.0e3f64, 3..32),
+        query in -100.0..100.0f64,
+        k in 1usize..4,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let model = knn::KnnRegressor::fit(&xs, &ys, k).unwrap();
+        let pred = model.predict(query);
+        let min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(pred >= min - 1e-9 && pred <= max + 1e-9);
+    }
+
+    #[test]
+    fn simple_regression_recovers_exact_lines(
+        slope in -100.0..100.0f64,
+        intercept in -100.0..100.0f64,
+        n in 3usize..32,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let fit = regression::SimpleLinear::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope() - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept() - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn impute_preserves_valid_samples(
+        mut values in prop::collection::vec(0.5..1.0e3f64, 8..48),
+        gap in 0usize..8,
+    ) {
+        let gap = gap.min(values.len() - 6);
+        let missing: Vec<usize> = (0..gap).collect();
+        for &i in &missing {
+            values[i] = 0.0;
+        }
+        let original = values.clone();
+        knn::impute_series(&mut values, &missing, 5).unwrap();
+        // Non-missing positions unchanged; missing ones within range.
+        let vmin = original.iter().skip(gap).fold(f64::INFINITY, |a, &b| a.min(b));
+        let vmax = original.iter().skip(gap).fold(0.0f64, |a, &b| a.max(b));
+        for (i, (&now, &before)) in values.iter().zip(&original).enumerate() {
+            if missing.contains(&i) {
+                prop_assert!(now >= vmin - 1e-9 && now <= vmax + 1e-9);
+            } else {
+                prop_assert_eq!(now, before);
+            }
+        }
+    }
+}

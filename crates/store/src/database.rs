@@ -1,0 +1,291 @@
+use crate::StoreError;
+use cm_events::{EventId, RunRecord, SampleMode, TimeSeries};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Key identifying one second-level table (one run of one program in one
+/// measurement mode).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunKey {
+    /// Program name.
+    pub program: String,
+    /// 0-based run index.
+    pub run_index: u32,
+    /// Measurement mode of the run.
+    pub mode: SampleMode,
+}
+
+impl RunKey {
+    /// Creates a run key.
+    pub fn new(program: impl Into<String>, run_index: u32, mode: SampleMode) -> Self {
+        RunKey {
+            program: program.into(),
+            run_index,
+            mode,
+        }
+    }
+
+    /// The second-level table name this key maps to, mirroring the
+    /// paper's "names of the second-level tables" column.
+    pub fn table_name(&self) -> String {
+        format!("{}__{}__run{}", self.program, self.mode, self.run_index)
+    }
+}
+
+/// First-level summary of everything stored for one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSummary {
+    /// Program name.
+    pub program: String,
+    /// Number of stored runs (all modes).
+    pub run_count: usize,
+    /// Execution time of each run, in key order.
+    pub exec_times_secs: Vec<f64>,
+    /// Union of events measured across runs.
+    pub events: Vec<EventId>,
+    /// Second-level table names, in key order.
+    pub table_names: Vec<String>,
+}
+
+/// The embedded two-level performance-data store.
+///
+/// See the [crate docs](crate) for the schema. All queries are by-value
+/// cheap: records are only cloned on insertion and load.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    runs: BTreeMap<RunKey, RunRecord>,
+}
+
+impl Database {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one run, keyed by `(program, run_index, mode)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::DuplicateRun`] if the key is already present.
+    pub fn insert_run(&mut self, run: RunRecord) -> Result<RunKey, StoreError> {
+        let key = RunKey::new(run.program(), run.run_index(), run.mode());
+        if self.runs.contains_key(&key) {
+            return Err(StoreError::DuplicateRun {
+                program: key.program,
+                run_index: key.run_index,
+            });
+        }
+        self.runs.insert(key.clone(), run);
+        Ok(key)
+    }
+
+    /// Number of stored runs across all programs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Returns `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Fetches one run.
+    pub fn run(&self, program: &str, run_index: u32, mode: SampleMode) -> Option<&RunRecord> {
+        self.runs.get(&RunKey::new(program, run_index, mode))
+    }
+
+    /// All runs of a program (any mode), in key order.
+    pub fn runs_for(&self, program: &str) -> Vec<&RunRecord> {
+        self.runs
+            .iter()
+            .filter(|(k, _)| k.program == program)
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// All runs of a program in one mode, in run-index order.
+    pub fn runs_for_mode(&self, program: &str, mode: SampleMode) -> Vec<&RunRecord> {
+        self.runs
+            .iter()
+            .filter(|(k, _)| k.program == program && k.mode == mode)
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// One event's series from one run, if present.
+    pub fn series(
+        &self,
+        program: &str,
+        run_index: u32,
+        mode: SampleMode,
+        event: EventId,
+    ) -> Option<&TimeSeries> {
+        self.run(program, run_index, mode)?.series(event)
+    }
+
+    /// Distinct program names, sorted.
+    pub fn programs(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.runs.keys().map(|k| k.program.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    /// First-level summary for one program, or `None` if unknown.
+    pub fn summary(&self, program: &str) -> Option<ProgramSummary> {
+        let entries: Vec<(&RunKey, &RunRecord)> = self
+            .runs
+            .iter()
+            .filter(|(k, _)| k.program == program)
+            .collect();
+        if entries.is_empty() {
+            return None;
+        }
+        let mut events: Vec<EventId> = entries.iter().flat_map(|(_, r)| r.events()).collect();
+        events.sort();
+        events.dedup();
+        Some(ProgramSummary {
+            program: program.to_string(),
+            run_count: entries.len(),
+            exec_times_secs: entries.iter().map(|(_, r)| r.exec_time_secs()).collect(),
+            events,
+            table_names: entries.iter().map(|(k, _)| k.table_name()).collect(),
+        })
+    }
+
+    /// Iterates over all `(key, run)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RunKey, &RunRecord)> {
+        self.runs.iter()
+    }
+
+    /// Removes runs whose key fails the predicate, returning how many
+    /// were removed.
+    pub fn retain<F: FnMut(&RunKey) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.runs.len();
+        self.runs.retain(|k, _| keep(k));
+        before - self.runs.len()
+    }
+
+    /// Persists the store to a directory (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        crate::persist::save(self, dir)
+    }
+
+    /// Loads a store previously written by [`Database::save_to_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure or
+    /// [`StoreError::Parse`] for corrupt files.
+    pub fn load_from_dir(dir: &Path) -> Result<Self, StoreError> {
+        crate::persist::load(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run(program: &str, idx: u32, mode: SampleMode) -> RunRecord {
+        let mut run = RunRecord::new(program, idx, mode);
+        run.set_exec_time_secs(10.0 + idx as f64);
+        run.insert_series(
+            EventId::new(1),
+            TimeSeries::from_values(vec![1.0, 2.0, 3.0]),
+        );
+        run.insert_series(EventId::new(4), TimeSeries::from_values(vec![4.0]));
+        run
+    }
+
+    #[test]
+    fn insert_and_fetch() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.insert_run(sample_run("sort", 0, SampleMode::Ocoe))
+            .unwrap();
+        let run = db.run("sort", 0, SampleMode::Ocoe).unwrap();
+        assert_eq!(run.event_count(), 2);
+        assert!(db.run("sort", 0, SampleMode::Mlpx).is_none());
+        assert!(db.run("sort", 1, SampleMode::Ocoe).is_none());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut db = Database::new();
+        db.insert_run(sample_run("sort", 0, SampleMode::Ocoe))
+            .unwrap();
+        let err = db
+            .insert_run(sample_run("sort", 0, SampleMode::Ocoe))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateRun { .. }));
+        // Same index under a different mode is a different table.
+        assert!(db
+            .insert_run(sample_run("sort", 0, SampleMode::Mlpx))
+            .is_ok());
+    }
+
+    #[test]
+    fn mode_filtered_queries() {
+        let mut db = Database::new();
+        for i in 0..3 {
+            db.insert_run(sample_run("join", i, SampleMode::Ocoe))
+                .unwrap();
+        }
+        db.insert_run(sample_run("join", 0, SampleMode::Mlpx))
+            .unwrap();
+        assert_eq!(db.runs_for("join").len(), 4);
+        assert_eq!(db.runs_for_mode("join", SampleMode::Ocoe).len(), 3);
+        assert_eq!(db.runs_for_mode("join", SampleMode::Mlpx).len(), 1);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut db = Database::new();
+        db.insert_run(sample_run("scan", 0, SampleMode::Ocoe))
+            .unwrap();
+        let ts = db
+            .series("scan", 0, SampleMode::Ocoe, EventId::new(1))
+            .unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(db
+            .series("scan", 0, SampleMode::Ocoe, EventId::new(99))
+            .is_none());
+    }
+
+    #[test]
+    fn summary_aggregates_first_level_info() {
+        let mut db = Database::new();
+        db.insert_run(sample_run("kmeans", 0, SampleMode::Ocoe))
+            .unwrap();
+        db.insert_run(sample_run("kmeans", 1, SampleMode::Ocoe))
+            .unwrap();
+        let summary = db.summary("kmeans").unwrap();
+        assert_eq!(summary.run_count, 2);
+        assert_eq!(summary.exec_times_secs, vec![10.0, 11.0]);
+        assert_eq!(summary.events.len(), 2);
+        assert_eq!(summary.table_names.len(), 2);
+        assert!(summary.table_names[0].contains("kmeans"));
+        assert!(db.summary("unknown").is_none());
+    }
+
+    #[test]
+    fn programs_are_sorted_and_distinct() {
+        let mut db = Database::new();
+        db.insert_run(sample_run("b", 0, SampleMode::Ocoe)).unwrap();
+        db.insert_run(sample_run("a", 0, SampleMode::Ocoe)).unwrap();
+        db.insert_run(sample_run("a", 1, SampleMode::Ocoe)).unwrap();
+        assert_eq!(db.programs(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn table_name_is_unique_per_key() {
+        let a = RunKey::new("x", 0, SampleMode::Ocoe).table_name();
+        let b = RunKey::new("x", 0, SampleMode::Mlpx).table_name();
+        let c = RunKey::new("x", 1, SampleMode::Ocoe).table_name();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

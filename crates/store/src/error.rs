@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the performance-data store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A run with the same (program, run index, mode) key already exists.
+    DuplicateRun {
+        /// Program name of the rejected run.
+        program: String,
+        /// Run index of the rejected run.
+        run_index: u32,
+    },
+    /// Underlying filesystem failure during save/load.
+    Io(io::Error),
+    /// A persisted file did not parse.
+    Parse {
+        /// File the error occurred in.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateRun { program, run_index } => {
+                write!(f, "run {run_index} of program {program} already stored")
+            }
+            StoreError::Io(e) => write!(f, "storage i/o failed: {e}"),
+            StoreError::Parse { file, line, reason } => {
+                write!(f, "parse error in {file} line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::DuplicateRun {
+            program: "sort".into(),
+            run_index: 3,
+        };
+        assert!(e.to_string().contains("sort"));
+        assert!(e.to_string().contains('3'));
+
+        let e = StoreError::Parse {
+            file: "catalog.tsv".into(),
+            line: 7,
+            reason: "expected 5 fields".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<StoreError>();
+    }
+}

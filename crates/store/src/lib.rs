@@ -1,0 +1,44 @@
+//! Two-level performance-data store for CounterMiner.
+//!
+//! The paper stores collected counter time series in a DBMS (SQLite) with
+//! a **two-level table organization** (Section III-A):
+//!
+//! * the *first-level* table holds, per program: the program name, the
+//!   measured event names, the execution times of each run, and the names
+//!   of the second-level tables;
+//! * each *second-level* table holds the time series of every measured
+//!   event for one run of one program.
+//!
+//! This crate reproduces that organization as an embedded store with a
+//! plain-text persistence format, filling SQLite's role without an
+//! external dependency. Series lengths are allowed to differ between
+//! events and runs — the property that motivates the paper's use of
+//! dynamic time warping.
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_events::{EventId, RunRecord, SampleMode, TimeSeries};
+//! use cm_store::Database;
+//!
+//! let mut db = Database::new();
+//! let mut run = RunRecord::new("wordcount", 0, SampleMode::Ocoe);
+//! run.insert_series(EventId::new(3), TimeSeries::from_values(vec![1.0, 2.0]));
+//! db.insert_run(run)?;
+//!
+//! let fetched = db.run("wordcount", 0, SampleMode::Ocoe).unwrap();
+//! assert_eq!(fetched.event_count(), 1);
+//! # Ok::<(), cm_store::StoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod error;
+mod persist;
+mod query;
+
+pub use database::{Database, ProgramSummary, RunKey};
+pub use error::StoreError;
+pub use query::ExecTimeStats;

@@ -1,0 +1,250 @@
+//! Plain-text persistence for [`Database`].
+//!
+//! Layout mirrors the paper's two-level organization:
+//!
+//! * `catalog.tsv` — one line per run:
+//!   `program \t run_index \t mode \t exec_time_secs \t table_file`
+//! * `<table_file>.tsv` — one line per event:
+//!   `event_index \t v0,v1,v2,…`
+//!
+//! Program names may contain any character except tab and newline.
+
+use crate::{Database, StoreError};
+use cm_events::{EventId, RunRecord, SampleMode, TimeSeries};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+const CATALOG_FILE: &str = "catalog.tsv";
+
+pub(crate) fn save(db: &Database, dir: &Path) -> Result<(), StoreError> {
+    fs::create_dir_all(dir)?;
+    let mut catalog = String::new();
+    for (key, run) in db.iter() {
+        let table_file = format!("{}.tsv", key.table_name());
+        catalog.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            key.program,
+            key.run_index,
+            key.mode,
+            run.exec_time_secs(),
+            table_file
+        ));
+        let mut body = String::new();
+        for (event, series) in run.iter() {
+            let joined: Vec<String> = series.iter().map(|v| format!("{v}")).collect();
+            body.push_str(&format!("{}\t{}\n", event.index(), joined.join(",")));
+        }
+        write_atomic(&dir.join(&table_file), &body)?;
+    }
+    write_atomic(&dir.join(CATALOG_FILE), &catalog)?;
+    Ok(())
+}
+
+fn write_atomic(path: &Path, contents: &str) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+pub(crate) fn load(dir: &Path) -> Result<Database, StoreError> {
+    let catalog_path = dir.join(CATALOG_FILE);
+    let catalog = fs::read_to_string(&catalog_path)?;
+    let mut db = Database::new();
+    for (lineno, line) in catalog.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let parse_err = |reason: String| StoreError::Parse {
+            file: CATALOG_FILE.to_string(),
+            line: lineno + 1,
+            reason,
+        };
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 5 {
+            return Err(parse_err(format!(
+                "expected 5 tab-separated fields, got {}",
+                fields.len()
+            )));
+        }
+        let program = fields[0];
+        let run_index: u32 = fields[1]
+            .parse()
+            .map_err(|_| parse_err(format!("bad run index {:?}", fields[1])))?;
+        let mode = match fields[2] {
+            "OCOE" => SampleMode::Ocoe,
+            "MLPX" => SampleMode::Mlpx,
+            other => return Err(parse_err(format!("unknown mode {other:?}"))),
+        };
+        let exec_time: f64 = fields[3]
+            .parse()
+            .map_err(|_| parse_err(format!("bad exec time {:?}", fields[3])))?;
+        let table_file = fields[4];
+
+        let mut run = RunRecord::new(program, run_index, mode);
+        run.set_exec_time_secs(exec_time);
+        load_table(dir, table_file, &mut run)?;
+        db.insert_run(run)?;
+    }
+    Ok(db)
+}
+
+fn load_table(dir: &Path, table_file: &str, run: &mut RunRecord) -> Result<(), StoreError> {
+    let body = fs::read_to_string(dir.join(table_file))?;
+    for (lineno, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let parse_err = |reason: String| StoreError::Parse {
+            file: table_file.to_string(),
+            line: lineno + 1,
+            reason,
+        };
+        let (event_str, values_str) = line
+            .split_once('\t')
+            .ok_or_else(|| parse_err("missing tab separator".to_string()))?;
+        let event_index: usize = event_str
+            .parse()
+            .map_err(|_| parse_err(format!("bad event index {event_str:?}")))?;
+        let mut series = TimeSeries::new();
+        if !values_str.is_empty() {
+            for v in values_str.split(',') {
+                let value: f64 = v
+                    .parse()
+                    .map_err(|_| parse_err(format!("bad value {v:?}")))?;
+                series.push(value);
+            }
+        }
+        run.insert_series(EventId::new(event_index), series);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cm_store_test_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn populated_db() -> Database {
+        let mut db = Database::new();
+        for (program, idx, mode) in [
+            ("wordcount", 0, SampleMode::Ocoe),
+            ("wordcount", 1, SampleMode::Ocoe),
+            ("wordcount", 0, SampleMode::Mlpx),
+            ("pagerank", 0, SampleMode::Mlpx),
+        ] {
+            let mut run = RunRecord::new(program, idx, mode);
+            run.set_exec_time_secs(idx as f64 * 3.5 + 1.25);
+            run.insert_series(
+                EventId::new(0),
+                TimeSeries::from_values(vec![1.5, 0.0, -2.25e3]),
+            );
+            run.insert_series(
+                EventId::new(42),
+                TimeSeries::from_values(vec![7.0; idx as usize + 1]),
+            );
+            db.insert_run(run).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = temp_dir("roundtrip");
+        let db = populated_db();
+        db.save_to_dir(&dir).unwrap();
+        let loaded = Database::load_from_dir(&dir).unwrap();
+
+        assert_eq!(loaded.run_count(), db.run_count());
+        for (key, run) in db.iter() {
+            let got = loaded
+                .run(&key.program, key.run_index, key.mode)
+                .unwrap_or_else(|| panic!("missing run {key:?}"));
+            assert_eq!(got.exec_time_secs(), run.exec_time_secs());
+            assert_eq!(got.event_count(), run.event_count());
+            for (event, series) in run.iter() {
+                assert_eq!(got.series(event).unwrap(), series);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let dir = temp_dir("empty");
+        Database::new().save_to_dir(&dir).unwrap();
+        let loaded = Database::load_from_dir(&dir).unwrap();
+        assert!(loaded.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_series_roundtrips() {
+        let dir = temp_dir("empty_series");
+        let mut db = Database::new();
+        let mut run = RunRecord::new("p", 0, SampleMode::Ocoe);
+        run.insert_series(EventId::new(3), TimeSeries::new());
+        db.insert_run(run).unwrap();
+        db.save_to_dir(&dir).unwrap();
+        let loaded = Database::load_from_dir(&dir).unwrap();
+        let got = loaded.run("p", 0, SampleMode::Ocoe).unwrap();
+        assert!(got.series(EventId::new(3)).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_catalog_reports_line() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(CATALOG_FILE), "bad line without tabs\n").unwrap();
+        let err = Database::load_from_dir(&dir).unwrap_err();
+        match err {
+            StoreError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_table_values_rejected() {
+        let dir = temp_dir("corrupt_values");
+        let db = populated_db();
+        db.save_to_dir(&dir).unwrap();
+        // Damage one table file.
+        let table = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap() != CATALOG_FILE)
+            .unwrap();
+        fs::write(&table, "0\t1.0,not_a_number\n").unwrap();
+        let err = Database::load_from_dir(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::Parse { .. }));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        let err = Database::load_from_dir(Path::new("/nonexistent/cm_store")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn unknown_mode_rejected() {
+        let dir = temp_dir("badmode");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(CATALOG_FILE), "p\t0\tWEIRD\t1.0\tt.tsv\n").unwrap();
+        let err = Database::load_from_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("WEIRD"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

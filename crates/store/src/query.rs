@@ -1,0 +1,183 @@
+//! Analytical queries over the two-level store — the read patterns the
+//! CounterMiner pipeline and its tooling need beyond point lookups.
+
+use crate::Database;
+use cm_events::{EventId, SampleMode, TimeSeries};
+
+/// Min / mean / max execution time of a program's stored runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecTimeStats {
+    /// Fastest run, seconds.
+    pub min: f64,
+    /// Mean across runs, seconds.
+    pub mean: f64,
+    /// Slowest run, seconds.
+    pub max: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl Database {
+    /// Execution-time statistics for one program (any mode), or `None`
+    /// for an unknown program.
+    pub fn exec_time_stats(&self, program: &str) -> Option<ExecTimeStats> {
+        let times: Vec<f64> = self
+            .runs_for(program)
+            .iter()
+            .map(|r| r.exec_time_secs())
+            .collect();
+        if times.is_empty() {
+            return None;
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        Some(ExecTimeStats {
+            min,
+            mean,
+            max,
+            runs: times.len(),
+        })
+    }
+
+    /// Events measured in *every* stored run of a program in the given
+    /// mode (the usable feature set for cross-run datasets). Empty when
+    /// the program has no runs in that mode.
+    pub fn events_common_to_runs(&self, program: &str, mode: SampleMode) -> Vec<EventId> {
+        let runs = self.runs_for_mode(program, mode);
+        let Some(first) = runs.first() else {
+            return Vec::new();
+        };
+        first
+            .events()
+            .filter(|&e| runs.iter().all(|r| r.series(e).is_some()))
+            .collect()
+    }
+
+    /// All series of one event across a program's runs in one mode, in
+    /// run-index order. Runs that did not measure the event are skipped.
+    pub fn event_series_across_runs(
+        &self,
+        program: &str,
+        mode: SampleMode,
+        event: EventId,
+    ) -> Vec<&TimeSeries> {
+        self.runs_for_mode(program, mode)
+            .into_iter()
+            .filter_map(|r| r.series(event))
+            .collect()
+    }
+
+    /// Total sample values stored, across all runs and events.
+    pub fn total_samples(&self) -> usize {
+        self.iter()
+            .map(|(_, run)| run.iter().map(|(_, ts)| ts.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// `(OCOE runs, MLPX runs)` counts across the whole store.
+    pub fn mode_counts(&self) -> (usize, usize) {
+        let mut ocoe = 0;
+        let mut mlpx = 0;
+        for (key, _) in self.iter() {
+            match key.mode {
+                SampleMode::Ocoe => ocoe += 1,
+                SampleMode::Mlpx => mlpx += 1,
+            }
+        }
+        (ocoe, mlpx)
+    }
+
+    /// Removes every run of a program, returning how many were removed.
+    pub fn remove_program(&mut self, program: &str) -> usize {
+        self.retain(|key| key.program != program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_events::RunRecord;
+
+    fn run(program: &str, idx: u32, mode: SampleMode, secs: f64, events: &[usize]) -> RunRecord {
+        let mut r = RunRecord::new(program, idx, mode);
+        r.set_exec_time_secs(secs);
+        for &e in events {
+            r.insert_series(
+                EventId::new(e),
+                TimeSeries::from_values(vec![e as f64; 3 + idx as usize]),
+            );
+        }
+        r
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.insert_run(run("a", 0, SampleMode::Mlpx, 10.0, &[1, 2, 3]))
+            .unwrap();
+        db.insert_run(run("a", 1, SampleMode::Mlpx, 14.0, &[1, 2]))
+            .unwrap();
+        db.insert_run(run("a", 0, SampleMode::Ocoe, 12.0, &[1]))
+            .unwrap();
+        db.insert_run(run("b", 0, SampleMode::Mlpx, 50.0, &[7]))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn exec_time_stats_aggregate() {
+        let db = sample_db();
+        let stats = db.exec_time_stats("a").unwrap();
+        assert_eq!(stats.min, 10.0);
+        assert_eq!(stats.max, 14.0);
+        assert_eq!(stats.runs, 3);
+        assert!((stats.mean - 12.0).abs() < 1e-12);
+        assert!(db.exec_time_stats("zzz").is_none());
+    }
+
+    #[test]
+    fn common_events_intersect_runs() {
+        let db = sample_db();
+        let common: Vec<usize> = db
+            .events_common_to_runs("a", SampleMode::Mlpx)
+            .into_iter()
+            .map(|e| e.index())
+            .collect();
+        assert_eq!(common, vec![1, 2]); // event 3 missing from run 1
+        assert!(db
+            .events_common_to_runs("a", SampleMode::Ocoe)
+            .iter()
+            .map(|e| e.index())
+            .eq([1]));
+        assert!(db.events_common_to_runs("zzz", SampleMode::Mlpx).is_empty());
+    }
+
+    #[test]
+    fn series_across_runs_in_order() {
+        let db = sample_db();
+        let series = db.event_series_across_runs("a", SampleMode::Mlpx, EventId::new(1));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].len(), 3); // run 0
+        assert_eq!(series[1].len(), 4); // run 1
+                                        // Event 3 only exists in run 0.
+        let partial = db.event_series_across_runs("a", SampleMode::Mlpx, EventId::new(3));
+        assert_eq!(partial.len(), 1);
+    }
+
+    #[test]
+    fn totals_and_mode_counts() {
+        let db = sample_db();
+        // a/mlpx0: 3 events x 3; a/mlpx1: 2 x 4; a/ocoe0: 1 x 3; b: 1 x 3.
+        assert_eq!(db.total_samples(), 9 + 8 + 3 + 3);
+        assert_eq!(db.mode_counts(), (1, 3));
+    }
+
+    #[test]
+    fn remove_program_deletes_all_its_runs() {
+        let mut db = sample_db();
+        assert_eq!(db.remove_program("a"), 3);
+        assert_eq!(db.run_count(), 1);
+        assert_eq!(db.remove_program("a"), 0);
+        assert_eq!(db.programs(), vec!["b".to_string()]);
+    }
+}

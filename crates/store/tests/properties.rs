@@ -1,0 +1,69 @@
+//! Property-based tests for the two-level store: arbitrary finite data
+//! must survive a disk round trip exactly.
+
+use cm_events::{EventId, RunRecord, SampleMode, TimeSeries};
+use cm_store::Database;
+use proptest::prelude::*;
+
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            -1.0e12..1.0e12f64,
+            Just(0.0),
+            Just(-0.0),
+            1.0e-12..1.0e-6f64,
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn roundtrip_preserves_arbitrary_runs(
+        program in "[a-zA-Z][a-zA-Z0-9_+-]{0,16}",
+        exec_time in 0.0..1.0e6f64,
+        series_a in series_strategy(),
+        series_b in series_strategy(),
+        run_index in 0u32..8,
+        mlpx in any::<bool>(),
+    ) {
+        let mode = if mlpx { SampleMode::Mlpx } else { SampleMode::Ocoe };
+        let mut run = RunRecord::new(program.clone(), run_index, mode);
+        run.set_exec_time_secs(exec_time);
+        run.insert_series(EventId::new(0), TimeSeries::from_values(series_a));
+        run.insert_series(EventId::new(228), TimeSeries::from_values(series_b));
+
+        let mut db = Database::new();
+        db.insert_run(run).unwrap();
+
+        let dir = std::env::temp_dir().join(format!(
+            "cm_store_prop_{}_{run_index}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        db.save_to_dir(&dir).unwrap();
+        let loaded = Database::load_from_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let got = loaded.run(&program, run_index, mode).expect("run present");
+        prop_assert_eq!(got.exec_time_secs(), exec_time);
+        for event in [EventId::new(0), EventId::new(228)] {
+            let original = db.run(&program, run_index, mode).unwrap().series(event).unwrap();
+            prop_assert_eq!(got.series(event).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_always_rejected(
+        program in "[a-z]{1,8}",
+        run_index in 0u32..4,
+    ) {
+        let mut db = Database::new();
+        let run = RunRecord::new(program.clone(), run_index, SampleMode::Ocoe);
+        db.insert_run(run.clone()).unwrap();
+        prop_assert!(db.insert_run(run).is_err());
+        prop_assert_eq!(db.run_count(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Store integration: simulated runs survive a save/load round trip
+//! bit-for-bit, and the first-level summaries mirror what was collected.
+
+use cm_events::{EventId, SampleMode};
+use cm_sim::{Benchmark, PmuConfig, Workload};
+use cm_store::Database;
+use counterminer::collector;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("counterminer_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn simulated_runs_round_trip_through_disk() {
+    let catalog = cm_events::EventCatalog::haswell();
+    let pmu = PmuConfig::default();
+    let mut db = Database::new();
+
+    for benchmark in [Benchmark::Wordcount, Benchmark::WebServing] {
+        let workload = Workload::new(benchmark, &catalog);
+        let events = workload.top_event_ids(&catalog, 8);
+        let mlpx = collector::collect_runs(&workload, &events, SampleMode::Mlpx, 2, &pmu, 1);
+        let ocoe = collector::collect_runs(&workload, &events, SampleMode::Ocoe, 1, &pmu, 1);
+        collector::store_runs(&mut db, &mlpx).unwrap();
+        collector::store_runs(&mut db, &ocoe).unwrap();
+    }
+    assert_eq!(db.run_count(), 6);
+
+    let dir = temp_dir("roundtrip");
+    db.save_to_dir(&dir).unwrap();
+    let loaded = Database::load_from_dir(&dir).unwrap();
+    assert_eq!(loaded.run_count(), db.run_count());
+
+    for (key, run) in db.iter() {
+        let got = loaded
+            .run(&key.program, key.run_index, key.mode)
+            .unwrap_or_else(|| panic!("missing {key:?}"));
+        assert_eq!(got.exec_time_secs(), run.exec_time_secs());
+        for (event, series) in run.iter() {
+            assert_eq!(
+                got.series(event).unwrap(),
+                series,
+                "{key:?} event {event} series drifted"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn summaries_reflect_collected_runs() {
+    let catalog = cm_events::EventCatalog::haswell();
+    let pmu = PmuConfig::default();
+    let workload = Workload::new(Benchmark::Scan, &catalog);
+    let events = workload.top_event_ids(&catalog, 5);
+    let runs = collector::collect_runs(&workload, &events, SampleMode::Mlpx, 3, &pmu, 2);
+    let mut db = Database::new();
+    collector::store_runs(&mut db, &runs).unwrap();
+
+    let summary = db.summary("scan").unwrap();
+    assert_eq!(summary.run_count, 3);
+    assert_eq!(summary.events.len(), 5);
+    assert_eq!(summary.table_names.len(), 3);
+    assert!(summary.exec_times_secs.iter().all(|&t| t > 0.0));
+    // The events recorded are exactly the measured set.
+    let expected: Vec<EventId> = {
+        let mut v: Vec<EventId> = events.iter().collect();
+        v.sort();
+        v
+    };
+    assert_eq!(summary.events, expected);
+}
+
+#[test]
+fn variable_length_series_are_preserved() {
+    // Two runs of the same program have different lengths (OS jitter);
+    // the store must not normalize them.
+    let catalog = cm_events::EventCatalog::haswell();
+    let pmu = PmuConfig::default();
+    let workload = Workload::new(Benchmark::Bayes, &catalog);
+    let events = workload.top_event_ids(&catalog, 4);
+    let runs = collector::collect_runs(&workload, &events, SampleMode::Ocoe, 4, &pmu, 3);
+    let lens: Vec<usize> = runs.iter().map(|r| r.intervals()).collect();
+    assert!(
+        lens.windows(2).any(|w| w[0] != w[1]),
+        "expected length jitter, got {lens:?}"
+    );
+
+    let mut db = Database::new();
+    collector::store_runs(&mut db, &runs).unwrap();
+    let dir = temp_dir("lengths");
+    db.save_to_dir(&dir).unwrap();
+    let loaded = Database::load_from_dir(&dir).unwrap();
+    for (i, run) in runs.iter().enumerate() {
+        let got = loaded.run("bayes", i as u32, SampleMode::Ocoe).unwrap();
+        for (event, series) in run.record.iter() {
+            assert_eq!(got.series(event).unwrap().len(), series.len());
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
