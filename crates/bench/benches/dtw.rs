@@ -27,5 +27,27 @@ fn bench_dtw(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dtw);
+/// Serial (1 worker) vs. parallel (all cores) batch DTW over many
+/// pairs — identical distances, different wall clock.
+fn bench_dtw_batch_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_batch_threads");
+    group.sample_size(20);
+    let all: Vec<Vec<f64>> = (0..32).map(|i| series(256, i as f64 * 0.1)).collect();
+    let pairs: Vec<(&[f64], &[f64])> = (0..all.len() - 1)
+        .map(|k| (all[k].as_slice(), all[k + 1].as_slice()))
+        .collect();
+    for (label, threads) in [("serial", 1usize), ("parallel", 0)] {
+        cm_par::set_max_threads(threads);
+        group.bench_function(BenchmarkId::new("batch_31x256", label), |b| {
+            b.iter(|| dtw::distance_batch(std::hint::black_box(&pairs)));
+        });
+        group.bench_function(BenchmarkId::new("batch_banded_r32", label), |b| {
+            b.iter(|| dtw::distance_batch_banded(std::hint::black_box(&pairs), 32));
+        });
+    }
+    cm_par::set_max_threads(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw, bench_dtw_batch_threads);
 criterion_main!(benches);

@@ -40,5 +40,30 @@ fn bench_importance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_importance);
+/// Serial (1 worker) vs. parallel (all cores) EIR — identical rankings,
+/// different wall clock.
+fn bench_importance_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("importance_threads");
+    group.sample_size(10);
+    let (data, events) = dataset(300, 40);
+    let ranker = ImportanceRanker::new(ImportanceConfig {
+        sgbrt: SgbrtConfig {
+            n_trees: 30,
+            ..SgbrtConfig::default()
+        },
+        prune_step: 10,
+        min_events: 10,
+        ..ImportanceConfig::default()
+    });
+    for (label, threads) in [("serial", 1usize), ("parallel", 0)] {
+        cm_par::set_max_threads(threads);
+        group.bench_function(BenchmarkId::new("eir_40ev", label), |b| {
+            b.iter(|| ranker.rank(std::hint::black_box(&data), &events).unwrap());
+        });
+    }
+    cm_par::set_max_threads(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_importance, bench_importance_threads);
 criterion_main!(benches);

@@ -34,6 +34,28 @@ fn bench_interaction(c: &mut Criterion) {
             });
         });
     }
+
+    // Serial (1 worker) vs. parallel (all cores) over the same pair
+    // loop — identical rankings, different wall clock.
+    let top = &events[..8];
+    for (label, threads) in [("serial", 1usize), ("parallel", 0)] {
+        cm_par::set_max_threads(threads);
+        group.bench_function(BenchmarkId::new("rank_pairs_8ev", label), |b| {
+            b.iter(|| {
+                InteractionRanker::new()
+                    .rank_pairs(&model, &events, std::hint::black_box(&data), top)
+                    .unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("rank_pairs_additive_8ev", label), |b| {
+            b.iter(|| {
+                InteractionRanker::new()
+                    .rank_pairs_additive(&model, &events, std::hint::black_box(&data), top)
+                    .unwrap()
+            });
+        });
+    }
+    cm_par::set_max_threads(0);
     group.finish();
 }
 

@@ -42,5 +42,29 @@ fn bench_sgbrt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sgbrt);
+/// Serial (1 worker) vs. parallel (all cores) training and prediction —
+/// results are bit-identical, only the wall clock changes.
+fn bench_sgbrt_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgbrt_threads");
+    group.sample_size(10);
+    let data = dataset(400, 60);
+    let config = SgbrtConfig {
+        n_trees: 50,
+        ..SgbrtConfig::default()
+    };
+    let model = config.fit(&data).unwrap();
+    for (label, threads) in [("serial", 1usize), ("parallel", 0)] {
+        cm_par::set_max_threads(threads);
+        group.bench_function(BenchmarkId::new("fit_400x60", label), |b| {
+            b.iter(|| config.fit(std::hint::black_box(&data)).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("predict_batch", label), |b| {
+            b.iter(|| model.predict_batch(std::hint::black_box(data.rows())));
+        });
+    }
+    cm_par::set_max_threads(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgbrt, bench_sgbrt_threads);
 criterion_main!(benches);

@@ -45,6 +45,11 @@ COMMANDS:
   colocate <benchA> <benchB>        importance ranking of two co-located
         [--events N] [--seed S]     benchmarks sharing the PMU
   help                              this text
+
+GLOBAL OPTIONS:
+  --threads N                       worker threads for parallel stages
+                                    (default: all cores; the CM_THREADS
+                                    environment variable also works)
 ";
 
 fn benchmark_by_name(name: &str) -> Result<Benchmark, ArgError> {
@@ -531,5 +536,6 @@ mod tests {
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
+        assert!(USAGE.contains("--threads"), "usage missing --threads");
     }
 }

@@ -23,6 +23,15 @@ fn main() {
     if parsed.positional_count() > 3 {
         eprintln!("note: extra positional arguments are ignored");
     }
+    // Global `--threads N` caps the worker pool for every parallel
+    // stage; 0 (the default) keeps the CM_THREADS / all-cores default.
+    match parsed.get_num("threads", 0usize) {
+        Ok(n) => cm_par::set_max_threads(n),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let command = parsed.positional(0).unwrap_or("help").to_string();
     let result = match command.as_str() {
         "catalog" => commands::catalog(&parsed),

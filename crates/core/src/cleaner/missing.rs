@@ -79,8 +79,8 @@ mod tests {
         let mut v = vec![0.0, 0.0, 0.0, 40.0, 42.0, 41.0, 43.0, 40.0, 42.0];
         let out = fill_missing(&mut v, &config()).unwrap();
         assert_eq!(out.filled, 3);
-        for i in 0..3 {
-            assert!(v[i] > 35.0, "v[{i}] = {}", v[i]);
+        for (i, &val) in v.iter().take(3).enumerate() {
+            assert!(val > 35.0, "v[{i}] = {val}");
         }
     }
 

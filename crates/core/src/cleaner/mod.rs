@@ -129,14 +129,20 @@ impl DataCleaner {
     ///
     /// # Errors
     ///
-    /// Propagates the first per-series failure.
+    /// Propagates the first per-series failure (in event-id order); on
+    /// error the run is left unmodified.
     pub fn clean_run(&self, run: &mut RunRecord) -> Result<Vec<CleanReport>, CmError> {
         let events: Vec<_> = run.events().collect();
+        // Each series cleans independently; fan the per-event work out
+        // across the pool, then re-insert serially so the record is only
+        // mutated from one thread.
+        let cleaned = cm_par::try_map(&events, |&event| {
+            let series = run.series(event).expect("event just listed");
+            self.clean_series(series)
+        })?;
         let mut reports = Vec::with_capacity(events.len());
-        for event in events {
-            let series = run.series(event).expect("event just listed").clone();
-            let (cleaned, report) = self.clean_series(&series)?;
-            run.insert_series(event, cleaned);
+        for (event, (series, report)) in events.into_iter().zip(cleaned) {
+            run.insert_series(event, series);
             reports.push(report);
         }
         Ok(reports)

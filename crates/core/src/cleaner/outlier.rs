@@ -116,8 +116,8 @@ mod tests {
         // Two plateaus; a spike on the second plateau must be replaced
         // by a *second-plateau* value, not a global one.
         let mut v: Vec<f64> = Vec::new();
-        v.extend(std::iter::repeat(10.0).take(50));
-        v.extend(std::iter::repeat(20.0).take(50));
+        v.extend(std::iter::repeat_n(10.0, 50));
+        v.extend(std::iter::repeat_n(20.0, 50));
         v[75] = 5000.0;
         let out = replace_outliers(&mut v, &config()).unwrap();
         assert_eq!(out.replaced, 1);

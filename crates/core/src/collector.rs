@@ -9,7 +9,8 @@ use cm_sim::{PmuConfig, SimRun, Workload};
 use cm_store::Database;
 
 /// Collects `n_runs` runs of `workload` measuring `events` in the given
-/// mode.
+/// mode. Runs are simulated in parallel; run `i` uses run index `i`, so
+/// the result is independent of the thread count.
 pub fn collect_runs(
     workload: &Workload,
     events: &EventSet,
@@ -18,12 +19,7 @@ pub fn collect_runs(
     pmu: &PmuConfig,
     seed: u64,
 ) -> Vec<SimRun> {
-    (0..n_runs)
-        .map(|i| match mode {
-            SampleMode::Ocoe => pmu.simulate_ocoe(workload, events, i as u32, seed),
-            SampleMode::Mlpx => pmu.simulate_mlpx(workload, events, i as u32, seed),
-        })
-        .collect()
+    pmu.simulate_batch(workload, events, mode, n_runs, seed)
 }
 
 /// Stores measured runs into the two-level database.

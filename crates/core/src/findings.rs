@@ -185,7 +185,7 @@ mod tests {
         assert!(common.iter().any(|(a, _, _)| a == "ISF"), "{common:?}");
 
         let distinct = distinct_top10_events(&reports, &catalog);
-        assert!(distinct >= 10 && distinct <= 20);
+        assert!((10..=20).contains(&distinct));
 
         let shares = dominant_pair_shares(&reports);
         assert_eq!(shares.len(), 2);

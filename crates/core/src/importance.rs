@@ -54,7 +54,7 @@ pub struct EirIteration {
 }
 
 /// The outcome of the EIR procedure.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EirResult {
     /// The per-iteration error curve, from all events down to
     /// `min_events` (Fig. 8).
@@ -130,8 +130,13 @@ impl ImportanceRanker {
         let mut best: Option<(usize, f64, Sgbrt, Vec<usize>)> = None;
 
         loop {
-            let train_view = train.select_features(&active)?;
-            let test_view = test.select_features(&active)?;
+            // The two view projections are independent gathers; training
+            // and batch prediction below fan out on the pool themselves.
+            let (train_view, test_view) = cm_par::join(
+                || train.select_features(&active),
+                || test.select_features(&active),
+            );
+            let (train_view, test_view) = (train_view?, test_view?);
             let model = self.config.sgbrt.fit(&train_view)?;
             let preds = model.predict_batch(test_view.rows());
             let error = metrics::relative_error(test_view.targets(), &preds)?;
@@ -301,5 +306,19 @@ mod tests {
             a.iterations.iter().map(|i| i.error).collect::<Vec<_>>(),
             b.iterations.iter().map(|i| i.error).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn ranking_is_thread_count_invariant() {
+        let (data, events) = synthetic(250, 7);
+        cm_par::set_max_threads(1);
+        let serial = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        cm_par::set_max_threads(0);
+        let parallel = ImportanceRanker::new(fast_config())
+            .rank(&data, &events)
+            .unwrap();
+        assert_eq!(serial, parallel);
     }
 }

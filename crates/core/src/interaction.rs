@@ -67,38 +67,27 @@ impl InteractionRanker {
                 "event list must match dataset feature count",
             ));
         }
-        let col_of = |event: EventId| -> Result<usize, CmError> {
-            model_events
-                .iter()
-                .position(|&e| e == event)
-                .ok_or(CmError::Invalid("top event is not a model input"))
-        };
+        let cols = resolve_columns(model_events, top_events)?;
 
         // Mean row: all features at their dataset means.
-        let n = data.n_rows() as f64;
-        let mut means = vec![0.0; data.n_features()];
-        for row in data.rows() {
-            for (m, &v) in means.iter_mut().zip(row) {
-                *m += v;
-            }
-        }
-        for m in &mut means {
-            *m /= n;
-        }
+        let means = column_means(data);
 
-        let mut out = Vec::new();
-        for (i, &ea) in top_events.iter().enumerate() {
-            for &eb in &top_events[i + 1..] {
-                let ca = col_of(ea)?;
-                let cb = col_of(eb)?;
-                let intensity = pair_intensity(model, data, &means, ca, cb)?;
-                out.push(PairInteraction {
-                    pair: (ea, eb),
-                    intensity,
-                    share: 0.0,
-                });
-            }
-        }
+        // Each pair's sweep-and-fit is independent; fan the O(P²) loop
+        // out across the pool. `try_map` keeps pair order and surfaces
+        // the lowest-indexed error, like the serial loop did.
+        let pairs = index_pairs(top_events.len());
+        let intensities = cm_par::try_map(&pairs, |&(i, j)| {
+            pair_intensity(model, data, &means, cols[i], cols[j])
+        })?;
+        let mut out: Vec<PairInteraction> = pairs
+            .iter()
+            .zip(intensities)
+            .map(|(&(i, j), intensity)| PairInteraction {
+                pair: (top_events[i], top_events[j]),
+                intensity,
+                share: 0.0,
+            })
+            .collect();
         let total: f64 = out.iter().map(|p| p.intensity).sum();
         if total > 0.0 {
             for p in &mut out {
@@ -145,65 +134,47 @@ impl InteractionRanker {
                 "event list must match dataset feature count",
             ));
         }
-        let col_of = |event: EventId| -> Result<usize, CmError> {
-            model_events
-                .iter()
-                .position(|&e| e == event)
-                .ok_or(CmError::Invalid("top event is not a model input"))
-        };
+        let cols = resolve_columns(model_events, top_events)?;
 
-        let n = data.n_rows() as f64;
-        let mut means = vec![0.0; data.n_features()];
-        for row in data.rows() {
-            for (m, &v) in means.iter_mut().zip(row) {
-                *m += v;
-            }
-        }
-        for m in &mut means {
-            *m /= n;
-        }
+        let means = column_means(data);
         let f0 = model.predict(&means);
 
-        // Univariate partial responses, shared across pairs.
-        let mut partials: Vec<Vec<f64>> = Vec::with_capacity(top_events.len());
-        let mut cols = Vec::with_capacity(top_events.len());
-        for &e in top_events {
-            let c = col_of(e)?;
+        // Univariate partial responses, shared across pairs. Each event's
+        // sweep is an independent batch of MAPM predictions.
+        let partials: Vec<Vec<f64>> = cm_par::map(&cols, |&c| {
             let mut probe = means.clone();
-            let series: Vec<f64> = data
-                .rows()
+            data.rows()
                 .iter()
                 .map(|row| {
                     probe[c] = row[c];
                     model.predict(&probe)
                 })
-                .collect();
-            partials.push(series);
-            cols.push(c);
-        }
+                .collect()
+        });
 
-        let mut out = Vec::new();
-        for i in 0..top_events.len() {
-            for j in i + 1..top_events.len() {
-                let (ca, cb) = (cols[i], cols[j]);
-                let mut probe = means.clone();
-                let mut v = 0.0;
-                for (r, row) in data.rows().iter().enumerate() {
-                    probe[ca] = row[ca];
-                    probe[cb] = row[cb];
-                    let f_ab = model.predict(&probe);
-                    probe[ca] = means[ca];
-                    probe[cb] = means[cb];
-                    let cross = f_ab - partials[i][r] - partials[j][r] + f0;
-                    v += cross * cross;
-                }
-                out.push(PairInteraction {
-                    pair: (top_events[i], top_events[j]),
-                    intensity: v,
-                    share: 0.0,
-                });
+        // The O(P²) cross-difference loop, fanned out per pair. Summation
+        // order within a pair is unchanged, so intensities are
+        // bit-identical to the serial loop at any thread count.
+        let pairs = index_pairs(top_events.len());
+        let mut out: Vec<PairInteraction> = cm_par::map(&pairs, |&(i, j)| {
+            let (ca, cb) = (cols[i], cols[j]);
+            let mut probe = means.clone();
+            let mut v = 0.0;
+            for (r, row) in data.rows().iter().enumerate() {
+                probe[ca] = row[ca];
+                probe[cb] = row[cb];
+                let f_ab = model.predict(&probe);
+                probe[ca] = means[ca];
+                probe[cb] = means[cb];
+                let cross = f_ab - partials[i][r] - partials[j][r] + f0;
+                v += cross * cross;
             }
-        }
+            PairInteraction {
+                pair: (top_events[i], top_events[j]),
+                intensity: v,
+                share: 0.0,
+            }
+        });
         let total: f64 = out.iter().map(|p| p.intensity).sum();
         if total > 0.0 {
             for p in &mut out {
@@ -235,6 +206,51 @@ impl InteractionRanker {
             .residual_sum_of_squares(&rows, target)
             .map_err(CmError::Stats)
     }
+}
+
+/// Per-column means of a dataset — the "mean row" both rankers pin
+/// non-swept features to.
+pub(crate) fn column_means(data: &Dataset) -> Vec<f64> {
+    let n = data.n_rows() as f64;
+    let mut means = vec![0.0; data.n_features()];
+    for row in data.rows() {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    means
+}
+
+/// Maps each top event to its model column, erroring on the first event
+/// that is not a model input.
+fn resolve_columns(
+    model_events: &[EventId],
+    top_events: &[EventId],
+) -> Result<Vec<usize>, CmError> {
+    top_events
+        .iter()
+        .map(|&event| {
+            model_events
+                .iter()
+                .position(|&e| e == event)
+                .ok_or(CmError::Invalid("top event is not a model input"))
+        })
+        .collect()
+}
+
+/// All index pairs `(i, j)` with `i < j < len`, in the serial loop's
+/// enumeration order.
+fn index_pairs(len: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(len * (len - 1) / 2);
+    for i in 0..len {
+        for j in i + 1..len {
+            pairs.push((i, j));
+        }
+    }
+    pairs
 }
 
 fn pair_intensity(
@@ -391,6 +407,35 @@ mod tests {
         assert!(ranker
             .rank_pairs_additive(&model, &ev, &data, &[EventId::new(0), EventId::new(9)])
             .is_err());
+    }
+
+    #[test]
+    fn column_means_averages_each_feature() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let data = Dataset::new(rows, vec![0.0; 3]).unwrap();
+        assert_eq!(column_means(&data), vec![3.0, 20.0]);
+    }
+
+    #[test]
+    fn index_pairs_enumerates_upper_triangle_in_order() {
+        assert_eq!(index_pairs(3), vec![(0, 1), (0, 2), (1, 2)]);
+        assert!(index_pairs(1).is_empty());
+    }
+
+    #[test]
+    fn rankings_are_thread_count_invariant() {
+        let data = interacting_dataset(300, 11);
+        let ev = events(3);
+        let model = SgbrtConfig::default().fit(&data).unwrap();
+        let ranker = InteractionRanker::new();
+        cm_par::set_max_threads(1);
+        let serial = ranker.rank_pairs(&model, &ev, &data, &ev).unwrap();
+        let serial_add = ranker.rank_pairs_additive(&model, &ev, &data, &ev).unwrap();
+        cm_par::set_max_threads(0);
+        let parallel = ranker.rank_pairs(&model, &ev, &data, &ev).unwrap();
+        let parallel_add = ranker.rank_pairs_additive(&model, &ev, &data, &ev).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_add, parallel_add);
     }
 
     #[test]

@@ -4,6 +4,20 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// Rows per parallel chunk for batch prediction and residual updates.
+const PREDICT_CHUNK: usize = 64;
+
+/// Derives an independent RNG stream from a base seed (splitmix64
+/// finalizer). Stream `t` seeds tree `t`'s subsampling, so each stage's
+/// sample is a pure function of `(seed, t)` — independent of execution
+/// order and therefore of the thread count.
+pub(crate) fn stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Configuration for the stochastic gradient boosted ensemble
 /// (Friedman 2002, the algorithm the paper uses via scikit-learn).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,6 +32,9 @@ pub struct SgbrtConfig {
     /// Per-stage tree shape.
     pub tree: TreeConfig,
     /// RNG seed for the row subsampling, making training reproducible.
+    /// Stage `t` subsamples with an independent stream derived from
+    /// `(seed, t)`, so the trained model is bit-identical at any thread
+    /// count.
     pub seed: u64,
 }
 
@@ -111,19 +128,23 @@ impl SgbrtConfig {
         let n = data.n_rows();
         let base = data.targets().iter().sum::<f64>() / n as f64;
         let mut residuals: Vec<f64> = data.targets().iter().map(|&y| y - base).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trees = Vec::with_capacity(self.n_trees);
         let subsample_n = ((n as f64) * self.subsample).round().max(1.0) as usize;
-        let mut all_indices: Vec<usize> = (0..n).collect();
 
-        for _ in 0..self.n_trees {
-            // Stage dataset: same features, residuals as targets.
-            let stage = Dataset::new(data.rows().to_vec(), residuals.clone())?;
-            all_indices.shuffle(&mut rng);
-            let sample = &all_indices[..subsample_n];
-            let tree = RegressionTree::fit_indices(&stage, sample, self.tree)?;
-            for (i, r) in residuals.iter_mut().enumerate() {
-                *r -= self.learning_rate * tree.predict(data.row(i));
+        for t in 0..self.n_trees {
+            // Per-stage subsample from the stage's own RNG stream.
+            let mut rng = StdRng::seed_from_u64(stream_seed(self.seed, t as u64));
+            let mut sample: Vec<usize> = (0..n).collect();
+            sample.shuffle(&mut rng);
+            sample.truncate(subsample_n);
+            // Retarget the feature matrix at the current residuals —
+            // no per-stage clone of the rows.
+            let tree = RegressionTree::fit_with_targets(data, &residuals, &sample, self.tree)?;
+            let step: Vec<f64> = cm_par::map_chunked(n, PREDICT_CHUNK, |range| {
+                range.map(|i| tree.predict(data.row(i))).collect()
+            });
+            for (r, p) in residuals.iter_mut().zip(&step) {
+                *r -= self.learning_rate * p;
             }
             trees.push(tree);
         }
@@ -142,6 +163,9 @@ impl SgbrtConfig {
 ///
 /// Folds are contiguous row ranges (rows are assumed already shuffled or
 /// exchangeable, as the simulator's interval rows are after windowing).
+/// Folds train concurrently on the [`cm_par`] pool; each fold is a pure
+/// function of `(config, data, fold)`, so the returned errors are
+/// identical at any thread count.
 ///
 /// # Errors
 ///
@@ -152,8 +176,8 @@ pub fn cross_validate(config: SgbrtConfig, data: &Dataset, k: usize) -> Result<V
         return Err(MlError::InvalidConfig("k must be in 2..=n_rows"));
     }
     let n = data.n_rows();
-    let mut errors = Vec::with_capacity(k);
-    for fold in 0..k {
+    let folds: Vec<usize> = (0..k).collect();
+    cm_par::try_map(&folds, |&fold| {
         let lo = fold * n / k;
         let hi = (fold + 1) * n / k;
         let train_idx: Vec<usize> = (0..n).filter(|i| *i < lo || *i >= hi).collect();
@@ -168,9 +192,8 @@ pub fn cross_validate(config: SgbrtConfig, data: &Dataset, k: usize) -> Result<V
         let test = pick(&test_idx)?;
         let model = config.fit(&train)?;
         let preds = model.predict_batch(test.rows());
-        errors.push(crate::metrics::relative_error(test.targets(), &preds)?);
-    }
-    Ok(errors)
+        crate::metrics::relative_error(test.targets(), &preds)
+    })
 }
 
 fn mse_of(preds: &[f64], targets: &[f64]) -> f64 {
@@ -197,7 +220,7 @@ fn mse_of(preds: &[f64], targets: &[f64]) -> f64 {
 /// assert!((model.predict(&[7.0]) - 49.0).abs() < 5.0);
 /// # Ok::<(), cm_ml::MlError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sgbrt {
     base: f64,
     learning_rate: f64,
@@ -216,8 +239,25 @@ impl Sgbrt {
     }
 
     /// Predicts a batch of rows.
+    ///
+    /// Iterates tree-outer over a per-chunk accumulator buffer (one
+    /// ensemble's nodes stay hot in cache across the chunk's rows) and
+    /// fans chunks out across threads. Accumulation order per row is the
+    /// tree order, so every prediction is bit-identical to
+    /// [`Sgbrt::predict`].
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter().map(|r| self.predict(r)).collect()
+        cm_par::map_chunked(rows.len(), PREDICT_CHUNK, |range| {
+            let chunk = &rows[range];
+            let mut acc = vec![0.0f64; chunk.len()];
+            for tree in &self.trees {
+                for (a, row) in acc.iter_mut().zip(chunk) {
+                    *a += tree.predict(row);
+                }
+            }
+            acc.into_iter()
+                .map(|sum| self.base + self.learning_rate * sum)
+                .collect()
+        })
     }
 
     /// Number of boosting stages.
@@ -314,8 +354,43 @@ mod tests {
         let c = SgbrtConfig::default().with_seed(8).fit(&data).unwrap();
         let row = data.row(0);
         assert_eq!(a.predict(row), b.predict(row));
+        assert_eq!(a, b);
         // Different subsampling almost surely changes the model.
         assert_ne!(a.predict(row), c.predict(row));
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        let data = friedman_like(200, 9);
+        let config = SgbrtConfig {
+            n_trees: 30,
+            ..SgbrtConfig::default()
+        };
+        cm_par::set_max_threads(1);
+        let serial = config.fit(&data).unwrap();
+        cm_par::set_max_threads(4);
+        let parallel = config.fit(&data).unwrap();
+        cm_par::set_max_threads(0);
+        let default_threads = config.fit(&data).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, default_threads);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_exactly() {
+        let data = friedman_like(300, 11);
+        let model = SgbrtConfig {
+            n_trees: 50,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let batch = model.predict_batch(data.rows());
+        assert_eq!(batch.len(), data.n_rows());
+        for (row, &b) in data.rows().iter().zip(&batch) {
+            assert_eq!(model.predict(row), b);
+        }
+        assert!(model.predict_batch(&[]).is_empty());
     }
 
     #[test]
@@ -431,6 +506,20 @@ mod tests {
         }
         assert!(cross_validate(config, &data, 1).is_err());
         assert!(cross_validate(config, &data, 500).is_err());
+    }
+
+    #[test]
+    fn cross_validation_is_thread_count_invariant() {
+        let data = friedman_like(120, 21);
+        let config = SgbrtConfig {
+            n_trees: 15,
+            ..SgbrtConfig::default()
+        };
+        cm_par::set_max_threads(1);
+        let serial = cross_validate(config, &data, 3).unwrap();
+        cm_par::set_max_threads(0);
+        let parallel = cross_validate(config, &data, 3).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -1,5 +1,9 @@
 use crate::{Dataset, MlError};
 
+/// Below this many feature·row units of work, a node's split search and
+/// partition run serially — scheduling overhead would dominate.
+const PAR_MIN_WORK: usize = 8192;
+
 /// Configuration for a single CART regression tree.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
@@ -35,7 +39,7 @@ impl TreeConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         value: f64,
@@ -56,6 +60,13 @@ enum Node {
 /// Trees record the squared-error improvement of every split so the
 /// ensemble can compute Friedman feature importance.
 ///
+/// Split search is *presorted*: per-feature sample orders are sorted
+/// once per tree, and every node scans them in O(features · rows) with
+/// a stable lockstep partition carrying the orders down the recursion —
+/// instead of re-sorting every feature at every node. Per-node feature
+/// scans fan out across the [`cm_par`] thread pool; the chosen split is
+/// identical at any thread count.
+///
 /// # Examples
 ///
 /// ```
@@ -69,7 +80,7 @@ enum Node {
 /// assert!((tree.predict(&[15.0]) - 5.0).abs() < 1e-9);
 /// # Ok::<(), cm_ml::MlError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -98,39 +109,55 @@ impl RegressionTree {
         indices: &[usize],
         config: TreeConfig,
     ) -> Result<Self, MlError> {
+        Self::fit_with_targets(data, data.targets(), indices, config)
+    }
+
+    /// Like [`RegressionTree::fit_indices`] but with `targets` replacing
+    /// the dataset's own target column — the boosting loop retargets the
+    /// same feature matrix at each stage's residuals without cloning it.
+    pub(crate) fn fit_with_targets(
+        data: &Dataset,
+        targets: &[f64],
+        indices: &[usize],
+        config: TreeConfig,
+    ) -> Result<Self, MlError> {
         config.validate()?;
         if indices.is_empty() {
             return Err(MlError::EmptyDataset);
         }
+        debug_assert_eq!(targets.len(), data.n_rows());
+        let mut ws = SplitWorkspace::new(data, targets, indices);
         let mut tree = RegressionTree {
             nodes: Vec::new(),
             n_features: data.n_features(),
         };
-        let mut idx = indices.to_vec();
-        tree.build(data, &mut idx, 0, config);
+        let m = indices.len();
+        tree.build(&mut ws, 0..m, 0, config);
         Ok(tree)
     }
 
-    /// Builds a subtree over `indices`, returning its node id.
+    /// Builds a subtree over the sample segment `seg`, returning its
+    /// node id.
     fn build(
         &mut self,
-        data: &Dataset,
-        indices: &mut [usize],
+        ws: &mut SplitWorkspace,
+        seg: std::ops::Range<usize>,
         depth: usize,
         config: TreeConfig,
     ) -> usize {
-        let mean = indices.iter().map(|&i| data.target(i)).sum::<f64>() / indices.len() as f64;
-        if depth >= config.max_depth || indices.len() < config.min_samples_split {
+        let n = seg.len();
+        let mean = ws.segment_sum(seg.clone()) / n as f64;
+        if depth >= config.max_depth || n < config.min_samples_split {
             return self.push(Node::Leaf { value: mean });
         }
-        match best_split(data, indices, config.min_samples_leaf) {
+        match ws.best_split(seg.clone(), config.min_samples_leaf) {
             None => self.push(Node::Leaf { value: mean }),
             Some(split) => {
-                // Partition in place around the chosen threshold.
-                let mid = partition(data, indices, split.feature, split.threshold);
-                let (left_idx, right_idx) = indices.split_at_mut(mid);
-                let left = self.build(data, left_idx, depth + 1, config);
-                let right = self.build(data, right_idx, depth + 1, config);
+                // Partition every feature's order in place around the
+                // chosen threshold; both children stay presorted.
+                let mid = ws.apply_split(seg.clone(), split.feature, split.threshold);
+                let left = self.build(ws, seg.start..mid, depth + 1, config);
+                let right = self.build(ws, mid..seg.end, depth + 1, config);
                 self.push(Node::Split {
                     feature: split.feature,
                     threshold: split.threshold,
@@ -215,70 +242,174 @@ struct SplitChoice {
     improvement: f64,
 }
 
-/// Finds the variance-reduction-optimal split over all features, or
-/// `None` when no split satisfies the leaf-size constraint or improves
-/// the squared error.
-fn best_split(data: &Dataset, indices: &[usize], min_leaf: usize) -> Option<SplitChoice> {
-    let n = indices.len();
-    if n < 2 * min_leaf {
-        return None;
-    }
-    let total_sum: f64 = indices.iter().map(|&i| data.target(i)).sum();
-    let total_sq: f64 = indices
-        .iter()
-        .map(|&i| data.target(i) * data.target(i))
-        .sum();
-    let parent_sse = total_sq - total_sum * total_sum / n as f64;
-
-    let mut best: Option<SplitChoice> = None;
-    let mut order: Vec<usize> = indices.to_vec();
-    for feature in 0..data.n_features() {
-        order.sort_by(|&a, &b| data.row(a)[feature].total_cmp(&data.row(b)[feature]));
-        let mut left_sum = 0.0;
-        let mut left_sq = 0.0;
-        for pos in 0..n - 1 {
-            let i = order[pos];
-            let y = data.target(i);
-            left_sum += y;
-            left_sq += y * y;
-            let left_n = pos + 1;
-            let right_n = n - left_n;
-            if left_n < min_leaf || right_n < min_leaf {
-                continue;
-            }
-            let x_here = data.row(i)[feature];
-            let x_next = data.row(order[pos + 1])[feature];
-            if x_here == x_next {
-                continue; // cannot split between equal values
-            }
-            let right_sum = total_sum - left_sum;
-            let right_sq = total_sq - left_sq;
-            let left_sse = left_sq - left_sum * left_sum / left_n as f64;
-            let right_sse = right_sq - right_sum * right_sum / right_n as f64;
-            let improvement = parent_sse - left_sse - right_sse;
-            if improvement > 1e-12 && best.as_ref().is_none_or(|b| improvement > b.improvement) {
-                best = Some(SplitChoice {
-                    feature,
-                    threshold: 0.5 * (x_here + x_next),
-                    improvement,
-                });
-            }
-        }
-    }
-    best
+/// Per-tree presorted state: gathered feature columns, gathered targets,
+/// and one sample order per feature, kept partitioned in lockstep so a
+/// node's samples occupy the same contiguous segment — already sorted —
+/// in every feature's order.
+struct SplitWorkspace {
+    /// `cols[f][p]`: feature `f` of sample position `p`.
+    cols: Vec<Vec<f64>>,
+    /// `y[p]`: target of sample position `p`.
+    y: Vec<f64>,
+    /// `orders[f]`: sample positions sorted ascending by `cols[f]`.
+    orders: Vec<Vec<u32>>,
+    /// Scratch: side of the pending split per sample position.
+    goes_left: Vec<bool>,
 }
 
-/// Partitions `indices` so rows with `feature <= threshold` come first;
-/// returns the boundary position.
-fn partition(data: &Dataset, indices: &mut [usize], feature: usize, threshold: f64) -> usize {
-    let mut mid = 0;
-    for i in 0..indices.len() {
-        if data.row(indices[i])[feature] <= threshold {
-            indices.swap(i, mid);
-            mid += 1;
+impl SplitWorkspace {
+    fn new(data: &Dataset, targets: &[f64], indices: &[usize]) -> Self {
+        let m = indices.len();
+        let n_features = data.n_features();
+        // Gathering a column and sorting its order is independent per
+        // feature; this is the O(F·m log m) once-per-tree cost replacing
+        // the seed algorithm's per-node re-sorts.
+        let mut gathered = cm_par::map_range(n_features, |f| {
+            let col: Vec<f64> = indices.iter().map(|&i| data.row(i)[f]).collect();
+            let mut order: Vec<u32> = (0..m as u32).collect();
+            order.sort_by(|&a, &b| col[a as usize].total_cmp(&col[b as usize]));
+            (col, order)
+        });
+        let mut cols = Vec::with_capacity(n_features);
+        let mut orders = Vec::with_capacity(n_features);
+        for (col, order) in gathered.drain(..) {
+            cols.push(col);
+            orders.push(order);
+        }
+        SplitWorkspace {
+            cols,
+            y: indices.iter().map(|&i| targets[i]).collect(),
+            orders,
+            goes_left: vec![false; m],
         }
     }
-    mid
+
+    /// Sum of targets over a node's segment.
+    fn segment_sum(&self, seg: std::ops::Range<usize>) -> f64 {
+        self.orders[0][seg]
+            .iter()
+            .map(|&p| self.y[p as usize])
+            .sum()
+    }
+
+    /// Finds the variance-reduction-optimal split over all features, or
+    /// `None` when no split satisfies the leaf-size constraint or
+    /// improves the squared error. Features are scanned in parallel;
+    /// the cross-feature reduction prefers the lowest feature on exact
+    /// ties, matching a sequential feature-major scan.
+    fn best_split(&self, seg: std::ops::Range<usize>, min_leaf: usize) -> Option<SplitChoice> {
+        let n = seg.len();
+        if n < 2 * min_leaf {
+            return None;
+        }
+        let root_order = &self.orders[0][seg.clone()];
+        let total_sum: f64 = root_order.iter().map(|&p| self.y[p as usize]).sum();
+        let total_sq: f64 = root_order
+            .iter()
+            .map(|&p| self.y[p as usize] * self.y[p as usize])
+            .sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+        let scan_feature = |feature: usize| -> Option<(f64, f64)> {
+            let order = &self.orders[feature][seg.clone()];
+            let col = &self.cols[feature];
+            let mut best: Option<(f64, f64)> = None;
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for pos in 0..n - 1 {
+                let p = order[pos] as usize;
+                let y = self.y[p];
+                left_sum += y;
+                left_sq += y * y;
+                let left_n = pos + 1;
+                let right_n = n - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
+                    continue;
+                }
+                let x_here = col[p];
+                let x_next = col[order[pos + 1] as usize];
+                if x_here == x_next {
+                    continue; // cannot split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / left_n as f64;
+                let right_sse = right_sq - right_sum * right_sum / right_n as f64;
+                let improvement = parent_sse - left_sse - right_sse;
+                if improvement > 1e-12 && best.is_none_or(|(b, _)| improvement > b) {
+                    best = Some((improvement, 0.5 * (x_here + x_next)));
+                }
+            }
+            best
+        };
+
+        let n_features = self.cols.len();
+        let candidates: Vec<Option<(f64, f64)>> =
+            if n.saturating_mul(n_features) >= PAR_MIN_WORK && cm_par::max_threads() > 1 {
+                cm_par::map_range(n_features, scan_feature)
+            } else {
+                (0..n_features).map(scan_feature).collect()
+            };
+
+        let mut best: Option<SplitChoice> = None;
+        for (feature, cand) in candidates.into_iter().enumerate() {
+            if let Some((improvement, threshold)) = cand {
+                if best.as_ref().is_none_or(|b| improvement > b.improvement) {
+                    best = Some(SplitChoice {
+                        feature,
+                        threshold,
+                        improvement,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Stably partitions every feature's segment so samples with
+    /// `feature <= threshold` come first; returns the boundary position.
+    /// Stability keeps each child segment sorted in every feature.
+    fn apply_split(
+        &mut self,
+        seg: std::ops::Range<usize>,
+        feature: usize,
+        threshold: f64,
+    ) -> usize {
+        let n = seg.len();
+        let mut left_n = 0usize;
+        for pos in seg.clone() {
+            let p = self.orders[feature][pos] as usize;
+            let left = self.cols[feature][p] <= threshold;
+            self.goes_left[p] = left;
+            left_n += left as usize;
+        }
+
+        let goes_left = &self.goes_left;
+        let partition_one = |order: &mut Vec<u32>| {
+            let slice = &mut order[seg.clone()];
+            let mut kept = Vec::with_capacity(n - left_n);
+            let mut write = 0usize;
+            for read in 0..n {
+                let p = slice[read];
+                if goes_left[p as usize] {
+                    slice[write] = p;
+                    write += 1;
+                } else {
+                    kept.push(p);
+                }
+            }
+            slice[write..].copy_from_slice(&kept);
+        };
+
+        if n.saturating_mul(self.orders.len()) >= PAR_MIN_WORK && cm_par::max_threads() > 1 {
+            cm_par::map_mut(&mut self.orders, |_, order| partition_one(order));
+        } else {
+            for order in &mut self.orders {
+                partition_one(order);
+            }
+        }
+        seg.start + left_n
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +489,16 @@ mod tests {
     }
 
     #[test]
+    fn fit_indices_handles_repeated_rows() {
+        let data = step_data(16);
+        // Triplicate a lopsided subset; repeats must weight the means.
+        let indices: Vec<usize> = (0..16).chain(0..4).chain(0..4).collect();
+        let tree = RegressionTree::fit_indices(&data, &indices, TreeConfig::default()).unwrap();
+        assert_eq!(tree.predict(&[0.0, 0.0]), -1.0);
+        assert_eq!(tree.predict(&[15.0, 0.0]), 1.0);
+    }
+
+    #[test]
     fn invalid_configs_rejected() {
         let data = step_data(8);
         assert!(RegressionTree::fit(
@@ -388,5 +529,81 @@ mod tests {
         let tree = RegressionTree::fit(&data, TreeConfig::default()).unwrap();
         assert_eq!(tree.split_count(), 0);
         assert!((tree.predict(&[5.0]) - 4.5).abs() < 1e-12);
+    }
+
+    /// The seed implementation's split search, kept as a test oracle:
+    /// re-sorts the index set per feature per node. The presorted search
+    /// must choose the same splits.
+    fn oracle_best_split(
+        data: &Dataset,
+        indices: &[usize],
+        min_leaf: usize,
+    ) -> Option<(usize, f64)> {
+        let n = indices.len();
+        if n < 2 * min_leaf {
+            return None;
+        }
+        let total_sum: f64 = indices.iter().map(|&i| data.target(i)).sum();
+        let total_sq: f64 = indices
+            .iter()
+            .map(|&i| data.target(i) * data.target(i))
+            .sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut order: Vec<usize> = indices.to_vec();
+        for feature in 0..data.n_features() {
+            order.sort_by(|&a, &b| data.row(a)[feature].total_cmp(&data.row(b)[feature]));
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for pos in 0..n - 1 {
+                let i = order[pos];
+                let y = data.target(i);
+                left_sum += y;
+                left_sq += y * y;
+                let left_n = pos + 1;
+                let right_n = n - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
+                    continue;
+                }
+                let x_here = data.row(i)[feature];
+                let x_next = data.row(order[pos + 1])[feature];
+                if x_here == x_next {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / left_n as f64;
+                let right_sse = right_sq - right_sum * right_sum / right_n as f64;
+                let improvement = parent_sse - left_sse - right_sse;
+                if improvement > 1e-12 && best.is_none_or(|(_, _, b)| improvement > b) {
+                    best = Some((feature, 0.5 * (x_here + x_next), improvement));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    #[test]
+    fn presorted_search_matches_per_node_resort_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows: Vec<Vec<f64>> = (0..120)
+                .map(|_| (0..5).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let y: Vec<f64> = rows
+                .iter()
+                .map(|r| r[0].sin() * 4.0 + r[2] + rng.gen_range(-0.5..0.5))
+                .collect();
+            let data = Dataset::new(rows, y).unwrap();
+            let indices: Vec<usize> = (0..data.n_rows()).collect();
+            let oracle = oracle_best_split(&data, &indices, 2);
+            let ws = SplitWorkspace::new(&data, data.targets(), &indices);
+            let got = ws
+                .best_split(0..indices.len(), 2)
+                .map(|s| (s.feature, s.threshold));
+            assert_eq!(got, oracle, "seed {seed}");
+        }
     }
 }

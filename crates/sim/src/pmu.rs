@@ -145,6 +145,29 @@ impl PmuConfig {
         self.measure_mlpx(workload, &truth, events, run_index, seed)
     }
 
+    /// Measures `n_runs` independent runs of `workload`, fanning the
+    /// per-run simulation across the thread pool.
+    ///
+    /// Run `i` is measured with run index `i`; every run derives its own
+    /// RNG from `(program, run index, seed)`, so the result is identical
+    /// to calling [`PmuConfig::simulate_ocoe`] /
+    /// [`PmuConfig::simulate_mlpx`] in a serial loop, at any thread
+    /// count.
+    pub fn simulate_batch(
+        &self,
+        workload: &Workload,
+        events: &EventSet,
+        mode: SampleMode,
+        n_runs: usize,
+        seed: u64,
+    ) -> Vec<SimRun> {
+        self.check();
+        cm_par::map_range(n_runs, |i| match mode {
+            SampleMode::Ocoe => self.simulate_ocoe(workload, events, i as u32, seed),
+            SampleMode::Mlpx => self.simulate_mlpx(workload, events, i as u32, seed),
+        })
+    }
+
     /// OCOE measurement of an already-generated run (used by the Spark
     /// and co-location studies which pre-scale the ground truth).
     pub fn measure_ocoe<W: ActivitySource>(
@@ -641,6 +664,40 @@ mod tests {
             adaptive < 1.25 * rr,
             "adaptive {adaptive:.4} should be comparable or better than round-robin {rr:.4}"
         );
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let (c, w) = setup();
+        let events = w.top_event_ids(&c, 10);
+        let pmu = PmuConfig::default();
+        let batch = pmu.simulate_batch(&w, &events, SampleMode::Mlpx, 3, 9);
+        assert_eq!(batch.len(), 3);
+        for (i, run) in batch.iter().enumerate() {
+            let reference = pmu.simulate_mlpx(&w, &events, i as u32, 9);
+            assert_eq!(run.ipc, reference.ipc);
+            assert_eq!(run.true_counts, reference.true_counts);
+            for (event, series) in run.record.iter() {
+                assert_eq!(Some(series), reference.record.series(event));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let (c, w) = setup();
+        let events = w.top_event_ids(&c, 8);
+        let pmu = PmuConfig::default();
+        cm_par::set_max_threads(1);
+        let serial = pmu.simulate_batch(&w, &events, SampleMode::Ocoe, 4, 10);
+        cm_par::set_max_threads(0);
+        let parallel = pmu.simulate_batch(&w, &events, SampleMode::Ocoe, 4, 10);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.ipc, b.ipc);
+            for (event, series) in a.record.iter() {
+                assert_eq!(Some(series), b.record.series(event));
+            }
+        }
     }
 
     #[test]

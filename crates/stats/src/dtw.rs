@@ -58,6 +58,19 @@ pub fn distance(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Returns `f64::INFINITY` if exactly one input is empty.
 pub fn distance_banded(a: &[f64], b: &[f64], radius: usize) -> f64 {
+    distance_banded_bounded(a, b, radius, f64::INFINITY)
+}
+
+/// [`distance_banded`] with *early abandon*: returns `f64::INFINITY` as
+/// soon as the distance provably exceeds `bound`.
+///
+/// Local costs are non-negative and every warping path visits at least
+/// one cell of every row, so the minimum accumulated cost within a row's
+/// band is a lower bound on the final distance — once it exceeds
+/// `bound`, no path can come in under it. Nearest-neighbor search (and
+/// any best-of-many scan) uses the running best as the bound to skip
+/// most of the DP grid.
+pub fn distance_banded_bounded(a: &[f64], b: &[f64], radius: usize, bound: f64) -> f64 {
     match (a.is_empty(), b.is_empty()) {
         (true, true) => return 0.0,
         (true, false) | (false, true) => return f64::INFINITY,
@@ -79,14 +92,79 @@ pub fn distance_banded(a: &[f64], b: &[f64], radius: usize) -> f64 {
         // The DP origin prev[0] = 0 is only reachable diagonally from
         // (1, 1); curr[0] stays infinite so later rows cannot skip
         // matching earlier samples.
+        let mut row_min = f64::INFINITY;
         for j in lo..=hi {
             let cost = (a[i - 1] - b[j - 1]).abs();
             let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
             curr[j] = cost + best;
+            row_min = row_min.min(curr[j]);
+        }
+        if row_min > bound {
+            return f64::INFINITY;
         }
         std::mem::swap(&mut prev, &mut curr);
     }
     prev[m]
+}
+
+/// Exact DTW distances for a batch of series pairs, fanned out across
+/// the [`cm_par`] thread pool. Element `i` of the result is
+/// `distance(pairs[i].0, pairs[i].1)` — identical to the sequential
+/// loop at any thread count.
+pub fn distance_batch(pairs: &[(&[f64], &[f64])]) -> Vec<f64> {
+    cm_par::map(pairs, |&(a, b)| distance(a, b))
+}
+
+/// Banded DTW distances for a batch of series pairs (see
+/// [`distance_banded`]), fanned out across the [`cm_par`] thread pool
+/// with order-preserving results.
+pub fn distance_batch_banded(pairs: &[(&[f64], &[f64])], radius: usize) -> Vec<f64> {
+    cm_par::map(pairs, |&(a, b)| distance_banded(a, b, radius))
+}
+
+/// Index and banded DTW distance of the candidate closest to `query`,
+/// or `None` for an empty candidate set. Ties pick the lowest index.
+///
+/// Candidates are scanned in parallel sharing a running best distance
+/// (an atomic CAS-min over the f64 bit pattern, valid because DTW
+/// distances are non-negative) that feeds
+/// [`distance_banded_bounded`]'s early abandon. The true nearest
+/// candidate's per-row lower bounds never exceed the shared bound, so it
+/// is always computed exactly — the winner is schedule-independent.
+pub fn nearest_neighbor(
+    query: &[f64],
+    candidates: &[Vec<f64>],
+    radius: usize,
+) -> Option<(usize, f64)> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    if candidates.is_empty() {
+        return None;
+    }
+    let best = AtomicU64::new(f64::INFINITY.to_bits());
+    let distances = cm_par::map(candidates, |c| {
+        let bound = f64::from_bits(best.load(Ordering::Relaxed));
+        let d = distance_banded_bounded(query, c, radius, bound);
+        let mut seen = best.load(Ordering::Relaxed);
+        while d.to_bits() < seen {
+            match best.compare_exchange_weak(
+                seen,
+                d.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+        d
+    });
+    let mut winner = 0usize;
+    for (i, &d) in distances.iter().enumerate() {
+        if d < distances[winner] {
+            winner = i;
+        }
+    }
+    Some((winner, distances[winner]))
 }
 
 /// Normalized DTW distance: [`distance`] divided by the warping-path
@@ -177,5 +255,77 @@ mod tests {
     fn single_element_series() {
         assert_eq!(distance(&[3.0], &[5.0]), 2.0);
         assert_eq!(distance(&[3.0], &[5.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn bounded_returns_exact_under_loose_bound() {
+        let a: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b: Vec<f64> = (0..45).map(|i| (i as f64 * 0.21).cos() + 0.2).collect();
+        let exact = distance_banded(&a, &b, 50);
+        assert_eq!(distance_banded_bounded(&a, &b, 50, f64::INFINITY), exact);
+        assert_eq!(distance_banded_bounded(&a, &b, 50, exact), exact);
+    }
+
+    #[test]
+    fn bounded_abandons_when_bound_unreachable() {
+        let a = vec![0.0; 30];
+        let b = vec![10.0; 30];
+        // True distance is 300; a tiny bound must be abandoned early.
+        assert_eq!(distance_banded_bounded(&a, &b, 30, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let series: Vec<Vec<f64>> = (0..12)
+            .map(|k| (0..30 + k).map(|i| ((i * (k + 3)) % 11) as f64).collect())
+            .collect();
+        let pairs: Vec<(&[f64], &[f64])> = (0..series.len() - 1)
+            .map(|k| (series[k].as_slice(), series[k + 1].as_slice()))
+            .collect();
+        let batch = distance_batch(&pairs);
+        let banded = distance_batch_banded(&pairs, 8);
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(batch[k], distance(a, b));
+            assert_eq!(banded[k], distance_banded(a, b, 8));
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_finds_true_argmin() {
+        let query: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let candidates: Vec<Vec<f64>> = (0..20)
+            .map(|k| {
+                (0..48)
+                    .map(|i| (i as f64 * 0.3).sin() + 0.1 * (k as f64 - 7.5).abs())
+                    .collect()
+            })
+            .collect();
+        let (idx, d) = nearest_neighbor(&query, &candidates, 16).unwrap();
+        // Exhaustive serial reference.
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in candidates.iter().enumerate() {
+            let di = distance_banded(&query, c, 16);
+            if di < best_d {
+                best = i;
+                best_d = di;
+            }
+        }
+        assert_eq!(idx, best);
+        assert_eq!(d, best_d);
+        assert_eq!(nearest_neighbor(&query, &[], 16), None);
+    }
+
+    #[test]
+    fn nearest_neighbor_is_thread_count_invariant() {
+        let query: Vec<f64> = (0..64).map(|i| ((i * 31) % 17) as f64).collect();
+        let candidates: Vec<Vec<f64>> = (0..24)
+            .map(|k| (0..60).map(|i| ((i * (k + 2) * 13) % 19) as f64).collect())
+            .collect();
+        cm_par::set_max_threads(1);
+        let serial = nearest_neighbor(&query, &candidates, 12);
+        cm_par::set_max_threads(0);
+        let parallel = nearest_neighbor(&query, &candidates, 12);
+        assert_eq!(serial, parallel);
     }
 }

@@ -179,8 +179,8 @@ mod tests {
         // Cold-start shape from Fig. 2(b): leading missing values.
         let mut v = vec![0.0, 0.0, 0.0, 10.0, 12.0, 11.0, 13.0, 12.0];
         impute_series(&mut v, &[0, 1, 2], 5).unwrap();
-        for i in 0..3 {
-            assert!(v[i] > 9.0, "position {i} still near zero: {}", v[i]);
+        for (i, &val) in v.iter().take(3).enumerate() {
+            assert!(val > 9.0, "position {i} still near zero: {val}");
         }
     }
 

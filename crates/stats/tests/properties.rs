@@ -46,6 +46,35 @@ proptest! {
     }
 
     #[test]
+    fn banded_with_radius_covering_both_lengths_is_exact(
+        a in finite_series(40),
+        b in finite_series(40),
+    ) {
+        // A band at least max(len(a), len(b)) wide covers the whole DP
+        // grid, so the banded distance must equal the exact one.
+        let radius = a.len().max(b.len());
+        let exact = dtw::distance(&a, &b);
+        let banded = dtw::distance_banded(&a, &b, radius);
+        prop_assert!((exact - banded).abs() <= 1e-9 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn batch_dtw_matches_sequential_elementwise(
+        series in prop::collection::vec(finite_series(32), 2..10),
+    ) {
+        let pairs: Vec<(&[f64], &[f64])> = (0..series.len() - 1)
+            .map(|k| (series[k].as_slice(), series[k + 1].as_slice()))
+            .collect();
+        let batch = dtw::distance_batch(&pairs);
+        let banded = dtw::distance_batch_banded(&pairs, 6);
+        prop_assert_eq!(batch.len(), pairs.len());
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            prop_assert_eq!(batch[k], dtw::distance(a, b));
+            prop_assert_eq!(banded[k], dtw::distance_banded(a, b, 6));
+        }
+    }
+
+    #[test]
     fn mean_lies_between_min_and_max(data in finite_series(64)) {
         let mean = descriptive::mean(&data).unwrap();
         let min = descriptive::min(&data).unwrap();

@@ -1,0 +1,78 @@
+//! Cross-thread-count determinism: the parallel execution layer must
+//! never change results. Training an SGBRT and running the full EIR
+//! procedure with 1 worker, 2 workers, and all cores must produce
+//! bit-identical models, predictions, and rankings.
+
+use cm_ml::{Dataset, SgbrtConfig, TreeConfig};
+use counterminer::{ImportanceConfig, ImportanceRanker};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..features).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 1.5 - r[0] + 0.5 * r[1] * r[2] + 0.02 * rng.gen_range(-1.0..1.0))
+        .collect();
+    Dataset::new(rows, y).unwrap()
+}
+
+/// Thread counts the suite sweeps: serial, two workers, all cores.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 0];
+
+#[test]
+fn sgbrt_training_and_prediction_are_identical_at_any_thread_count() {
+    let data = synthetic(300, 6, 42);
+    let config = SgbrtConfig {
+        n_trees: 80,
+        tree: TreeConfig::default(),
+        ..SgbrtConfig::default()
+    };
+
+    let models: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            cm_par::set_max_threads(t);
+            let model = config.fit(&data).unwrap();
+            let preds = model.predict_batch(data.rows());
+            (model, preds)
+        })
+        .collect();
+    cm_par::set_max_threads(0);
+
+    for (model, preds) in &models[1..] {
+        assert_eq!(*model, models[0].0, "trained model differs across threads");
+        assert_eq!(*preds, models[0].1, "predictions differ across threads");
+    }
+}
+
+#[test]
+fn eir_ranking_is_identical_at_any_thread_count() {
+    let data = synthetic(250, 7, 7);
+    let events: Vec<_> = (0..7).map(cm_events::EventId::new).collect();
+    let config = ImportanceConfig {
+        sgbrt: SgbrtConfig {
+            n_trees: 50,
+            ..SgbrtConfig::default()
+        },
+        prune_step: 2,
+        min_events: 3,
+        ..ImportanceConfig::default()
+    };
+
+    let results: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            cm_par::set_max_threads(t);
+            ImportanceRanker::new(config).rank(&data, &events).unwrap()
+        })
+        .collect();
+    cm_par::set_max_threads(0);
+
+    for result in &results[1..] {
+        assert_eq!(*result, results[0], "EIR result differs across threads");
+    }
+}
