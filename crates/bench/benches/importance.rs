@@ -1,7 +1,7 @@
 //! EIR importance-ranking cost — the Fig. 9/10 pipeline stage.
 
 use cm_events::EventId;
-use cm_ml::{Dataset, SgbrtConfig};
+use cm_ml::{Dataset, SgbrtConfig, Trainer};
 use counterminer::{ImportanceConfig, ImportanceRanker};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -65,5 +65,34 @@ fn bench_importance_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_importance, bench_importance_threads);
+/// Full EIR under each trainer: the hist path bins once and retrains
+/// every pruning round on zero-copy column views of the shared binning.
+fn bench_importance_trainers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("importance_trainers");
+    group.sample_size(10);
+    let (data, events) = dataset(1000, 60);
+    for (label, trainer) in [("exact", Trainer::Exact), ("hist", Trainer::Hist)] {
+        let ranker = ImportanceRanker::new(ImportanceConfig {
+            sgbrt: SgbrtConfig {
+                n_trees: 50,
+                trainer,
+                ..SgbrtConfig::default()
+            },
+            prune_step: 10,
+            min_events: 20,
+            ..ImportanceConfig::default()
+        });
+        group.bench_function(BenchmarkId::new("eir_1000x60", label), |b| {
+            b.iter(|| ranker.rank(std::hint::black_box(&data), &events).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_importance,
+    bench_importance_threads,
+    bench_importance_trainers
+);
 criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! SGBRT training and prediction — the Fig. 8–10 model kernel.
 
-use cm_ml::{Dataset, SgbrtConfig};
+use cm_ml::{BinnedDataset, Dataset, SgbrtConfig, Trainer, MAX_BINS};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,5 +66,69 @@ fn bench_sgbrt_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sgbrt, bench_sgbrt_threads);
+/// Exact threshold scan vs. histogram bins on an EIR-sized problem
+/// (2000 intervals × 60 events — one pruning round's retrain), plus the
+/// one-off binning cost the EIR loop amortizes across rounds.
+fn bench_trainers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgbrt_trainers");
+    group.sample_size(10);
+    let data = dataset(2000, 60);
+    for (label, trainer) in [("exact", Trainer::Exact), ("hist", Trainer::Hist)] {
+        let config = SgbrtConfig {
+            n_trees: 50,
+            trainer,
+            ..SgbrtConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("fit_2000x60", label), |b| {
+            b.iter(|| config.fit(std::hint::black_box(&data)).unwrap());
+        });
+    }
+    group.bench_function("bin_2000x60", |b| {
+        b.iter(|| BinnedDataset::from_dataset(std::hint::black_box(&data), MAX_BINS));
+    });
+    let binned = BinnedDataset::from_dataset(&data, MAX_BINS);
+    let config = SgbrtConfig {
+        n_trees: 50,
+        trainer: Trainer::Hist,
+        ..SgbrtConfig::default()
+    };
+    group.bench_function("fit_binned_2000x60", |b| {
+        b.iter(|| {
+            config
+                .fit_binned(std::hint::black_box(&binned.view()), data.targets())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Per-row `Vec` rows vs. one packed flat buffer — the allocation the
+/// interaction sweeps used to pay per probe row.
+fn bench_predict_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgbrt_predict");
+    group.sample_size(10);
+    let data = dataset(2000, 60);
+    let model = SgbrtConfig {
+        n_trees: 50,
+        ..SgbrtConfig::default()
+    }
+    .fit(&data)
+    .unwrap();
+    let flat: Vec<f64> = data.rows().iter().flatten().copied().collect();
+    group.bench_function("predict_batch_nested_2000x60", |b| {
+        b.iter(|| model.predict_batch(std::hint::black_box(data.rows())));
+    });
+    group.bench_function("predict_batch_flat_2000x60", |b| {
+        b.iter(|| model.predict_batch_flat(std::hint::black_box(&flat)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sgbrt,
+    bench_sgbrt_threads,
+    bench_trainers,
+    bench_predict_flat
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use crate::args::{ArgError, Args};
 use cm_events::{EventCatalog, SampleMode};
-use cm_ml::SgbrtConfig;
+use cm_ml::{SgbrtConfig, Trainer};
 use cm_sim::{Benchmark, PmuConfig, SparkParam, SparkStudy, Workload, ALL_BENCHMARKS};
 use cm_store::Database;
 use counterminer::case_study::{
@@ -41,6 +41,10 @@ COMMANDS:
   analyze <benchmark> [--events N]  the full pipeline: importance and
         [--runs N] [--trees N]      interaction rankings
         [--seed S]
+        [--trainer exact|hist]      GBRT split search: exact thresholds
+                                    or histogram bins (default: hist;
+                                    the CM_TRAINER environment variable
+                                    also works)
   spark <benchmark> [--seed S]      the Spark-tuning case study
   colocate <benchA> <benchB>        importance ranking of two co-located
         [--events N] [--seed S]     benchmarks sharing the PMU
@@ -339,6 +343,10 @@ pub fn analyze(args: &Args) -> CmdResult {
     let runs: usize = args.get_num("runs", 2)?;
     let trees: usize = args.get_num("trees", 80)?;
     let seed: u64 = args.get_num("seed", 0)?;
+    let trainer: Trainer = match args.get("trainer") {
+        Some(s) => s.parse().map_err(|e| ArgError(format!("{e}")))?,
+        None => Trainer::default(),
+    };
 
     let config = MinerConfig {
         runs_per_benchmark: runs,
@@ -346,6 +354,7 @@ pub fn analyze(args: &Args) -> CmdResult {
         importance: ImportanceConfig {
             sgbrt: SgbrtConfig {
                 n_trees: trees,
+                trainer,
                 ..SgbrtConfig::default()
             },
             seed,
@@ -537,5 +546,18 @@ mod tests {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
         assert!(USAGE.contains("--threads"), "usage missing --threads");
+        assert!(USAGE.contains("--trainer"), "usage missing --trainer");
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_trainer() {
+        let args = crate::args::Args::parse(
+            ["analyze", "sort", "--trainer", "warp"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let err = analyze(&args).unwrap_err().to_string();
+        assert!(err.contains("exact"), "unexpected error: {err}");
     }
 }

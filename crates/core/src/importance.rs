@@ -10,7 +10,7 @@
 
 use crate::CmError;
 use cm_events::EventId;
-use cm_ml::{metrics, Dataset, Sgbrt, SgbrtConfig};
+use cm_ml::{metrics, BinnedDataset, Dataset, Sgbrt, SgbrtConfig, Trainer, MAX_BINS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -129,15 +129,37 @@ impl ImportanceRanker {
         let mut iterations = Vec::new();
         let mut best: Option<(usize, f64, Sgbrt, Vec<usize>)> = None;
 
+        // With the hist trainer, quantize the training rows once per EIR
+        // run: every pruning round retrains on a zero-copy column view of
+        // this shared binning, so retraining never re-quantizes (and
+        // never materializes a pruned copy of the raw training matrix).
+        let binned = match self.config.sgbrt.trainer {
+            Trainer::Hist => Some(BinnedDataset::from_dataset(&train, MAX_BINS)),
+            Trainer::Exact => None,
+        };
+
         loop {
-            // The two view projections are independent gathers; training
-            // and batch prediction below fan out on the pool themselves.
-            let (train_view, test_view) = cm_par::join(
-                || train.select_features(&active),
-                || test.select_features(&active),
-            );
-            let (train_view, test_view) = (train_view?, test_view?);
-            let model = self.config.sgbrt.fit(&train_view)?;
+            let (model, test_view) = match &binned {
+                Some(binned) => {
+                    // Training reads bin codes only; just the held-out
+                    // rows need a raw-value projection for prediction.
+                    let train_view = binned.select(&active)?;
+                    let test_view = test.select_features(&active)?;
+                    let model = self.config.sgbrt.fit_binned(&train_view, train.targets())?;
+                    (model, test_view)
+                }
+                None => {
+                    // The two view projections are independent gathers;
+                    // training and batch prediction fan out on the pool
+                    // themselves.
+                    let (train_view, test_view) = cm_par::join(
+                        || train.select_features(&active),
+                        || test.select_features(&active),
+                    );
+                    let train_view = train_view?;
+                    (self.config.sgbrt.fit(&train_view)?, test_view?)
+                }
+            };
             let preds = model.predict_batch(test_view.rows());
             let error = metrics::relative_error(test_view.targets(), &preds)?;
             iterations.push(EirIteration {
@@ -306,6 +328,41 @@ mod tests {
             a.iterations.iter().map(|i| i.error).collect::<Vec<_>>(),
             b.iterations.iter().map(|i| i.error).collect::<Vec<_>>()
         );
+    }
+
+    /// Both trainers must tell the same qualitative story: the dominant
+    /// event tops the MAPM ranking and the held-out errors stay close.
+    #[test]
+    fn exact_and_hist_trainers_agree_on_dominant_event() {
+        let (data, events) = synthetic(400, 8);
+        let with_trainer = |trainer| {
+            let mut config = fast_config();
+            config.sgbrt.trainer = trainer;
+            ImportanceRanker::new(config).rank(&data, &events).unwrap()
+        };
+        let exact = with_trainer(Trainer::Exact);
+        let hist = with_trainer(Trainer::Hist);
+        assert_eq!(exact.ranking[0].0, EventId::new(0));
+        assert_eq!(hist.ranking[0].0, EventId::new(0));
+        let (e, h) = (exact.best_error(), hist.best_error());
+        assert!((h - e).abs() / e < 0.25, "exact {e} vs hist {h}");
+    }
+
+    /// The hist EIR path (bin once, retrain on column views) must be
+    /// thread-count invariant end to end.
+    #[test]
+    fn hist_ranking_is_thread_count_invariant() {
+        let (data, events) = synthetic(250, 9);
+        let mut config = fast_config();
+        config.sgbrt.trainer = Trainer::Hist;
+        cm_par::set_max_threads(1);
+        let serial = ImportanceRanker::new(config).rank(&data, &events).unwrap();
+        cm_par::set_max_threads(2);
+        let two = ImportanceRanker::new(config).rank(&data, &events).unwrap();
+        cm_par::set_max_threads(0);
+        let parallel = ImportanceRanker::new(config).rank(&data, &events).unwrap();
+        assert_eq!(serial, two);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -140,16 +140,17 @@ impl InteractionRanker {
         let f0 = model.predict(&means);
 
         // Univariate partial responses, shared across pairs. Each event's
-        // sweep is an independent batch of MAPM predictions.
+        // sweep packs its probes into one flat buffer and predicts them
+        // as a single batch over the flattened ensemble.
+        let nf = means.len();
         let partials: Vec<Vec<f64>> = cm_par::map(&cols, |&c| {
-            let mut probe = means.clone();
-            data.rows()
-                .iter()
-                .map(|row| {
-                    probe[c] = row[c];
-                    model.predict(&probe)
-                })
-                .collect()
+            let mut probes = Vec::with_capacity(data.n_rows() * nf);
+            for row in data.rows() {
+                let start = probes.len();
+                probes.extend_from_slice(&means);
+                probes[start + c] = row[c];
+            }
+            model.predict_batch_flat(&probes)
         });
 
         // The O(P²) cross-difference loop, fanned out per pair. Summation
@@ -158,15 +159,17 @@ impl InteractionRanker {
         let pairs = index_pairs(top_events.len());
         let mut out: Vec<PairInteraction> = cm_par::map(&pairs, |&(i, j)| {
             let (ca, cb) = (cols[i], cols[j]);
-            let mut probe = means.clone();
+            let mut probes = Vec::with_capacity(data.n_rows() * nf);
+            for row in data.rows() {
+                let start = probes.len();
+                probes.extend_from_slice(&means);
+                probes[start + ca] = row[ca];
+                probes[start + cb] = row[cb];
+            }
+            let f_ab = model.predict_batch_flat(&probes);
             let mut v = 0.0;
-            for (r, row) in data.rows().iter().enumerate() {
-                probe[ca] = row[ca];
-                probe[cb] = row[cb];
-                let f_ab = model.predict(&probe);
-                probe[ca] = means[ca];
-                probe[cb] = means[cb];
-                let cross = f_ab - partials[i][r] - partials[j][r] + f0;
+            for r in 0..data.n_rows() {
+                let cross = f_ab[r] - partials[i][r] - partials[j][r] + f0;
                 v += cross * cross;
             }
             PairInteraction {
@@ -261,16 +264,19 @@ fn pair_intensity(
     cb: usize,
 ) -> Result<f64, CmError> {
     // Sweep the pair over its observed joint values, others at means.
-    let mut rows = Vec::with_capacity(data.n_rows());
+    // Probes are packed into one flat buffer — no per-row Vec — and
+    // predicted in a single batch over the flattened ensemble.
+    let nf = means.len();
+    let mut probes = Vec::with_capacity(data.n_rows() * nf);
     let mut pair_rows = Vec::with_capacity(data.n_rows());
     for row in data.rows() {
-        let mut probe = means.to_vec();
-        probe[ca] = row[ca];
-        probe[cb] = row[cb];
+        let start = probes.len();
+        probes.extend_from_slice(means);
+        probes[start + ca] = row[ca];
+        probes[start + cb] = row[cb];
         pair_rows.push(vec![row[ca], row[cb]]);
-        rows.push(probe);
     }
-    let surface: Vec<f64> = rows.iter().map(|r| model.predict(r)).collect();
+    let surface = model.predict_batch_flat(&probes);
     let linear = MultipleLinear::fit(&pair_rows, &surface).map_err(CmError::Stats)?;
     linear
         .residual_sum_of_squares(&pair_rows, &surface)

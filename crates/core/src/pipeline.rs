@@ -264,6 +264,19 @@ mod tests {
         );
     }
 
+    /// The pipeline must run under either trainer; the default config
+    /// ([`cm_ml::Trainer::default`]) is exercised by the other tests, so
+    /// this pins the exact path explicitly.
+    #[test]
+    fn analysis_runs_with_exact_trainer() {
+        let mut config = tiny_config();
+        config.importance.sgbrt.trainer = cm_ml::Trainer::Exact;
+        let mut miner = CounterMiner::new(config);
+        let report = miner.analyze(Benchmark::Sort).unwrap();
+        assert!(!report.eir.ranking.is_empty());
+        assert_eq!(report.interactions.len(), 4 * 3 / 2);
+    }
+
     #[test]
     fn double_collect_is_rejected() {
         let mut miner = CounterMiner::new(tiny_config());

@@ -93,6 +93,15 @@ impl Dataset {
         &self.rows
     }
 
+    /// The values of feature `f` across all rows, in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on iteration) if `f >= n_features()`.
+    pub fn column(&self, f: usize) -> impl Iterator<Item = f64> + '_ {
+        self.rows.iter().map(move |row| row[f])
+    }
+
     /// Splits into `(train, test)` with `test_fraction` of rows going to
     /// the test set, shuffled by `rng`.
     ///
@@ -229,6 +238,13 @@ mod tests {
         // Order is respected and duplication allowed.
         let doubled = data.select_features(&[1, 0, 1]).unwrap();
         assert_eq!(doubled.row(2), &[4.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn column_iterates_in_row_order() {
+        let data = make(4);
+        let col: Vec<f64> = data.column(1).collect();
+        assert_eq!(col, vec![0.0, 1.0, 4.0, 9.0]);
     }
 
     #[test]

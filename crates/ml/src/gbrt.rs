@@ -1,11 +1,53 @@
-use crate::tree::{RegressionTree, TreeConfig};
-use crate::{Dataset, MlError};
+use crate::binning::{BinnedDataset, BinnedView, MAX_BINS};
+use crate::tree::{FlatForest, RegressionTree, TreeConfig};
+use crate::{hist, Dataset, MlError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Rows per parallel chunk for batch prediction and residual updates.
 const PREDICT_CHUNK: usize = 64;
+
+/// Which split-search algorithm trains each boosting stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trainer {
+    /// Presorted exact search: every distinct value is a candidate
+    /// threshold, O(rows) per feature per node.
+    Exact,
+    /// Histogram-binned search (the default): features are quantized
+    /// once into ≤ [`MAX_BINS`] bins, nodes scan O(bins) candidates over
+    /// gradient histograms, and sibling histograms are derived by
+    /// subtraction. Same objective, near-identical models, much faster
+    /// on EIR-sized data.
+    Hist,
+}
+
+impl Default for Trainer {
+    /// `Hist`, unless the `CM_TRAINER` environment variable says
+    /// `exact` — the knob the CI feature matrix (and a cautious user)
+    /// flips without touching code.
+    fn default() -> Self {
+        static ENV: std::sync::OnceLock<Trainer> = std::sync::OnceLock::new();
+        *ENV.get_or_init(|| match std::env::var("CM_TRAINER").as_deref() {
+            Ok(v) if v.eq_ignore_ascii_case("exact") => Trainer::Exact,
+            _ => Trainer::Hist,
+        })
+    }
+}
+
+impl std::str::FromStr for Trainer {
+    type Err = MlError;
+
+    fn from_str(s: &str) -> Result<Self, MlError> {
+        if s.eq_ignore_ascii_case("exact") {
+            Ok(Trainer::Exact)
+        } else if s.eq_ignore_ascii_case("hist") {
+            Ok(Trainer::Hist)
+        } else {
+            Err(MlError::InvalidConfig("trainer must be `exact` or `hist`"))
+        }
+    }
+}
 
 /// Derives an independent RNG stream from a base seed (splitmix64
 /// finalizer). Stream `t` seeds tree `t`'s subsampling, so each stage's
@@ -36,6 +78,9 @@ pub struct SgbrtConfig {
     /// `(seed, t)`, so the trained model is bit-identical at any thread
     /// count.
     pub seed: u64,
+    /// Split-search algorithm. Both trainers draw identical per-stage
+    /// subsamples from the same seed streams.
+    pub trainer: Trainer,
 }
 
 impl Default for SgbrtConfig {
@@ -46,6 +91,7 @@ impl Default for SgbrtConfig {
             subsample: 0.7,
             tree: TreeConfig::default(),
             seed: 0,
+            trainer: Trainer::default(),
         }
     }
 }
@@ -84,13 +130,13 @@ impl SgbrtConfig {
         // Walk the staged predictions over the validation set.
         let mut preds: Vec<f64> = vec![full.base; validation.n_rows()];
         let mut best_stage = 0usize;
-        let mut best_mse = mse_of(&preds, validation.targets());
+        let mut best_mse = crate::metrics::mse(validation.targets(), &preds)?;
         let mut since_best = 0usize;
         for (stage, tree) in full.trees.iter().enumerate() {
             for (p, row) in preds.iter_mut().zip(validation.rows()) {
                 *p += full.learning_rate * tree.predict(row);
             }
-            let mse = mse_of(&preds, validation.targets());
+            let mse = crate::metrics::mse(validation.targets(), &preds)?;
             if mse < best_mse {
                 best_mse = mse;
                 best_stage = stage + 1;
@@ -102,12 +148,23 @@ impl SgbrtConfig {
                 }
             }
         }
-        let mut truncated = full;
-        truncated.trees.truncate(best_stage.max(1));
-        Ok(truncated)
+        let mut trees = full.trees;
+        trees.truncate(best_stage.max(1));
+        // Reflatten: the SoA predictor must mirror the kept stages.
+        Ok(Sgbrt::from_parts(
+            full.base,
+            full.learning_rate,
+            trees,
+            full.n_features,
+        ))
     }
 
-    /// Trains an ensemble on `data`.
+    /// Trains an ensemble on `data`, dispatching on
+    /// [`SgbrtConfig::trainer`]. The histogram path quantizes `data`
+    /// once ([`BinnedDataset::from_dataset`]) and trains on the binned
+    /// view; callers that retrain repeatedly on column subsets (the EIR
+    /// loop) should bin once themselves and call
+    /// [`SgbrtConfig::fit_binned`] per round instead.
     ///
     /// # Errors
     ///
@@ -115,6 +172,16 @@ impl SgbrtConfig {
     /// hyperparameters or [`MlError::EmptyDataset`] via dataset
     /// construction.
     pub fn fit(self, data: &Dataset) -> Result<Sgbrt, MlError> {
+        match self.trainer {
+            Trainer::Exact => self.fit_exact(data),
+            Trainer::Hist => {
+                let binned = BinnedDataset::from_dataset(data, MAX_BINS);
+                self.fit_binned(&binned.view(), data.targets())
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), MlError> {
         if self.n_trees == 0 {
             return Err(MlError::InvalidConfig("n_trees must be at least 1"));
         }
@@ -124,19 +191,29 @@ impl SgbrtConfig {
         if !(self.subsample > 0.0 && self.subsample <= 1.0) {
             return Err(MlError::InvalidConfig("subsample must be in (0, 1]"));
         }
+        Ok(())
+    }
 
+    /// The per-stage subsample of stage `t` — shared by both trainers so
+    /// switching trainer never changes which rows a stage sees.
+    fn stage_sample(&self, n: usize, t: usize) -> Vec<usize> {
+        let subsample_n = ((n as f64) * self.subsample).round().max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(stream_seed(self.seed, t as u64));
+        let mut sample: Vec<usize> = (0..n).collect();
+        sample.shuffle(&mut rng);
+        sample.truncate(subsample_n);
+        sample
+    }
+
+    fn fit_exact(self, data: &Dataset) -> Result<Sgbrt, MlError> {
+        self.validate()?;
         let n = data.n_rows();
         let base = data.targets().iter().sum::<f64>() / n as f64;
         let mut residuals: Vec<f64> = data.targets().iter().map(|&y| y - base).collect();
         let mut trees = Vec::with_capacity(self.n_trees);
-        let subsample_n = ((n as f64) * self.subsample).round().max(1.0) as usize;
 
         for t in 0..self.n_trees {
-            // Per-stage subsample from the stage's own RNG stream.
-            let mut rng = StdRng::seed_from_u64(stream_seed(self.seed, t as u64));
-            let mut sample: Vec<usize> = (0..n).collect();
-            sample.shuffle(&mut rng);
-            sample.truncate(subsample_n);
+            let sample = self.stage_sample(n, t);
             // Retarget the feature matrix at the current residuals —
             // no per-stage clone of the rows.
             let tree = RegressionTree::fit_with_targets(data, &residuals, &sample, self.tree)?;
@@ -149,12 +226,62 @@ impl SgbrtConfig {
             trees.push(tree);
         }
 
-        Ok(Sgbrt {
+        Ok(Sgbrt::from_parts(
             base,
-            learning_rate: self.learning_rate,
+            self.learning_rate,
             trees,
-            n_features: data.n_features(),
-        })
+            data.n_features(),
+        ))
+    }
+
+    /// Trains a histogram-binned ensemble directly on a pre-quantized
+    /// view, regardless of [`SgbrtConfig::trainer`]. The EIR loop bins
+    /// its training split once and calls this with a shrinking
+    /// [`BinnedDataset::select`] view each pruning round, so retraining
+    /// never re-quantizes — the residual updates run entirely in bin
+    /// space via the per-tree router.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidConfig`] for out-of-range
+    /// hyperparameters and [`MlError::InconsistentShape`] when `targets`
+    /// does not pair with the view's rows.
+    pub fn fit_binned(self, view: &BinnedView<'_>, targets: &[f64]) -> Result<Sgbrt, MlError> {
+        self.validate()?;
+        let n = view.n_rows();
+        if targets.len() != n {
+            return Err(MlError::InconsistentShape {
+                expected: n,
+                found: targets.len(),
+            });
+        }
+        if n == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        let base = targets.iter().sum::<f64>() / n as f64;
+        let mut residuals: Vec<f64> = targets.iter().map(|&y| y - base).collect();
+        let mut trees = Vec::with_capacity(self.n_trees);
+
+        for t in 0..self.n_trees {
+            let sample = self.stage_sample(n, t);
+            let fitted = hist::fit_hist_tree(view, &residuals, &sample, self.tree)?;
+            // Route every row through the tree by bin code — no raw
+            // feature reads in the training loop.
+            let step: Vec<f64> = cm_par::map_chunked(n, PREDICT_CHUNK, |range| {
+                range.map(|i| fitted.route(view, i)).collect()
+            });
+            for (r, p) in residuals.iter_mut().zip(&step) {
+                *r -= self.learning_rate * p;
+            }
+            trees.push(fitted.tree);
+        }
+
+        Ok(Sgbrt::from_parts(
+            base,
+            self.learning_rate,
+            trees,
+            view.n_features(),
+        ))
     }
 }
 
@@ -196,15 +323,6 @@ pub fn cross_validate(config: SgbrtConfig, data: &Dataset, k: usize) -> Result<V
     })
 }
 
-fn mse_of(preds: &[f64], targets: &[f64]) -> f64 {
-    preds
-        .iter()
-        .zip(targets)
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f64>()
-        / preds.len() as f64
-}
-
 /// A trained stochastic gradient boosted regression tree ensemble.
 ///
 /// # Examples
@@ -226,36 +344,76 @@ pub struct Sgbrt {
     learning_rate: f64,
     trees: Vec<RegressionTree>,
     n_features: usize,
+    /// The trees reflattened into SoA arrays — every prediction path
+    /// walks this, never the node enums.
+    flat: FlatForest,
 }
 
 impl Sgbrt {
+    /// Assembles a model, flattening the trees into the SoA predictor.
+    fn from_parts(
+        base: f64,
+        learning_rate: f64,
+        trees: Vec<RegressionTree>,
+        n_features: usize,
+    ) -> Self {
+        let flat = FlatForest::from_trees(&trees);
+        Sgbrt {
+            base,
+            learning_rate,
+            trees,
+            n_features,
+            flat,
+        }
+    }
+
     /// Predicts the target for one feature row.
     ///
     /// # Panics
     ///
     /// Panics if `row.len()` differs from the training width.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+        assert_eq!(
+            row.len(),
+            self.n_features,
+            "feature row length does not match the fitted ensemble"
+        );
+        self.base + self.learning_rate * self.flat.predict_row(row)
     }
 
     /// Predicts a batch of rows.
     ///
-    /// Iterates tree-outer over a per-chunk accumulator buffer (one
-    /// ensemble's nodes stay hot in cache across the chunk's rows) and
-    /// fans chunks out across threads. Accumulation order per row is the
-    /// tree order, so every prediction is bit-identical to
-    /// [`Sgbrt::predict`].
+    /// Each row walks the flat SoA forest; chunks fan out across
+    /// threads. Leaf values accumulate in tree order, so every
+    /// prediction is bit-identical to [`Sgbrt::predict`].
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
         cm_par::map_chunked(rows.len(), PREDICT_CHUNK, |range| {
-            let chunk = &rows[range];
-            let mut acc = vec![0.0f64; chunk.len()];
-            for tree in &self.trees {
-                for (a, row) in acc.iter_mut().zip(chunk) {
-                    *a += tree.predict(row);
-                }
-            }
-            acc.into_iter()
-                .map(|sum| self.base + self.learning_rate * sum)
+            rows[range].iter().map(|row| self.predict(row)).collect()
+        })
+    }
+
+    /// Predicts a batch packed as one contiguous row-major buffer of
+    /// `k · n_features` values — the allocation-free entry point for
+    /// dense sweeps (the interaction ranker writes candidate rows into
+    /// one reusable buffer instead of a `Vec<f64>` per row).
+    /// Bit-identical to calling [`Sgbrt::predict`] on each row slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the training width.
+    pub fn predict_batch_flat(&self, rows: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            rows.len() % self.n_features,
+            0,
+            "flat buffer length must be a multiple of the feature count"
+        );
+        let k = rows.len() / self.n_features;
+        cm_par::map_chunked(k, PREDICT_CHUNK, |range| {
+            range
+                .map(|i| {
+                    let row = &rows[i * self.n_features..(i + 1) * self.n_features];
+                    self.base + self.learning_rate * self.flat.predict_row(row)
+                })
                 .collect()
         })
     }
@@ -520,6 +678,141 @@ mod tests {
         cm_par::set_max_threads(0);
         let parallel = cross_validate(config, &data, 3).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    /// Oracle: the histogram trainer's cross-validated error must track
+    /// the exact trainer's on the Friedman-style dataset — the binning
+    /// is an approximation of split *placement*, not of the objective.
+    #[test]
+    fn hist_cv_error_within_tolerance_of_exact() {
+        let data = friedman_like(600, 31);
+        let cv_mean = |trainer: Trainer| {
+            let cfg = SgbrtConfig {
+                n_trees: 60,
+                trainer,
+                ..SgbrtConfig::default()
+            };
+            let errs = cross_validate(cfg, &data, 4).unwrap();
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let exact = cv_mean(Trainer::Exact);
+        let hist = cv_mean(Trainer::Hist);
+        assert!(
+            (hist - exact).abs() / exact < 0.05,
+            "hist CV error {hist} drifted from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn hist_training_is_thread_count_invariant() {
+        let data = friedman_like(300, 17);
+        let config = SgbrtConfig {
+            n_trees: 30,
+            trainer: Trainer::Hist,
+            ..SgbrtConfig::default()
+        };
+        cm_par::set_max_threads(1);
+        let serial = config.fit(&data).unwrap();
+        cm_par::set_max_threads(2);
+        let two = config.fit(&data).unwrap();
+        cm_par::set_max_threads(0);
+        let all = config.fit(&data).unwrap();
+        assert_eq!(serial, two);
+        assert_eq!(serial, all);
+    }
+
+    /// Forcing one worker (the serial fallback path taken by
+    /// `--no-default-features` builds) must reproduce the pooled result.
+    #[test]
+    fn hist_serial_fallback_matches_pooled_run() {
+        let data = friedman_like(250, 19);
+        let config = SgbrtConfig {
+            n_trees: 20,
+            trainer: Trainer::Hist,
+            ..SgbrtConfig::default()
+        };
+        cm_par::set_max_threads(1);
+        let serial = config.fit(&data).unwrap();
+        let serial_preds = serial.predict_batch(data.rows());
+        cm_par::set_max_threads(0);
+        let pooled = config.fit(&data).unwrap();
+        assert_eq!(serial, pooled);
+        assert_eq!(serial_preds, pooled.predict_batch(data.rows()));
+    }
+
+    /// `fit` with the hist trainer is exactly `fit_binned` over a
+    /// freshly binned view — the convenience path adds nothing.
+    #[test]
+    fn fit_binned_matches_hist_fit() {
+        let data = friedman_like(200, 23);
+        let config = SgbrtConfig {
+            n_trees: 25,
+            trainer: Trainer::Hist,
+            ..SgbrtConfig::default()
+        };
+        let via_fit = config.fit(&data).unwrap();
+        let binned = BinnedDataset::from_dataset(&data, MAX_BINS);
+        let via_view = config.fit_binned(&binned.view(), data.targets()).unwrap();
+        assert_eq!(via_fit, via_view);
+    }
+
+    /// The EIR reuse contract: training on a zero-copy column view of a
+    /// once-binned dataset is bit-identical to re-binning the projected
+    /// dataset — pruning rounds can skip re-quantization entirely.
+    #[test]
+    fn binned_column_view_matches_rebinned_projection() {
+        let data = friedman_like(300, 27);
+        let config = SgbrtConfig {
+            n_trees: 20,
+            trainer: Trainer::Hist,
+            ..SgbrtConfig::default()
+        };
+        let binned = BinnedDataset::from_dataset(&data, MAX_BINS);
+        for cols in [vec![0usize, 2], vec![3, 1], vec![0, 1, 2, 3]] {
+            let view = binned.select(&cols).unwrap();
+            let via_view = config.fit_binned(&view, data.targets()).unwrap();
+            let projected = data.select_features(&cols).unwrap();
+            let via_projection = config.fit(&projected).unwrap();
+            assert_eq!(via_view, via_projection, "columns {cols:?}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_flat_matches_predict() {
+        let data = friedman_like(150, 29);
+        let model = SgbrtConfig {
+            n_trees: 30,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let flat: Vec<f64> = data.rows().iter().flatten().copied().collect();
+        let batch = model.predict_batch_flat(&flat);
+        assert_eq!(batch.len(), data.n_rows());
+        for (row, &b) in data.rows().iter().zip(&batch) {
+            assert_eq!(model.predict(row), b);
+        }
+        assert!(model.predict_batch_flat(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the feature count")]
+    fn predict_batch_flat_rejects_ragged_buffers() {
+        let data = friedman_like(50, 33);
+        let model = SgbrtConfig {
+            n_trees: 5,
+            ..SgbrtConfig::default()
+        }
+        .fit(&data)
+        .unwrap();
+        model.predict_batch_flat(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn trainer_parses_and_rejects() {
+        assert_eq!("exact".parse::<Trainer>().unwrap(), Trainer::Exact);
+        assert_eq!("HIST".parse::<Trainer>().unwrap(), Trainer::Hist);
+        assert!("fast".parse::<Trainer>().is_err());
     }
 
     #[test]

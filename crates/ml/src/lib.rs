@@ -33,13 +33,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binning;
 mod dataset;
 mod error;
 mod gbrt;
+mod hist;
 pub mod metrics;
 mod tree;
 
+pub use binning::{BinnedDataset, BinnedView, MAX_BINS};
 pub use dataset::Dataset;
 pub use error::MlError;
-pub use gbrt::{cross_validate, Sgbrt, SgbrtConfig};
+pub use gbrt::{cross_validate, Sgbrt, SgbrtConfig, Trainer};
 pub use tree::{RegressionTree, TreeConfig};

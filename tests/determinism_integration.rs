@@ -3,7 +3,7 @@
 //! procedure with 1 worker, 2 workers, and all cores must produce
 //! bit-identical models, predictions, and rankings.
 
-use cm_ml::{Dataset, SgbrtConfig, TreeConfig};
+use cm_ml::{Dataset, SgbrtConfig, Trainer, TreeConfig};
 use counterminer::{ImportanceConfig, ImportanceRanker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,26 +26,35 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 0];
 #[test]
 fn sgbrt_training_and_prediction_are_identical_at_any_thread_count() {
     let data = synthetic(300, 6, 42);
-    let config = SgbrtConfig {
-        n_trees: 80,
-        tree: TreeConfig::default(),
-        ..SgbrtConfig::default()
-    };
+    for trainer in [Trainer::Exact, Trainer::Hist] {
+        let config = SgbrtConfig {
+            n_trees: 80,
+            tree: TreeConfig::default(),
+            trainer,
+            ..SgbrtConfig::default()
+        };
 
-    let models: Vec<_> = THREAD_COUNTS
-        .iter()
-        .map(|&t| {
-            cm_par::set_max_threads(t);
-            let model = config.fit(&data).unwrap();
-            let preds = model.predict_batch(data.rows());
-            (model, preds)
-        })
-        .collect();
-    cm_par::set_max_threads(0);
+        let models: Vec<_> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                cm_par::set_max_threads(t);
+                let model = config.fit(&data).unwrap();
+                let preds = model.predict_batch(data.rows());
+                (model, preds)
+            })
+            .collect();
+        cm_par::set_max_threads(0);
 
-    for (model, preds) in &models[1..] {
-        assert_eq!(*model, models[0].0, "trained model differs across threads");
-        assert_eq!(*preds, models[0].1, "predictions differ across threads");
+        for (model, preds) in &models[1..] {
+            assert_eq!(
+                *model, models[0].0,
+                "{trainer:?} model differs across threads"
+            );
+            assert_eq!(
+                *preds, models[0].1,
+                "{trainer:?} predictions differ across threads"
+            );
+        }
     }
 }
 
@@ -53,26 +62,32 @@ fn sgbrt_training_and_prediction_are_identical_at_any_thread_count() {
 fn eir_ranking_is_identical_at_any_thread_count() {
     let data = synthetic(250, 7, 7);
     let events: Vec<_> = (0..7).map(cm_events::EventId::new).collect();
-    let config = ImportanceConfig {
-        sgbrt: SgbrtConfig {
-            n_trees: 50,
-            ..SgbrtConfig::default()
-        },
-        prune_step: 2,
-        min_events: 3,
-        ..ImportanceConfig::default()
-    };
+    for trainer in [Trainer::Exact, Trainer::Hist] {
+        let config = ImportanceConfig {
+            sgbrt: SgbrtConfig {
+                n_trees: 50,
+                trainer,
+                ..SgbrtConfig::default()
+            },
+            prune_step: 2,
+            min_events: 3,
+            ..ImportanceConfig::default()
+        };
 
-    let results: Vec<_> = THREAD_COUNTS
-        .iter()
-        .map(|&t| {
-            cm_par::set_max_threads(t);
-            ImportanceRanker::new(config).rank(&data, &events).unwrap()
-        })
-        .collect();
-    cm_par::set_max_threads(0);
+        let results: Vec<_> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                cm_par::set_max_threads(t);
+                ImportanceRanker::new(config).rank(&data, &events).unwrap()
+            })
+            .collect();
+        cm_par::set_max_threads(0);
 
-    for result in &results[1..] {
-        assert_eq!(*result, results[0], "EIR result differs across threads");
+        for result in &results[1..] {
+            assert_eq!(
+                *result, results[0],
+                "{trainer:?} EIR result differs across threads"
+            );
+        }
     }
 }
