@@ -11,9 +11,22 @@
 //! simulator, not a Xeon cluster); the *shape* — who wins, by what
 //! factor, where the knees fall — is what each experiment checks.
 //! `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! # Examples
+//!
+//! ```
+//! use cm_bench::{ExpConfig, Scale};
+//!
+//! // Tests and smoke runs downscale every experiment the same way.
+//! let config = ExpConfig {
+//!     scale: Scale::Quick,
+//!     ..ExpConfig::default()
+//! };
+//! assert_eq!(config.seed, 2018);
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 

@@ -54,6 +54,11 @@ GLOBAL OPTIONS:
   --threads N                       worker threads for parallel stages
                                     (default: all cores; the CM_THREADS
                                     environment variable also works)
+  --metrics MODE                    pipeline observability: off, summary
+                                    (human-readable span/counter report
+                                    on stderr), json, or json:PATH
+                                    (JSON lines; the CM_OBS environment
+                                    variable also works)
 ";
 
 fn benchmark_by_name(name: &str) -> Result<Benchmark, ArgError> {
@@ -547,6 +552,8 @@ mod tests {
         }
         assert!(USAGE.contains("--threads"), "usage missing --threads");
         assert!(USAGE.contains("--trainer"), "usage missing --trainer");
+        assert!(USAGE.contains("--metrics"), "usage missing --metrics");
+        assert!(USAGE.contains("CM_OBS"), "usage missing CM_OBS");
     }
 
     #[test]

@@ -32,6 +32,17 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Global `--metrics <off|summary|json[:PATH]>` overrides the CM_OBS
+    // environment variable; unset, CM_OBS (or off) applies lazily.
+    if let Some(metrics) = parsed.get("metrics") {
+        match cm_obs::parse_mode(metrics) {
+            Ok(mode) => cm_obs::set_mode(mode),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let command = parsed.positional(0).unwrap_or("help").to_string();
     let result = match command.as_str() {
         "catalog" => commands::catalog(&parsed),
@@ -55,6 +66,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Emit collected metrics (if any mode is active) even when the
+    // command failed — a partial trace is exactly what debugging wants.
+    cm_obs::report::report();
 
     if let Err(e) = result {
         eprintln!("error: {e}");

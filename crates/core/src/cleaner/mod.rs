@@ -74,6 +74,26 @@ pub struct CleanReport {
 /// The data cleaner.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::TimeSeries;
+/// use counterminer::DataCleaner;
+///
+/// // A steady series with one dropped sample and one glitch.
+/// let mut v: Vec<f64> = (0..60)
+///     .map(|i| 10.0 + ((i * 37) % 11) as f64 * 0.1)
+///     .collect();
+/// v[7] = 0.0; // missing (multiplexing gap)
+/// v[33] = 900.0; // outlier
+/// let cleaner = DataCleaner::default();
+/// let (clean, report) = cleaner.clean_series(&TimeSeries::from_values(v))?;
+/// assert_eq!(report.missing_filled, 1);
+/// assert_eq!(report.outliers_replaced, 1);
+/// assert!(clean.values().iter().all(|&x| x > 9.0 && x < 12.0));
+/// # Ok::<(), counterminer::CmError>(())
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct DataCleaner {
     config: CleanerConfig,
@@ -110,6 +130,24 @@ impl DataCleaner {
         // 2. Outliers: distribution-aware threshold (Table I / Eq. 6),
         //    replacement by segment median (Eq. 7).
         let outlier_outcome = outlier::replace_outliers(&mut values, &self.config)?;
+
+        // Per-series tallies; sums commute, so `clean_run`'s parallel
+        // fan-out reports the same totals at any thread count.
+        if cm_obs::enabled() {
+            cm_obs::counter_add("cleaner.series", 1);
+            cm_obs::counter_add("cleaner.outliers_replaced", outlier_outcome.replaced as u64);
+            cm_obs::counter_add("cleaner.missing_filled", missing_outcome.filled as u64);
+            cm_obs::counter_add("cleaner.zeros_kept", missing_outcome.kept as u64);
+            cm_obs::histogram_record("cleaner.n_used", outlier_outcome.n_used);
+            cm_obs::counter_add(
+                match outlier_outcome.distribution {
+                    SeriesDistribution::Gaussian => "cleaner.dist.gaussian",
+                    SeriesDistribution::LongTail => "cleaner.dist.long_tail",
+                    SeriesDistribution::Undetermined => "cleaner.dist.undetermined",
+                },
+                1,
+            );
+        }
 
         Ok((
             TimeSeries::from_values(values),

@@ -19,6 +19,7 @@ pub fn collect_runs(
     pmu: &PmuConfig,
     seed: u64,
 ) -> Vec<SimRun> {
+    cm_obs::counter_add("collector.runs", n_runs as u64);
     pmu.simulate_batch(workload, events, mode, n_runs, seed)
 }
 

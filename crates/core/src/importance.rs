@@ -139,6 +139,7 @@ impl ImportanceRanker {
         };
 
         loop {
+            let _round = cm_obs::span!("eir.round", round = iterations.len());
             let (model, test_view) = match &binned {
                 Some(binned) => {
                     // Training reads bin codes only; just the held-out
@@ -162,6 +163,9 @@ impl ImportanceRanker {
             };
             let preds = model.predict_batch(test_view.rows());
             let error = metrics::relative_error(test_view.targets(), &preds)?;
+            // The paper's pruning curve, one point per round: how the
+            // held-out error moves as the event set shrinks.
+            cm_obs::series_push("eir.cv_error", active.len() as f64, error);
             iterations.push(EirIteration {
                 n_events: active.len(),
                 error,
@@ -190,6 +194,14 @@ impl ImportanceRanker {
                 .filter(|(local, _)| !drop.contains(local))
                 .map(|(_, &global)| global)
                 .collect();
+        }
+
+        if cm_obs::enabled() {
+            cm_obs::counter_add("eir.rounds", iterations.len() as u64);
+            cm_obs::counter_add(
+                "eir.events_pruned",
+                (data.n_features() - active.len()) as u64,
+            );
         }
 
         let (best_iteration, _, mapm, mapm_active) =

@@ -76,6 +76,7 @@ impl InteractionRanker {
         // out across the pool. `try_map` keeps pair order and surfaces
         // the lowest-indexed error, like the serial loop did.
         let pairs = index_pairs(top_events.len());
+        record_sweep(pairs.len(), pairs.len() * data.n_rows());
         let intensities = cm_par::try_map(&pairs, |&(i, j)| {
             pair_intensity(model, data, &means, cols[i], cols[j])
         })?;
@@ -157,6 +158,9 @@ impl InteractionRanker {
         // order within a pair is unchanged, so intensities are
         // bit-identical to the serial loop at any thread count.
         let pairs = index_pairs(top_events.len());
+        // Probe rows: one row of probes per dataset row, for each
+        // univariate partial and each pair surface.
+        record_sweep(pairs.len(), (cols.len() + pairs.len()) * data.n_rows());
         let mut out: Vec<PairInteraction> = cm_par::map(&pairs, |&(i, j)| {
             let (ca, cb) = (cols[i], cols[j]);
             let mut probes = Vec::with_capacity(data.n_rows() * nf);
@@ -208,6 +212,15 @@ impl InteractionRanker {
         linear
             .residual_sum_of_squares(&rows, target)
             .map_err(CmError::Stats)
+    }
+}
+
+/// One observability record per interaction sweep: how many pairs were
+/// ranked and how many probe rows the MAPM predicted for them.
+fn record_sweep(pairs: usize, probe_rows: usize) {
+    if cm_obs::enabled() {
+        cm_obs::counter_add("interaction.pairs", pairs as u64);
+        cm_obs::counter_add("interaction.probe_rows", probe_rows as u64);
     }
 }
 

@@ -11,6 +11,20 @@ use cm_sim::{Benchmark, PmuConfig, SimRun, Workload};
 use cm_store::Database;
 
 /// Pipeline configuration.
+///
+/// # Examples
+///
+/// ```
+/// use counterminer::MinerConfig;
+///
+/// // Downscale the defaults for a quick exploratory run.
+/// let config = MinerConfig {
+///     runs_per_benchmark: 1,
+///     events_to_measure: Some(20),
+///     ..MinerConfig::default()
+/// };
+/// assert_eq!(config.interaction_top_k, 10);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MinerConfig {
     /// The simulated PMU.
@@ -142,32 +156,69 @@ impl CounterMiner {
     /// the dataset, EIR-rank importance, rank interactions among the top
     /// events.
     ///
+    /// Each stage is wrapped in a [`cm_obs`] span (`analyze/collect`,
+    /// `analyze/clean`, …), so running with `CM_OBS=summary` (or the
+    /// CLI's `--metrics`) prints a per-stage wall-time tree afterwards.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cm_sim::Benchmark;
+    /// use counterminer::{CounterMiner, ImportanceConfig, MinerConfig};
+    ///
+    /// let mut miner = CounterMiner::new(MinerConfig {
+    ///     runs_per_benchmark: 1,
+    ///     events_to_measure: Some(12),
+    ///     ..MinerConfig::default()
+    /// });
+    /// let report = miner.analyze(Benchmark::Sort)?;
+    /// assert!(!report.eir.ranking.is_empty());
+    /// assert!(!report.interactions.is_empty());
+    /// # Ok::<(), counterminer::CmError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates failures from any stage.
     pub fn analyze(&mut self, benchmark: Benchmark) -> Result<AnalysisReport, CmError> {
-        let runs = self.collect(benchmark)?;
+        let _analyze = cm_obs::span!("analyze", benchmark = benchmark.name());
+        cm_obs::counter_add("pipeline.analyses", 1);
+
+        let runs = {
+            let _s = cm_obs::span!("collect");
+            self.collect(benchmark)?
+        };
         let events: Vec<EventId> = runs[0].record.events().collect();
 
         // Clean per-series and tally what the cleaner did.
         let cleaner = DataCleaner::new(self.config.cleaner);
         let mut outliers_replaced = 0;
         let mut missing_filled = 0;
-        for run in &runs {
-            for (_, series) in run.record.iter() {
-                let (_, report) = cleaner.clean_series(series)?;
-                outliers_replaced += report.outliers_replaced;
-                missing_filled += report.missing_filled;
+        {
+            let _s = cm_obs::span!("clean");
+            for run in &runs {
+                for (_, series) in run.record.iter() {
+                    let (_, report) = cleaner.clean_series(series)?;
+                    outliers_replaced += report.outliers_replaced;
+                    missing_filled += report.missing_filled;
+                }
             }
         }
 
-        let data = collector::build_dataset(&runs, &events, Some(&cleaner))?;
-        let data = collector::aggregate_windows(&data, self.config.aggregation_window)?;
-        let data = collector::normalize_columns(&data)?;
+        let data = {
+            let _s = cm_obs::span!("dataset");
+            let data = collector::build_dataset(&runs, &events, Some(&cleaner))?;
+            let data = collector::aggregate_windows(&data, self.config.aggregation_window)?;
+            collector::normalize_columns(&data)?
+        };
 
         let ranker = ImportanceRanker::new(self.config.importance);
-        let eir = ranker.rank(&data, &events)?;
+        let eir = {
+            let _s = cm_obs::span!("eir");
+            ranker.rank(&data, &events)?
+        };
 
+        let _s = cm_obs::span!("interactions");
         let top: Vec<EventId> = eir
             .top(self.config.interaction_top_k)
             .iter()
@@ -187,6 +238,7 @@ impl CounterMiner {
             &mapm_data,
             &top,
         )?;
+        drop(_s);
 
         Ok(AnalysisReport {
             benchmark,

@@ -70,11 +70,17 @@ impl BinnedDataset {
             codes.push(c);
             cuts.push(q);
         }
-        BinnedDataset {
+        let binned = BinnedDataset {
             codes,
             cuts,
             n_rows,
+        };
+        if cm_obs::enabled() {
+            cm_obs::counter_add("ml.binnings", 1);
+            let total: usize = (0..binned.n_features()).map(|f| binned.n_bins(f)).sum();
+            cm_obs::counter_add("ml.bins_built", total as u64);
         }
+        binned
     }
 
     /// Number of quantized rows.

@@ -9,6 +9,16 @@ use rand::SeedableRng;
 const PREDICT_CHUNK: usize = 64;
 
 /// Which split-search algorithm trains each boosting stage.
+///
+/// # Examples
+///
+/// ```
+/// use cm_ml::Trainer;
+///
+/// assert_eq!("hist".parse::<Trainer>().unwrap(), Trainer::Hist);
+/// assert_eq!("EXACT".parse::<Trainer>().unwrap(), Trainer::Exact);
+/// assert!("warp".parse::<Trainer>().is_err());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trainer {
     /// Presorted exact search: every distinct value is a candidate
@@ -166,6 +176,23 @@ impl SgbrtConfig {
     /// loop) should bin once themselves and call
     /// [`SgbrtConfig::fit_binned`] per round instead.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cm_ml::{Dataset, SgbrtConfig};
+    ///
+    /// let rows: Vec<Vec<f64>> = (0..80)
+    ///     .map(|i| vec![i as f64, (i % 7) as f64])
+    ///     .collect();
+    /// let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + r[1]).collect();
+    /// let data = Dataset::new(rows, y)?;
+    /// let config = SgbrtConfig { n_trees: 25, ..SgbrtConfig::default() };
+    /// let model = config.fit(&data)?;
+    /// let pred = model.predict(&[40.0, 5.0]);
+    /// assert!((pred - 85.0).abs() < 25.0, "prediction {pred}");
+    /// # Ok::<(), cm_ml::MlError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::InvalidConfig`] for out-of-range
@@ -207,6 +234,7 @@ impl SgbrtConfig {
 
     fn fit_exact(self, data: &Dataset) -> Result<Sgbrt, MlError> {
         self.validate()?;
+        record_fit(self.n_trees, "exact");
         let n = data.n_rows();
         let base = data.targets().iter().sum::<f64>() / n as f64;
         let mut residuals: Vec<f64> = data.targets().iter().map(|&y| y - base).collect();
@@ -241,6 +269,21 @@ impl SgbrtConfig {
     /// never re-quantizes — the residual updates run entirely in bin
     /// space via the per-tree router.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cm_ml::{BinnedDataset, Dataset, SgbrtConfig, MAX_BINS};
+    ///
+    /// let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+    /// let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
+    /// let data = Dataset::new(rows, y)?;
+    /// let binned = BinnedDataset::from_dataset(&data, MAX_BINS);
+    /// let config = SgbrtConfig { n_trees: 20, ..SgbrtConfig::default() };
+    /// let model = config.fit_binned(&binned.view(), data.targets())?;
+    /// assert_eq!(model.n_trees(), 20);
+    /// # Ok::<(), cm_ml::MlError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::InvalidConfig`] for out-of-range
@@ -248,6 +291,7 @@ impl SgbrtConfig {
     /// does not pair with the view's rows.
     pub fn fit_binned(self, view: &BinnedView<'_>, targets: &[f64]) -> Result<Sgbrt, MlError> {
         self.validate()?;
+        record_fit(self.n_trees, "hist");
         let n = view.n_rows();
         if targets.len() != n {
             return Err(MlError::InconsistentShape {
@@ -282,6 +326,17 @@ impl SgbrtConfig {
             trees,
             view.n_features(),
         ))
+    }
+}
+
+/// One observability record per training run: which trainer ran and how
+/// many stages it will grow. Counted at entry (not per stage) so the
+/// totals are independent of how the stages are scheduled.
+fn record_fit(n_trees: usize, trainer: &str) {
+    if cm_obs::enabled() {
+        cm_obs::counter_add("ml.fits", 1);
+        cm_obs::counter_add("ml.trees_grown", n_trees as u64);
+        cm_obs::label_set("ml.trainer", trainer);
     }
 }
 

@@ -1,0 +1,389 @@
+//! The sharded global metric registry.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Shard count; writes from up to this many threads proceed without
+/// contending on a shared lock. Power of two so the modulo is cheap.
+const SHARDS: usize = 16;
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Times the span was entered (count-valued: thread-count
+    /// deterministic for spans opened outside parallel regions).
+    pub count: u64,
+    /// Total wall time across entries, in nanoseconds (time-valued:
+    /// exempt from the determinism rule).
+    pub total_ns: u64,
+}
+
+/// One shard's mutable state. Every field merges commutatively into the
+/// drain snapshot, so the shard a thread happens to write to never
+/// affects drained counter/histogram/series values.
+#[derive(Default)]
+struct ShardState {
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, BTreeMap<u64, u64>>,
+    series: HashMap<String, Vec<(f64, f64)>>,
+    spans: HashMap<String, SpanStat>,
+}
+
+/// State that is written rarely (once per stage, not per item) and must
+/// be last-write-wins rather than merged: gauges and string labels.
+#[derive(Default)]
+struct ScalarState {
+    gauges: BTreeMap<String, f64>,
+    labels: BTreeMap<String, String>,
+}
+
+/// The global metric sink: sharded maps of counters, histograms,
+/// series, and span statistics, plus last-write gauges and labels.
+///
+/// All recording goes through the free functions ([`counter_add`],
+/// [`gauge_set`], [`label_set`], [`histogram_record`], [`series_push`])
+/// or the [`span!`](crate::span!) macro; [`Registry::drain`] merges
+/// every shard into an immutable [`Snapshot`] and resets the registry.
+///
+/// # Examples
+///
+/// ```
+/// cm_obs::set_mode(cm_obs::Mode::Summary);
+/// cm_obs::counter_add("pmu.samples", 480);
+/// cm_obs::gauge_set("cleaner.coverage_target", 0.99);
+/// cm_obs::label_set("ml.trainer", "hist");
+///
+/// let snap = cm_obs::Registry::global().drain();
+/// assert_eq!(snap.counters["pmu.samples"], 480);
+/// assert_eq!(snap.labels["ml.trainer"], "hist");
+/// // Draining resets the registry.
+/// assert!(cm_obs::Registry::global().drain().counters.is_empty());
+/// cm_obs::set_mode(cm_obs::Mode::Off);
+/// ```
+pub struct Registry {
+    shards: Vec<Mutex<ShardState>>,
+    scalars: Mutex<ScalarState>,
+}
+
+/// An immutable, deterministically ordered copy of everything the
+/// registry held at drain time. All maps are `BTreeMap`s, so iteration
+/// order — and therefore reporter output order — is stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters: name → summed value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges: name → last value written.
+    pub gauges: BTreeMap<String, f64>,
+    /// String labels: name → last value written.
+    pub labels: BTreeMap<String, String>,
+    /// Exact-value histograms: name → (value bits → occurrence count).
+    /// Keys are `f64::to_bits` of the observed value; use
+    /// [`Snapshot::histogram`] for the decoded view.
+    pub histograms: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// Ordered sample series: name → `(x, y)` points in push order.
+    pub series: BTreeMap<String, Vec<(f64, f64)>>,
+    /// Span statistics keyed by slash-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Snapshot {
+    /// A histogram's `(value, count)` pairs in ascending value order.
+    pub fn histogram(&self, name: &str) -> Vec<(f64, u64)> {
+        self.histograms
+            .get(name)
+            .map(|h| {
+                let mut pairs: Vec<(f64, u64)> = h
+                    .iter()
+                    .map(|(&bits, &c)| (f64::from_bits(bits), c))
+                    .collect();
+                pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                pairs
+            })
+            .unwrap_or_default()
+    }
+
+    /// The counters covered by the determinism rule: everything except
+    /// durations (names ending in `_ns`) and scheduling metrics
+    /// (`par.sched.*`), both of which legitimately vary with the thread
+    /// count. The `obs_determinism` integration test asserts these are
+    /// bit-identical across thread budgets.
+    pub fn deterministic_counters(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter(|(name, _)| !name.ends_with("_ns") && !name.starts_with("par.sched."))
+            .map(|(name, &v)| (name.clone(), v))
+            .collect()
+    }
+
+    /// Span paths with their entry counts (times stripped) — the
+    /// count-valued projection of the span tree.
+    pub fn span_counts(&self) -> BTreeMap<String, u64> {
+        self.spans
+            .iter()
+            .map(|(path, stat)| (path.clone(), stat.count))
+            .collect()
+    }
+}
+
+fn lock_resilient<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
+            scalars: Mutex::new(ScalarState::default()),
+        }
+    }
+
+    /// The process-wide registry every recording call writes to.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// This thread's shard. Threads are assigned round-robin on first
+    /// use, which spreads the persistent pool workers evenly.
+    fn shard(&self) -> MutexGuard<'_, ShardState> {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static INDEX: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        }
+        let index = INDEX.with(|i| *i);
+        lock_resilient(&self.shards[index])
+    }
+
+    pub(crate) fn record_counter(&self, name: &str, delta: u64) {
+        let mut shard = self.shard();
+        *shard.counters.entry_ref_or_owned(name) += delta;
+    }
+
+    pub(crate) fn record_histogram(&self, name: &str, value: f64) {
+        let mut shard = self.shard();
+        let hist = shard.histograms.entry_ref_or_owned(name);
+        *hist.entry(value.to_bits()).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_series(&self, name: &str, x: f64, y: f64) {
+        let mut shard = self.shard();
+        shard.series.entry_ref_or_owned(name).push((x, y));
+    }
+
+    pub(crate) fn record_span(&self, path: &str, elapsed: Duration) {
+        let mut shard = self.shard();
+        let stat = shard.spans.entry_ref_or_owned(path);
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(elapsed.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_gauge(&self, name: &str, value: f64) {
+        let mut scalars = lock_resilient(&self.scalars);
+        scalars.gauges.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn record_label(&self, name: &str, value: &str) {
+        let mut scalars = lock_resilient(&self.scalars);
+        scalars.labels.insert(name.to_string(), value.to_string());
+    }
+
+    /// Merges every shard into a [`Snapshot`] and resets the registry.
+    ///
+    /// Counter and histogram merges are sums and series merges are
+    /// shard-ordered concatenations, so counts are independent of which
+    /// shard (thread) produced them. A series written from more than
+    /// one thread has no canonical order; the pipeline only pushes
+    /// series points from its driving thread.
+    pub fn drain(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for shard in &self.shards {
+            let state = std::mem::take(&mut *lock_resilient(shard));
+            for (name, v) in state.counters {
+                *snap.counters.entry(name).or_insert(0) += v;
+            }
+            for (name, hist) in state.histograms {
+                let merged = snap.histograms.entry(name).or_default();
+                for (bits, count) in hist {
+                    *merged.entry(bits).or_insert(0) += count;
+                }
+            }
+            for (name, mut points) in state.series {
+                snap.series.entry(name).or_default().append(&mut points);
+            }
+            for (path, stat) in state.spans {
+                let merged = snap.spans.entry(path).or_default();
+                merged.count += stat.count;
+                merged.total_ns = merged.total_ns.saturating_add(stat.total_ns);
+            }
+        }
+        let scalars = std::mem::take(&mut *lock_resilient(&self.scalars));
+        snap.gauges = scalars.gauges;
+        snap.labels = scalars.labels;
+        snap
+    }
+}
+
+/// `HashMap::entry` without allocating when the key already exists.
+trait EntryRefOrOwned<V> {
+    fn entry_ref_or_owned(&mut self, key: &str) -> &mut V;
+}
+
+impl<V: Default> EntryRefOrOwned<V> for HashMap<String, V> {
+    fn entry_ref_or_owned(&mut self, key: &str) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key.to_string(), V::default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+}
+
+/// Adds `delta` to the named counter. No-op when collection is off.
+///
+/// Counter sums commute, so incrementing from parallel workers keeps
+/// drained values thread-count deterministic.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if crate::enabled() {
+        Registry::global().record_counter(name, delta);
+    }
+}
+
+/// Sets the named gauge to `value` (last write wins). No-op when off.
+///
+/// Gauges are for configuration-like scalars written once per stage;
+/// writing one from inside a parallel region makes "last" ambiguous.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if crate::enabled() {
+        Registry::global().record_gauge(name, value);
+    }
+}
+
+/// Sets the named string label (last write wins). No-op when off.
+#[inline]
+pub fn label_set(name: &str, value: &str) {
+    if crate::enabled() {
+        Registry::global().record_label(name, value);
+    }
+}
+
+/// Counts one occurrence of `value` in the named exact-value histogram.
+/// No-op when off. Intended for low-cardinality observations (the
+/// cleaner's Table I `n` candidates, bin counts) — every distinct value
+/// becomes its own bucket.
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    if crate::enabled() {
+        Registry::global().record_histogram(name, value);
+    }
+}
+
+/// Appends an `(x, y)` point to the named series. No-op when off.
+///
+/// Push from a single driving thread (series have no cross-thread
+/// ordering); the EIR loop pushes one `(n_events, cv_error)` point per
+/// pruning round this way.
+#[inline]
+pub fn series_push(name: &str, x: f64, y: f64) {
+    if crate::enabled() {
+        Registry::global().record_series(name, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    /// Serializes tests that toggle the global mode / registry.
+    fn with_collection<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_mode(Mode::Summary);
+        Registry::global().drain(); // start clean
+        let out = f();
+        crate::set_mode(Mode::Off);
+        out
+    }
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let total = with_collection(|| {
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            counter_add("test.items", 3);
+                        }
+                    });
+                }
+            });
+            Registry::global().drain().counters["test.items"]
+        });
+        assert_eq!(total, 8 * 100 * 3);
+    }
+
+    #[test]
+    fn histogram_counts_exact_values() {
+        let pairs = with_collection(|| {
+            for v in [3.0, 3.0, 3.5, 7.0, 3.0] {
+                histogram_record("test.n", v);
+            }
+            Registry::global().drain().histogram("test.n")
+        });
+        assert_eq!(pairs, vec![(3.0, 3), (3.5, 1), (7.0, 1)]);
+    }
+
+    #[test]
+    fn series_keeps_push_order() {
+        let points = with_collection(|| {
+            for i in 0..4 {
+                series_push("test.curve", i as f64, (i * i) as f64);
+            }
+            Registry::global().drain().series["test.curve"].clone()
+        });
+        assert_eq!(points, vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+    }
+
+    #[test]
+    fn gauges_and_labels_last_write_wins() {
+        let (gauge, label) = with_collection(|| {
+            gauge_set("test.g", 1.0);
+            gauge_set("test.g", 2.5);
+            label_set("test.l", "first");
+            label_set("test.l", "second");
+            let snap = Registry::global().drain();
+            (snap.gauges["test.g"], snap.labels["test.l"].clone())
+        });
+        assert_eq!(gauge, 2.5);
+        assert_eq!(label, "second");
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        crate::set_mode(Mode::Off);
+        counter_add("test.ignored", 1);
+        histogram_record("test.ignored", 1.0);
+        series_push("test.ignored", 1.0, 1.0);
+        let snap = Registry::global().drain();
+        assert!(!snap.counters.contains_key("test.ignored"));
+        assert!(!snap.histograms.contains_key("test.ignored"));
+        assert!(!snap.series.contains_key("test.ignored"));
+    }
+
+    #[test]
+    fn deterministic_counters_filter_times_and_scheduling() {
+        let filtered = with_collection(|| {
+            counter_add("eir.rounds", 4);
+            counter_add("par.sched.helper_jobs", 12);
+            counter_add("par.worker_busy_ns", 5_000);
+            Registry::global().drain().deterministic_counters()
+        });
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered["eir.rounds"], 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! Reporters over a drained [`Snapshot`]: a human-readable tree summary
+//! and machine-readable JSON lines.
+
+use crate::{Mode, Registry, Snapshot};
+use std::fmt::Write as _;
+
+/// Renders the human-readable summary: the span tree (wall time, entry
+/// counts), then counters, gauges, labels, histograms, and series.
+///
+/// # Examples
+///
+/// ```
+/// cm_obs::set_mode(cm_obs::Mode::Summary);
+/// {
+///     let _s = cm_obs::span!("clean");
+///     cm_obs::counter_add("cleaner.outliers_replaced", 17);
+/// }
+/// let text = cm_obs::render_summary(&cm_obs::Registry::global().drain());
+/// assert!(text.contains("clean"));
+/// assert!(text.contains("cleaner.outliers_replaced"));
+/// cm_obs::set_mode(cm_obs::Mode::Off);
+/// ```
+pub fn render_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans (wall time):\n");
+        render_span_tree(&mut out, snap);
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:<44} {value}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<44} {value}");
+        }
+    }
+    if !snap.labels.is_empty() {
+        out.push_str("labels:\n");
+        for (name, value) in &snap.labels {
+            let _ = writeln!(out, "  {name:<44} {value}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms (value: count):\n");
+        for name in snap.histograms.keys() {
+            let pairs: Vec<String> = snap
+                .histogram(name)
+                .into_iter()
+                .map(|(v, c)| format!("{v}: {c}"))
+                .collect();
+            let _ = writeln!(out, "  {name:<44} {{{}}}", pairs.join(", "));
+        }
+    }
+    if !snap.series.is_empty() {
+        out.push_str("series (x -> y):\n");
+        for (name, points) in &snap.series {
+            let rendered: Vec<String> = points
+                .iter()
+                .map(|(x, y)| format!("{x} -> {y:.4}"))
+                .collect();
+            let _ = writeln!(out, "  {name:<44} [{}]", rendered.join(", "));
+        }
+    }
+    out
+}
+
+/// Spans sorted by path double as a preorder tree walk: a span's
+/// children sort immediately after it. Depth = number of separators.
+fn render_span_tree(out: &mut String, snap: &Snapshot) {
+    for (path, stat) in &snap.spans {
+        let depth = path.matches('/').count();
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let indent = "  ".repeat(depth + 1);
+        let label = format!("{indent}{name}");
+        let _ = writeln!(
+            out,
+            "{label:<46} {:>10.3} ms  x{}",
+            stat.total_ns as f64 / 1e6,
+            stat.count
+        );
+    }
+}
+
+/// Renders machine-readable JSON lines: one object per span, counter,
+/// gauge, label, histogram, and series.
+///
+/// Spans carry `path`, `count`, and `total_ms`; series carry their full
+/// point list (`[[x, y], …]`) — for the EIR curve that is the paper's
+/// per-round `(events, cv_error)` data. Only `total_ms`/`total_ns`
+/// fields are thread-count dependent.
+///
+/// # Examples
+///
+/// ```
+/// cm_obs::set_mode(cm_obs::Mode::Json(None));
+/// cm_obs::series_push("eir.cv_error", 60.0, 0.0825);
+/// let lines = cm_obs::render_json(&cm_obs::Registry::global().drain());
+/// assert_eq!(
+///     lines.trim(),
+///     r#"{"type":"series","name":"eir.cv_error","points":[[60,0.0825]]}"#
+/// );
+/// cm_obs::set_mode(cm_obs::Mode::Off);
+/// ```
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (path, stat) in &snap.spans {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"span","path":{},"count":{},"total_ms":{}}}"#,
+            json_string(path),
+            stat.count,
+            json_f64(stat.total_ns as f64 / 1e6)
+        );
+    }
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"counter","name":{},"value":{value}}}"#,
+            json_string(name)
+        );
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"gauge","name":{},"value":{}}}"#,
+            json_string(name),
+            json_f64(*value)
+        );
+    }
+    for (name, value) in &snap.labels {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"label","name":{},"value":{}}}"#,
+            json_string(name),
+            json_string(value)
+        );
+    }
+    for name in snap.histograms.keys() {
+        let buckets: Vec<String> = snap
+            .histogram(name)
+            .into_iter()
+            .map(|(v, c)| format!("[{},{c}]", json_f64(v)))
+            .collect();
+        let _ = writeln!(
+            out,
+            r#"{{"type":"histogram","name":{},"buckets":[{}]}}"#,
+            json_string(name),
+            buckets.join(",")
+        );
+    }
+    for (name, points) in &snap.series {
+        let rendered: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("[{},{}]", json_f64(*x), json_f64(*y)))
+            .collect();
+        let _ = writeln!(
+            out,
+            r#"{{"type":"series","name":{},"points":[{}]}}"#,
+            json_string(name),
+            rendered.join(",")
+        );
+    }
+    out
+}
+
+/// JSON string literal with the escapes the span/metric names can need.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: finite floats as shortest round-trip decimal;
+/// non-finite values (invalid JSON) as null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Drains the global registry and emits it per the current [`Mode`]:
+/// nothing when off, the tree summary to stderr, or JSON lines to
+/// stderr / the configured file. The CLI calls this once on exit; a
+/// write failure is reported to stderr rather than propagated.
+pub fn report() {
+    match crate::mode() {
+        Mode::Off => {}
+        Mode::Summary => eprint!("{}", render_summary(&Registry::global().drain())),
+        Mode::Json(path) => {
+            let text = render_json(&Registry::global().drain());
+            match path {
+                None => eprint!("{text}"),
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, &text) {
+                        eprintln!("cm-obs: cannot write metrics to {path}: {e}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanStat;
+    use std::collections::BTreeMap;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.spans.insert(
+            "analyze".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 2_000_000,
+            },
+        );
+        snap.spans.insert(
+            "analyze/eir".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 1_500_000,
+            },
+        );
+        snap.counters.insert("eir.rounds".into(), 5);
+        snap.gauges.insert("cleaner.coverage".into(), 0.99);
+        snap.labels.insert("ml.trainer".into(), "hist".into());
+        snap.histograms.insert(
+            "cleaner.n_used".into(),
+            BTreeMap::from([(3.0f64.to_bits(), 7)]),
+        );
+        snap.series
+            .insert("eir.cv_error".into(), vec![(60.0, 0.08), (50.0, 0.075)]);
+        snap
+    }
+
+    #[test]
+    fn summary_renders_every_section() {
+        let text = render_summary(&sample_snapshot());
+        for needle in [
+            "spans (wall time):",
+            "analyze",
+            "  eir", // child indented under parent
+            "eir.rounds",
+            "cleaner.coverage",
+            "ml.trainer",
+            "cleaner.n_used",
+            "eir.cv_error",
+        ] {
+            assert!(text.contains(needle), "summary missing {needle:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_lines_parse_shape() {
+        let text = render_json(&sample_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 7);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains(r#"{"type":"counter","name":"eir.rounds","value":5}"#));
+        assert!(text.contains(r#""points":[[60,0.08],[50,0.075]]"#));
+        assert!(text.contains(r#""buckets":[[3,7]]"#));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(json_string("x\ny"), r#""x\ny""#);
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert!(render_summary(&Snapshot::default()).is_empty());
+        assert!(render_json(&Snapshot::default()).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Hierarchical RAII span timers.
+
+use crate::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of full span paths open on this thread; the top is the
+    /// parent of the next span entered here.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records its wall time into the global [`Registry`]
+/// under its slash-joined path when dropped. Created by the
+/// [`span!`](crate::span!) macro (or [`span_enter`] directly).
+///
+/// Guards are expected to drop in LIFO order (the natural order of
+/// `let` bindings in nested scopes); dropping out of order corrupts the
+/// parentage of subsequently opened spans, not any recorded time.
+#[must_use = "a span records its time when the guard drops"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when collection was off at entry — the drop is free.
+    path: Option<String>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing — what [`span!`](crate::span!)
+    /// returns when collection is off.
+    pub fn disabled() -> Self {
+        SpanGuard {
+            path: None,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// Enters a span named `name` (used by the [`span!`](crate::span!)
+/// macro; the macro is the usual entry point because it also formats
+/// `key = value` fields and skips all work when collection is off).
+pub fn span_enter(name: String) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::disabled();
+    }
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name,
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        path: Some(path),
+        start: Instant::now(),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        let elapsed = self.start.elapsed();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // LIFO in the expected case; tolerate disorder by removing
+            // this span's entry wherever it is.
+            if let Some(pos) = stack.iter().rposition(|p| *p == path) {
+                stack.remove(pos);
+            }
+        });
+        Registry::global().record_span(&path, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Mode, Registry};
+    use std::sync::Mutex;
+
+    fn with_collection<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_mode(Mode::Summary);
+        Registry::global().drain();
+        let out = f();
+        crate::set_mode(Mode::Off);
+        out
+    }
+
+    #[test]
+    fn nested_spans_form_paths() {
+        let snap = with_collection(|| {
+            {
+                let _a = crate::span!("analyze");
+                {
+                    let _b = crate::span!("eir");
+                    let _c = crate::span!("eir.round", round = 0);
+                }
+                let _d = crate::span!("interactions");
+            }
+            Registry::global().drain()
+        });
+        for path in [
+            "analyze",
+            "analyze/eir",
+            "analyze/eir/eir.round{round=0}",
+            "analyze/interactions",
+        ] {
+            assert_eq!(snap.spans[path].count, 1, "missing {path}");
+        }
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let snap = with_collection(|| {
+            for _ in 0..5 {
+                let _s = crate::span!("stage");
+            }
+            Registry::global().drain()
+        });
+        assert_eq!(snap.spans["stage"].count, 5);
+    }
+
+    #[test]
+    fn sibling_threads_have_independent_parents() {
+        let snap = with_collection(|| {
+            let _outer = crate::span!("outer");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = crate::span!("worker_side");
+                });
+            });
+            drop(_outer);
+            Registry::global().drain()
+        });
+        // The spawned thread has its own (empty) stack: its span is a
+        // root, not a child of `outer`.
+        assert_eq!(snap.spans["worker_side"].count, 1);
+        assert_eq!(snap.spans["outer"].count, 1);
+    }
+
+    #[test]
+    fn multi_field_spans_format_all_fields() {
+        let snap = with_collection(|| {
+            let _s = crate::span!("fit", round = 2, events = 40);
+            drop(_s);
+            Registry::global().drain()
+        });
+        assert_eq!(snap.spans["fit{round=2,events=40}"].count, 1);
+    }
+
+    #[test]
+    fn disabled_spans_cost_no_registry_entries() {
+        crate::set_mode(Mode::Off);
+        {
+            let _s = crate::span!("ghost", id = 1);
+        }
+        assert!(!Registry::global().drain().spans.contains_key("ghost{id=1}"));
+    }
+}

@@ -45,7 +45,7 @@
 //! ```
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -101,9 +101,40 @@ pub fn set_max_threads(n: usize) {
     OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Records one parallel region of `units` logical work items with the
+/// observability layer. Counted at the public combinator entry points
+/// (never in internal re-dispatch), so `par.regions` / `par.units` are
+/// thread-count invariant: they describe the work submitted, not how
+/// the scheduler carved it up.
+#[inline]
+fn record_region(units: usize) {
+    if cm_obs::enabled() {
+        cm_obs::counter_add("par.regions", 1);
+        cm_obs::counter_add("par.units", units as u64);
+    }
+}
+
 /// Runs `f(i)` for every `i` in `0..n` and returns the results in index
 /// order. Deterministic: the output never depends on the thread budget.
+///
+/// # Examples
+///
+/// ```
+/// let squares = cm_par::map_range(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
 pub fn map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    record_region(n);
+    map_range_inner(n, f)
+}
+
+/// [`map_range`] without the region accounting — the shared body every
+/// counted entry point dispatches to.
+fn map_range_inner<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -135,6 +166,13 @@ where
 }
 
 /// Parallel map over a slice, results in input order.
+///
+/// # Examples
+///
+/// ```
+/// let sums = cm_par::map(&[1u64, 2, 3], |&x| x + 10);
+/// assert_eq!(sums, vec![11, 12, 13]);
+/// ```
 pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -199,6 +237,7 @@ where
     if n == 0 {
         return Vec::new();
     }
+    record_region(n);
     let budget = max_threads();
     // Aim for a few chunks per thread so the atomic-counter scheduler
     // can balance uneven work, but never below the caller's floor.
@@ -206,7 +245,9 @@ where
         .div_ceil(budget.saturating_mul(4).max(1))
         .max(min_chunk.max(1));
     let n_chunks = n.div_ceil(chunk);
-    let per_chunk = map_range(n_chunks, |c| {
+    // The chunk count depends on the thread budget, so the inner
+    // dispatch must not count it as units.
+    let per_chunk = map_range_inner(n_chunks, |c| {
         let lo = c * chunk;
         let hi = (lo + chunk).min(n);
         f(lo..hi)
@@ -228,6 +269,7 @@ where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
 {
+    record_region(2);
     #[cfg(feature = "parallel")]
     {
         if max_threads() > 1 {

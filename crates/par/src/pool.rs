@@ -166,6 +166,22 @@ impl Region {
     }
 }
 
+/// Drains the region, recording the runner's busy time under
+/// `par.sched.worker.{thread-name}.busy_ns` when metrics are on. The
+/// caller thread reports as `caller` unless it carries a name.
+fn drain_timed(region: &Region, work: WorkPtr) {
+    if !cm_obs::enabled() {
+        region.drain(work);
+        return;
+    }
+    let start = std::time::Instant::now();
+    region.drain(work);
+    let busy = start.elapsed().as_nanos() as u64;
+    let thread = std::thread::current();
+    let name = thread.name().unwrap_or("caller");
+    cm_obs::counter_add(&format!("par.sched.worker.{name}.busy_ns"), busy);
+}
+
 /// Executes `f(0), f(1), …, f(n-1)` exactly once each, using up to the
 /// current thread budget of runners, and returns once all calls have
 /// finished. Panics from any unit are rethrown on the calling thread
@@ -200,15 +216,29 @@ pub(crate) fn run_units(n: usize, f: &(dyn Fn(usize) + Sync)) {
         let tx = lock_resilient(&pool.tx);
         for _ in 0..helpers {
             let region = Arc::clone(&region);
+            // When metrics are on, stamp the job at enqueue so the
+            // worker can report its queue wait. Scheduling metrics live
+            // under `par.sched.*`: they inherently vary with the thread
+            // budget and are exempt from the determinism rule.
+            let sent_at = cm_obs::enabled().then(std::time::Instant::now);
             // Ignore send failures (workers gone): the caller drains.
-            let _ = tx.send(Box::new(move || region.drain(work)));
+            let _ = tx.send(Box::new(move || {
+                if let Some(sent_at) = sent_at {
+                    cm_obs::counter_add("par.sched.helper_jobs", 1);
+                    cm_obs::counter_add(
+                        "par.sched.queue_wait_ns",
+                        sent_at.elapsed().as_nanos() as u64,
+                    );
+                }
+                drain_timed(&region, work);
+            }));
         }
     }
 
     // The caller participates, then blocks until every unit — including
     // those claimed by workers — has completed. This wait is what keeps
     // the erased pointer valid for the workers.
-    region.drain(work);
+    drain_timed(&region, work);
     region.wait_all_done();
 
     let payload = lock_resilient(&region.panic).take();

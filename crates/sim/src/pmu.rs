@@ -183,8 +183,10 @@ impl PmuConfig {
         let mut record = RunRecord::new(source.program_name(), run_index, SampleMode::Ocoe);
         record.set_exec_time_secs(truth.exec_secs);
         let mut true_counts = BTreeMap::new();
+        let mut samples: u64 = 0;
         for event in events {
             let series = &truth.counts[event.index()];
+            samples += series.len() as u64;
             let measured: TimeSeries = series
                 .iter()
                 .map(|&v| v * (1.0 + self.ocoe_noise * rng.gen_range(-1.0..1.0)))
@@ -192,6 +194,10 @@ impl PmuConfig {
             record.insert_series(event, measured);
             true_counts.insert(event, TimeSeries::from_values(series.clone()));
         }
+        // Every (event, interval) pair yields one dedicated sample under
+        // OCOE. Per-run totals are pure functions of the run, so the
+        // counter sum is thread-count independent.
+        cm_obs::counter_add("pmu.samples", samples);
         SimRun {
             record,
             ipc: measured_ipc(truth, &mut rng),
@@ -217,8 +223,21 @@ impl PmuConfig {
 
         // Recent-value history per event, driving adaptive scheduling.
         let mut last: Vec<[Option<f64>; 2]> = vec![[None, None]; ids.len()];
+        // Observability tallies: directly observed (event, interval)
+        // samples and counter-group switches across consecutive global
+        // subslices — both pure functions of the run, so their sums stay
+        // thread-count independent under `simulate_batch`.
+        let mut samples: u64 = 0;
+        let mut switches: u64 = 0;
+        let mut prev_group: Option<usize> = None;
         for t in 0..n {
             let slice_groups = self.assign_slices(&last, ids.len(), groups, t);
+            for &g in &slice_groups {
+                if prev_group.is_some_and(|p| p != g) {
+                    switches += 1;
+                }
+                prev_group = Some(g);
+            }
             for (pos, &event) in ids.iter().enumerate() {
                 let truth_val = truth.counts[event.index()][t];
                 let value = if groups <= 1 {
@@ -236,11 +255,14 @@ impl PmuConfig {
                     )
                 };
                 if let Some(v) = value {
+                    samples += 1;
                     last[pos] = [last[pos][1], Some(v)];
                 }
                 measured[pos].push(value);
             }
         }
+        cm_obs::counter_add("pmu.samples", samples);
+        cm_obs::counter_add("pmu.group_switches", switches);
 
         // Intervals where the rotation never scheduled the event are
         // reconstructed by linear time interpolation between observed
