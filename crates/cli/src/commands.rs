@@ -4,7 +4,7 @@ use crate::args::{ArgError, Args};
 use cm_events::{EventCatalog, SampleMode};
 use cm_ml::{SgbrtConfig, Trainer};
 use cm_sim::{Benchmark, PmuConfig, SparkParam, SparkStudy, Workload, ALL_BENCHMARKS};
-use cm_store::Database;
+use cm_store::{Database, SeriesKey, Store};
 use counterminer::case_study::{
     rank_param_event_interactions, sweep_parameter, ProfilingCostModel,
 };
@@ -40,11 +40,24 @@ COMMANDS:
         [--seed S]                  ICACHE.MISSES before/after cleaning
   analyze <benchmark> [--events N]  the full pipeline: importance and
         [--runs N] [--trees N]      interaction rankings
-        [--seed S]
+        [--seed S] [--store FILE]
         [--trainer exact|hist]      GBRT split search: exact thresholds
                                     or histogram bins (default: hist;
                                     the CM_TRAINER environment variable
                                     also works)
+                                    with --store, collected and cleaned
+                                    data persist into the columnar store
+                                    FILE; a rerun with the same settings
+                                    resumes from it, skipping collection
+                                    and cleaning
+  ingest <benchmark> --store FILE   collect and clean a benchmark into
+        [--runs N] [--events N]     the columnar store without modeling
+        [--seed S]                  (a later analyze --store resumes)
+  query <FILE> [--program NAME]     list the programs of a columnar
+        [--run N] [--event ABBR]    store, or summarize one stored series
+  store-info <FILE>                 columnar store facts: format version,
+                                    series/chunk counts, encodings,
+                                    file size, metadata
   spark <benchmark> [--seed S]      the Spark-tuning case study
   colocate <benchA> <benchB>        importance ranking of two co-located
         [--events N] [--seed S]     benchmarks sharing the PMU
@@ -59,6 +72,10 @@ GLOBAL OPTIONS:
                                     on stderr), json, or json:PATH
                                     (JSON lines; the CM_OBS environment
                                     variable also works)
+
+ENVIRONMENT:
+  CM_STORE_CACHE                    columnar-store block-cache capacity
+                                    (e.g. 64M, 1G; 0 disables caching)
 ";
 
 fn benchmark_by_name(name: &str) -> Result<Benchmark, ArgError> {
@@ -341,9 +358,10 @@ pub fn error(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `counterminer analyze <benchmark> [...]`
-pub fn analyze(args: &Args) -> CmdResult {
-    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+/// Builds the pipeline configuration shared by `analyze` and `ingest`
+/// from the common command-line knobs. Both commands must agree on the
+/// collection settings for an `ingest` to warm a later `analyze --store`.
+fn miner_config(args: &Args) -> Result<MinerConfig, ArgError> {
     let n_events: usize = args.get_num("events", 60)?;
     let runs: usize = args.get_num("runs", 2)?;
     let trees: usize = args.get_num("trees", 80)?;
@@ -352,8 +370,7 @@ pub fn analyze(args: &Args) -> CmdResult {
         Some(s) => s.parse().map_err(|e| ArgError(format!("{e}")))?,
         None => Trainer::default(),
     };
-
-    let config = MinerConfig {
+    Ok(MinerConfig {
         runs_per_benchmark: runs,
         events_to_measure: Some(n_events),
         importance: ImportanceConfig {
@@ -367,9 +384,26 @@ pub fn analyze(args: &Args) -> CmdResult {
         },
         seed,
         ..MinerConfig::default()
+    })
+}
+
+/// `counterminer analyze <benchmark> [...]`
+pub fn analyze(args: &Args) -> CmdResult {
+    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let mut miner = CounterMiner::new(miner_config(args)?);
+    let report = match args.get("store") {
+        Some(path) => {
+            let mut store = Store::open(Path::new(path))?;
+            let report = miner.analyze_with_store(benchmark, &mut store)?;
+            let info = store.info();
+            println!(
+                "store {path}: {} series, {} bytes on disk",
+                info.series, info.file_bytes
+            );
+            report
+        }
+        None => miner.analyze(benchmark)?,
     };
-    let mut miner = CounterMiner::new(config);
-    let report = miner.analyze(benchmark)?;
 
     println!(
         "{benchmark}: cleaned {} outliers, filled {} missing values",
@@ -392,6 +426,104 @@ pub fn analyze(args: &Args) -> CmdResult {
         "{}",
         counterminer::report::render_interactions(miner.catalog(), &report.interactions, 5)
     );
+    Ok(())
+}
+
+/// `counterminer ingest <benchmark> --store FILE [...]`
+pub fn ingest(args: &Args) -> CmdResult {
+    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let path = args
+        .get("store")
+        .ok_or_else(|| ArgError("--store FILE is required".into()))?;
+    let mut miner = CounterMiner::new(miner_config(args)?);
+    let mut store = Store::open(Path::new(path))?;
+    let summary = miner.ingest(benchmark, &mut store)?;
+    if summary.resumed {
+        println!(
+            "{benchmark}: snapshot already in {path} ({} runs, {} events) — nothing to do",
+            summary.runs, summary.events
+        );
+    } else {
+        println!(
+            "{benchmark}: collected {} run(s) of {} events, cleaned {} outliers and {} \
+             missing values -> {path}",
+            summary.runs, summary.events, summary.outliers_replaced, summary.missing_filled
+        );
+    }
+    Ok(())
+}
+
+/// `counterminer query <FILE> [--program NAME] [--run N] [--event ABBR]`
+pub fn query(args: &Args) -> CmdResult {
+    let path = required_positional(args, 1, "store file")?;
+    let store = Store::open(Path::new(path))?;
+    let Some(program) = args.get("program") else {
+        // No program: list what the store holds.
+        println!("store {path}: {} series", store.series_count());
+        for program in store.programs() {
+            let series = store.series_keys().filter(|k| k.program == program).count();
+            let runs: std::collections::BTreeSet<u32> = store
+                .series_keys()
+                .filter(|k| k.program == program)
+                .map(|k| k.run_index)
+                .collect();
+            println!("  {program}: {series} series across {} run(s)", runs.len());
+        }
+        return Ok(());
+    };
+    let abbrev = args
+        .get("event")
+        .ok_or_else(|| ArgError("--event ABBR is required with --program".into()))?;
+    let run_index: u32 = args.get_num("run", 0)?;
+    let catalog = EventCatalog::haswell();
+    let info = catalog
+        .by_abbrev(abbrev)
+        .ok_or_else(|| ArgError(format!("no event with abbreviation {abbrev:?}")))?;
+    let series = [SampleMode::Mlpx, SampleMode::Ocoe]
+        .iter()
+        .find_map(|&mode| {
+            store
+                .read_series_ts(&SeriesKey::new(program, run_index, mode, info.id()))
+                .ok()
+        })
+        .ok_or_else(|| {
+            ArgError(format!(
+                "no series for {abbrev} in run {run_index} of {program:?}"
+            ))
+        })?;
+    println!(
+        "{program} run {run_index} — {} ({} samples)",
+        info.name(),
+        series.len()
+    );
+    println!(
+        "min {:.1}   mean {:.1}   max {:.1}   zeros {}",
+        series.min().unwrap_or(0.0),
+        series.mean().unwrap_or(0.0),
+        series.max().unwrap_or(0.0),
+        series.zero_count()
+    );
+    Ok(())
+}
+
+/// `counterminer store-info <FILE>`
+pub fn store_info(args: &Args) -> CmdResult {
+    let path = required_positional(args, 1, "store file")?;
+    let store = Store::open(Path::new(path))?;
+    let info = store.info();
+    println!("store {path}");
+    println!("  format version  {}", info.version);
+    println!("  series          {} ({} staged)", info.series, info.staged);
+    println!("  runs            {}", info.runs);
+    println!("  sample values   {}", info.total_values);
+    println!("  file size       {} bytes", info.file_bytes);
+    println!(
+        "  chunks          {} delta+varint, {} raw f64",
+        info.delta_chunks, info.raw_chunks
+    );
+    if info.meta_entries > 0 {
+        println!("  metadata        {} entries", info.meta_entries);
+    }
     Ok(())
 }
 
@@ -531,6 +663,30 @@ mod tests {
         assert!(inspect(&parse(&["inspect", "/tmp"])).is_err());
         // import without --out or a missing file.
         assert!(import(&parse(&["import", "/no/such/file"])).is_err());
+        // ingest without --store.
+        assert!(ingest(&parse(&["ingest", "sort"])).is_err());
+        // ingest of an unknown benchmark.
+        assert!(ingest(&parse(&["ingest", "nope", "--store", "/tmp/x.cmstore"])).is_err());
+        // query without a store file.
+        assert!(query(&parse(&["query"])).is_err());
+        // query with --program but no --event.
+        assert!(query(&parse(&["query", "/tmp/x", "--program", "wc"])).is_err());
+        // store-info without a store file.
+        assert!(store_info(&parse(&["store-info"])).is_err());
+    }
+
+    #[test]
+    fn store_info_and_query_reject_non_store_files() {
+        let dir = std::env::temp_dir().join(format!("cm_cli_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bogus.cmstore");
+        std::fs::write(&path, b"this is not a columnar store").unwrap();
+        let parse = |tokens: &[&str]| {
+            crate::args::Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+        };
+        let p = path.to_string_lossy().into_owned();
+        assert!(store_info(&parse(&["store-info", &p])).is_err());
+        assert!(query(&parse(&["query", &p])).is_err());
     }
 
     #[test]
@@ -545,6 +701,9 @@ mod tests {
             "inspect",
             "error",
             "analyze",
+            "ingest",
+            "query",
+            "store-info",
             "spark",
             "colocate",
         ] {
@@ -553,7 +712,12 @@ mod tests {
         assert!(USAGE.contains("--threads"), "usage missing --threads");
         assert!(USAGE.contains("--trainer"), "usage missing --trainer");
         assert!(USAGE.contains("--metrics"), "usage missing --metrics");
+        assert!(USAGE.contains("--store"), "usage missing --store");
         assert!(USAGE.contains("CM_OBS"), "usage missing CM_OBS");
+        assert!(
+            USAGE.contains("CM_STORE_CACHE"),
+            "usage missing CM_STORE_CACHE"
+        );
     }
 
     #[test]

@@ -54,6 +54,9 @@ fn main() {
         "inspect" => commands::inspect(&parsed),
         "error" => commands::error(&parsed),
         "analyze" => commands::analyze(&parsed),
+        "ingest" => commands::ingest(&parsed),
+        "query" => commands::query(&parsed),
+        "store-info" => commands::store_info(&parsed),
         "spark" => commands::spark(&parsed),
         "colocate" => commands::colocate(&parsed),
         "help" | "--help" | "-h" => {

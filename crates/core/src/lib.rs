@@ -60,6 +60,7 @@ mod importance;
 mod interaction;
 mod pipeline;
 pub mod report;
+mod snapshot;
 
 pub use cleaner::{
     choose_n, coverage_table, CleanReport, CleanerConfig, DataCleaner, SeriesDistribution,
@@ -68,4 +69,4 @@ pub use cleaner::{
 pub use errors::CmError;
 pub use importance::{EirIteration, EirResult, ImportanceConfig, ImportanceRanker};
 pub use interaction::{InteractionRanker, PairInteraction};
-pub use pipeline::{AnalysisReport, CounterMiner, MinerConfig};
+pub use pipeline::{AnalysisReport, CounterMiner, IngestSummary, MinerConfig};

@@ -40,6 +40,23 @@
 //! end-to-end by the `obs_determinism` integration test and exposed via
 //! [`Snapshot::deterministic_counters`].
 //!
+//! # Counter namespaces
+//!
+//! Counter names are dot-separated, first segment = the emitting
+//! subsystem. The namespaces in use across the workspace:
+//!
+//! | prefix | emitted by | examples |
+//! |---|---|---|
+//! | `collector.` / `pmu.` | run collection & the simulated PMU | `collector.runs`, `pmu.samples`, `pmu.group_switches` |
+//! | `cleaner.` | the data cleaner | `cleaner.series`, `cleaner.outliers_replaced`, `cleaner.missing_filled`, `cleaner.zeros_kept` |
+//! | `ml.` / `interaction.` | model training & pair ranking | `ml.trees_grown`, `interaction.pairs` |
+//! | `pipeline.` | the pipeline facade | `pipeline.analyses`, `pipeline.resume.hits`, `pipeline.resume.misses` (persistent-store snapshot reuse) |
+//! | `store.` | the persistent columnar store | `store.commits`, `store.chunks_written`, `store.bytes_written`, `store.recovered_partial`, `store.cache.hits`, `store.cache.misses`, `store.cache.evictions` |
+//! | `par.sched.` | thread-pool scheduling (non-deterministic by design) | `par.sched.steals` |
+//!
+//! New instrumentation should join an existing namespace or add one
+//! segment-first, so reports group related counters together.
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,358 @@
+//! Sharded LRU block cache for decoded column chunks.
+//!
+//! Reading a series from a committed store means seeking to its chunk,
+//! verifying the CRC, and decoding the payload. The pipeline's resume
+//! path and the CLI's query tools read the same chunks repeatedly, so
+//! every [`crate::Store`] owns a cache of decoded chunks keyed by their
+//! file offset. The cache is split into shards, each behind its own
+//! mutex, so concurrent readers rarely contend; a chunk's shard is its
+//! offset modulo the shard count, which is deterministic, so hit/miss
+//! counts are reproducible run to run.
+//!
+//! Capacity is byte-based (decoded size) and configured per store via
+//! [`CacheConfig`] or the `CM_STORE_CACHE` environment variable
+//! (`0` disables caching, plain bytes or `K`/`M`/`G` suffixes
+//! otherwise). Hits, misses, and evictions are visible through
+//! [`CacheStats`] and mirrored to the [`cm_obs`] counters
+//! `store.cache.hits`, `store.cache.misses`, and
+//! `store.cache.evictions`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Block-cache configuration for one [`crate::Store`].
+///
+/// # Examples
+///
+/// ```
+/// use cm_store::CacheConfig;
+///
+/// // 1 MiB across 4 shards.
+/// let config = CacheConfig { capacity_bytes: 1 << 20, shards: 4 };
+/// assert_eq!(config.capacity_bytes, 1_048_576);
+///
+/// // The default is 64 MiB over 8 shards.
+/// assert_eq!(CacheConfig::default().shards, 8);
+///
+/// // `CM_STORE_CACHE`-style strings parse with K/M/G suffixes.
+/// assert_eq!(CacheConfig::parse_capacity("16M"), Some(16 << 20));
+/// assert_eq!(CacheConfig::parse_capacity("0"), Some(0));
+/// assert_eq!(CacheConfig::parse_capacity("lots"), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total decoded bytes the cache may hold; `0` disables caching.
+    pub capacity_bytes: usize,
+    /// Number of independently locked shards (minimum 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 << 20,
+            shards: 8,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Resolves the configuration from the `CM_STORE_CACHE` environment
+    /// variable, falling back to the default capacity when unset or
+    /// unparsable.
+    pub fn from_env() -> Self {
+        let mut config = CacheConfig::default();
+        if let Ok(raw) = std::env::var("CM_STORE_CACHE") {
+            if let Some(bytes) = Self::parse_capacity(raw.trim()) {
+                config.capacity_bytes = bytes;
+            }
+        }
+        config
+    }
+
+    /// Parses a capacity string: plain bytes, or `K`/`M`/`G` binary
+    /// suffixes (case-insensitive). Returns `None` for anything else.
+    pub fn parse_capacity(s: &str) -> Option<usize> {
+        if s.is_empty() {
+            return None;
+        }
+        let (digits, shift) = match s.as_bytes()[s.len() - 1].to_ascii_uppercase() {
+            b'K' => (&s[..s.len() - 1], 10),
+            b'M' => (&s[..s.len() - 1], 20),
+            b'G' => (&s[..s.len() - 1], 30),
+            _ => (s, 0),
+        };
+        digits
+            .parse::<usize>()
+            .ok()
+            .and_then(|n| n.checked_shl(shift))
+    }
+}
+
+/// A point-in-time view of one cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to decode from disk.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Decoded bytes currently resident.
+    pub bytes: usize,
+}
+
+/// Fixed per-entry overhead charged against capacity, covering the map
+/// and recency bookkeeping.
+const ENTRY_OVERHEAD: usize = 64;
+
+#[derive(Default)]
+struct Shard {
+    /// offset -> (recency tick, decoded values).
+    map: HashMap<u64, (u64, Arc<Vec<f64>>)>,
+    /// recency tick -> offset; the smallest tick is the LRU entry.
+    recency: BTreeMap<u64, u64>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Shard {
+    fn charge(values: &[f64]) -> usize {
+        std::mem::size_of_val(values) + ENTRY_OVERHEAD
+    }
+
+    fn touch(&mut self, offset: u64) -> Option<Arc<Vec<f64>>> {
+        let tick = self.tick;
+        self.tick += 1;
+        let (old_tick, values) = self.map.get_mut(&offset)?;
+        self.recency.remove(old_tick);
+        *old_tick = tick;
+        let values = values.clone();
+        self.recency.insert(tick, offset);
+        Some(values)
+    }
+
+    fn insert(&mut self, offset: u64, values: Arc<Vec<f64>>, capacity: usize) -> u64 {
+        let cost = Self::charge(&values);
+        if cost > capacity {
+            return 0; // would never fit; don't thrash the shard for it
+        }
+        let tick = self.tick;
+        self.tick += 1;
+        if let Some((old_tick, old_values)) = self.map.insert(offset, (tick, values)) {
+            self.recency.remove(&old_tick);
+            self.bytes -= Self::charge(&old_values);
+        }
+        self.recency.insert(tick, offset);
+        self.bytes += cost;
+        let mut evicted = 0;
+        while self.bytes > capacity {
+            let (&lru_tick, &lru_offset) = self
+                .recency
+                .iter()
+                .next()
+                .expect("over-capacity shard must have entries");
+            // Never evict the entry we just inserted.
+            if lru_offset == offset && self.map.len() == 1 {
+                break;
+            }
+            self.recency.remove(&lru_tick);
+            let (_, old) = self.map.remove(&lru_offset).expect("recency/map in sync");
+            self.bytes -= Self::charge(&old);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded LRU cache. One per [`crate::Store`].
+pub(crate) struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl BlockCache {
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        BlockCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: config.capacity_bytes / shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, offset: u64) -> &Mutex<Shard> {
+        &self.shards[(offset % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks a chunk up by file offset, recording a hit or miss.
+    pub fn get(&self, offset: u64) -> Option<Arc<Vec<f64>>> {
+        if self.capacity_per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            cm_obs::counter_add("store.cache.misses", 1);
+            return None;
+        }
+        let found = self
+            .shard(offset)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .touch(offset);
+        match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cm_obs::counter_add("store.cache.hits", 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                cm_obs::counter_add("store.cache.misses", 1);
+            }
+        }
+        found
+    }
+
+    /// Inserts a decoded chunk, evicting LRU entries past capacity.
+    pub fn insert(&self, offset: u64, values: Arc<Vec<f64>>) {
+        if self.capacity_per_shard == 0 {
+            return;
+        }
+        let evicted = self
+            .shard(offset)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(offset, values, self.capacity_per_shard);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            cm_obs::counter_add("store.cache.evictions", evicted);
+        }
+    }
+
+    /// Drops every entry (chunk offsets are invalidated by a commit).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            *s = Shard::default();
+        }
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(n: usize, fill: f64) -> Arc<Vec<f64>> {
+        Arc::new(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = BlockCache::new(CacheConfig {
+            capacity_bytes: 1 << 16,
+            shards: 2,
+        });
+        assert!(cache.get(32).is_none());
+        cache.insert(32, chunk(10, 1.0));
+        assert_eq!(cache.get(32).unwrap().len(), 10);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_coldest() {
+        // One shard, room for ~2 ten-value chunks.
+        let cache = BlockCache::new(CacheConfig {
+            capacity_bytes: 2 * (10 * 8 + ENTRY_OVERHEAD),
+            shards: 1,
+        });
+        cache.insert(0, chunk(10, 0.0));
+        cache.insert(8, chunk(10, 1.0));
+        assert!(cache.get(0).is_some()); // 0 is now the most recent
+        cache.insert(16, chunk(10, 2.0)); // evicts 8
+        assert!(cache.get(8).is_none());
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(16).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = BlockCache::new(CacheConfig {
+            capacity_bytes: 0,
+            shards: 4,
+        });
+        cache.insert(0, chunk(4, 1.0));
+        assert!(cache.get(0).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn oversized_chunk_is_not_cached() {
+        let cache = BlockCache::new(CacheConfig {
+            capacity_bytes: 100,
+            shards: 1,
+        });
+        cache.insert(0, chunk(1000, 1.0));
+        assert!(cache.get(0).is_none());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let cache = BlockCache::new(CacheConfig {
+            capacity_bytes: 1 << 16,
+            shards: 3,
+        });
+        for i in 0..9 {
+            cache.insert(i, chunk(5, i as f64));
+        }
+        assert_eq!(cache.stats().entries, 9);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn capacity_parsing() {
+        assert_eq!(CacheConfig::parse_capacity("1024"), Some(1024));
+        assert_eq!(CacheConfig::parse_capacity("8k"), Some(8192));
+        assert_eq!(CacheConfig::parse_capacity("2G"), Some(2 << 30));
+        assert_eq!(CacheConfig::parse_capacity(""), None);
+        assert_eq!(CacheConfig::parse_capacity("x"), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! Chunk codecs for the columnar store: delta+varint encoding for
+//! integral counter series, raw IEEE-754 for everything else, and the
+//! CRC-32 checksum that guards both.
+//!
+//! Hardware-counter samples are overwhelmingly integral (they count
+//! events), so a chunk whose values are all whole numbers is stored as
+//! zigzag-varint-encoded *deltas* — typically 1–3 bytes per sample
+//! instead of 8. Chunks with fractional, non-finite, or very large
+//! values fall back to raw little-endian `f64` bits, which round-trip
+//! exactly. The encoder picks per chunk; the decoder is driven by the
+//! [`Encoding`] tag recorded in the file index.
+
+use crate::StoreError;
+
+/// How a chunk's values are laid out on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// 8 bytes per value: IEEE-754 bits, little endian. Exact for every
+    /// `f64` including NaN and infinities.
+    RawF64 = 0,
+    /// First value then successive differences, each zigzag-mapped and
+    /// LEB128-varint encoded. Only for chunks of integral values with
+    /// magnitude below 2^52 (so every delta is exactly representable).
+    DeltaVarint = 1,
+}
+
+impl Encoding {
+    /// Decodes the on-disk tag byte.
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, StoreError> {
+        match tag {
+            0 => Ok(Encoding::RawF64),
+            1 => Ok(Encoding::DeltaVarint),
+            other => Err(StoreError::Corrupt {
+                file: String::new(),
+                what: format!("unknown chunk encoding tag {other}"),
+            }),
+        }
+    }
+
+    /// The on-disk tag byte.
+    pub(crate) fn tag(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Largest magnitude a value may have for the delta codec: beyond 2^52
+/// the gap between consecutive `f64` values exceeds 1 and integral
+/// arithmetic on the cast `i64` would not round-trip.
+const DELTA_MAX: f64 = 4_503_599_627_370_496.0; // 2^52
+
+/// Whether a chunk qualifies for [`Encoding::DeltaVarint`].
+fn delta_encodable(values: &[f64]) -> bool {
+    values
+        .iter()
+        .all(|&v| v.is_finite() && v.fract() == 0.0 && v.abs() <= DELTA_MAX)
+}
+
+/// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit
+/// = continuation).
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from `buf` starting at `*pos`, advancing it.
+pub(crate) fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or_else(|| StoreError::Corrupt {
+            file: String::new(),
+            what: "varint runs past the end of the chunk".to_string(),
+        })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StoreError::Corrupt {
+                file: String::new(),
+                what: "varint longer than 64 bits".to_string(),
+            });
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed value so small magnitudes get small varints.
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a chunk, choosing the cheapest lossless layout.
+///
+/// Returns the chosen encoding and the payload bytes.
+pub(crate) fn encode_chunk(values: &[f64]) -> (Encoding, Vec<u8>) {
+    if delta_encodable(values) {
+        let mut out = Vec::with_capacity(values.len() * 2 + 8);
+        let mut prev: i64 = 0;
+        for &v in values {
+            let iv = v as i64;
+            write_varint(&mut out, zigzag(iv.wrapping_sub(prev)));
+            prev = iv;
+        }
+        (Encoding::DeltaVarint, out)
+    } else {
+        let mut out = Vec::with_capacity(values.len() * 8);
+        for &v in values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        (Encoding::RawF64, out)
+    }
+}
+
+/// Decodes a chunk payload back into `count` values.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] when the payload length does not
+/// match `count` under the given encoding.
+pub(crate) fn decode_chunk(
+    encoding: Encoding,
+    payload: &[u8],
+    count: usize,
+) -> Result<Vec<f64>, StoreError> {
+    match encoding {
+        Encoding::RawF64 => {
+            if payload.len() != count * 8 {
+                return Err(StoreError::Corrupt {
+                    file: String::new(),
+                    what: format!(
+                        "raw chunk holds {} bytes, expected {} for {count} values",
+                        payload.len(),
+                        count * 8
+                    ),
+                });
+            }
+            Ok(payload
+                .chunks_exact(8)
+                .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().expect("8-byte chunk"))))
+                .collect())
+        }
+        Encoding::DeltaVarint => {
+            let mut values = Vec::with_capacity(count);
+            let mut pos = 0usize;
+            let mut prev: i64 = 0;
+            for _ in 0..count {
+                let delta = unzigzag(read_varint(payload, &mut pos)?);
+                prev = prev.wrapping_add(delta);
+                values.push(prev as f64);
+            }
+            if pos != payload.len() {
+                return Err(StoreError::Corrupt {
+                    file: String::new(),
+                    what: format!(
+                        "delta chunk has {} trailing bytes after {count} values",
+                        payload.len() - pos
+                    ),
+                });
+            }
+            Ok(values)
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of `data` (IEEE, as used by zip/gzip/ethernet).
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn integral_series_use_delta_and_round_trip() {
+        let values = vec![1000.0, 1003.0, 998.0, 998.0, 2000.0, 0.0];
+        let (enc, payload) = encode_chunk(&values);
+        assert_eq!(enc, Encoding::DeltaVarint);
+        assert!(payload.len() < values.len() * 8);
+        assert_eq!(decode_chunk(enc, &payload, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn fractional_series_fall_back_to_raw_bits() {
+        let values = vec![1.5, f64::NAN, f64::INFINITY, -0.0, 1e300];
+        let (enc, payload) = encode_chunk(&values);
+        assert_eq!(enc, Encoding::RawF64);
+        let decoded = decode_chunk(enc, &payload, values.len()).unwrap();
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit drift");
+        }
+    }
+
+    #[test]
+    fn huge_integers_are_not_delta_encoded() {
+        let values = vec![9.1e15, 9.1e15 + 2.0]; // above 2^52
+        let (enc, _) = encode_chunk(&values);
+        assert_eq!(enc, Encoding::RawF64);
+    }
+
+    #[test]
+    fn empty_chunk_round_trips_either_way() {
+        let (enc, payload) = encode_chunk(&[]);
+        assert!(payload.is_empty());
+        assert_eq!(decode_chunk(enc, &payload, 0).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_lengths() {
+        let (enc, payload) = encode_chunk(&[1.0, 2.0, 3.0]);
+        assert!(decode_chunk(enc, &payload, 2).is_err());
+        assert!(decode_chunk(Encoding::RawF64, &[0u8; 12], 2).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

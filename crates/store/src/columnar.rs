@@ -1,0 +1,852 @@
+//! The persistent chunked columnar store.
+//!
+//! [`Store`] is the durable sibling of the in-memory [`crate::Database`]:
+//! one binary file holding every collected series as an independently
+//! encoded, CRC-guarded column chunk, plus the run table (execution
+//! times) and a string metadata map the pipeline uses for snapshot
+//! fingerprints. See [`crate::format`] for the byte layout and
+//! `docs/STORAGE_FORMAT.md` for the full specification.
+//!
+//! Writes are staged in memory and made durable by [`Store::commit`],
+//! which builds the whole file under a temporary name and atomically
+//! renames it into place — readers never observe a torn store, and a
+//! crash mid-commit leaves the previous committed state intact.
+
+use crate::cache::BlockCache;
+use crate::codec::{self, Encoding};
+use crate::format::{
+    mode_from_tag, mode_tag, ChunkRef, IndexReader, IndexWriter, Superblock, SUPERBLOCK_LEN,
+    TMP_SUFFIX, VERSION,
+};
+use crate::{CacheConfig, CacheStats, StoreError};
+use cm_events::{EventId, RunRecord, SampleMode, TimeSeries};
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Identifies one stored column: one event's series from one run of one
+/// program in one measurement mode.
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::{EventId, SampleMode};
+/// use cm_store::SeriesKey;
+///
+/// let key = SeriesKey::new("wordcount", 0, SampleMode::Mlpx, EventId::new(3));
+/// assert_eq!(key.program, "wordcount");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesKey {
+    /// Program (or snapshot namespace) the series belongs to.
+    pub program: String,
+    /// 0-based run index.
+    pub run_index: u32,
+    /// Measurement mode of the run.
+    pub mode: SampleMode,
+    /// The measured event.
+    pub event: EventId,
+}
+
+impl SeriesKey {
+    /// Creates a series key.
+    pub fn new(
+        program: impl Into<String>,
+        run_index: u32,
+        mode: SampleMode,
+        event: EventId,
+    ) -> Self {
+        SeriesKey {
+            program: program.into(),
+            run_index,
+            mode,
+            event,
+        }
+    }
+}
+
+/// Identifies one run in the store's run table.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RunId {
+    /// Program name.
+    pub program: String,
+    /// 0-based run index.
+    pub run_index: u32,
+    /// Measurement mode.
+    pub mode: SampleMode,
+}
+
+impl RunId {
+    /// Creates a run id.
+    pub fn new(program: impl Into<String>, run_index: u32, mode: SampleMode) -> Self {
+        RunId {
+            program: program.into(),
+            run_index,
+            mode,
+        }
+    }
+}
+
+/// Where a chunk's bytes currently live.
+#[derive(Debug, Clone)]
+enum ChunkState {
+    /// Committed: payload at this location in the store file.
+    OnDisk(ChunkRef),
+    /// Staged by [`Store::append_series`], not yet durable.
+    Staged(Arc<Vec<f64>>),
+}
+
+/// Aggregate facts about a store, as shown by `counterminer store-info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// On-disk format version.
+    pub version: u32,
+    /// Number of stored series (committed + staged).
+    pub series: usize,
+    /// Number of staged (uncommitted) series.
+    pub staged: usize,
+    /// Number of runs in the run table.
+    pub runs: usize,
+    /// Number of metadata entries.
+    pub meta_entries: usize,
+    /// Total sample values across all series.
+    pub total_values: u64,
+    /// Committed file size in bytes (0 before the first commit).
+    pub file_bytes: u64,
+    /// Committed chunks using the delta+varint encoding.
+    pub delta_chunks: usize,
+    /// Committed chunks stored as raw `f64` bits.
+    pub raw_chunks: usize,
+}
+
+/// A persistent, chunked, columnar event store with an LRU block cache.
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::{EventId, SampleMode};
+/// use cm_store::{SeriesKey, Store};
+///
+/// let dir = std::env::temp_dir().join(format!("cm_store_doc_{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("doc.cmstore");
+/// # let _ = std::fs::remove_file(&path);
+///
+/// // Write: stage series, then commit atomically.
+/// let mut store = Store::open(&path)?;
+/// let key = SeriesKey::new("wordcount", 0, SampleMode::Mlpx, EventId::new(3));
+/// store.append_series(key.clone(), &[120.0, 118.0, 131.0])?;
+/// store.commit()?;
+///
+/// // Read it back — the decoded chunk lands in the block cache.
+/// let reopened = Store::open(&path)?;
+/// assert_eq!(*reopened.read_series(&key)?, vec![120.0, 118.0, 131.0]);
+/// assert_eq!(reopened.cache_stats().misses, 1);
+/// assert_eq!(reopened.read_series(&key)?.len(), 3);
+/// assert_eq!(reopened.cache_stats().hits, 1);
+/// # std::fs::remove_file(&path)?;
+/// # Ok::<(), cm_store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    path: PathBuf,
+    /// Open handle to the committed file, if one exists.
+    file: Option<File>,
+    chunks: BTreeMap<SeriesKey, ChunkState>,
+    runs: BTreeMap<RunId, f64>,
+    meta: BTreeMap<String, String>,
+    cache: BlockCache,
+    file_bytes: u64,
+}
+
+impl Store {
+    /// Opens (or initializes) a store at `path`, sizing the block cache
+    /// from the `CM_STORE_CACHE` environment variable.
+    ///
+    /// A missing file yields an empty store; the file is created by the
+    /// first [`Store::commit`]. A leftover temporary file from an
+    /// interrupted commit is removed (the previous committed state wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotAStore`], [`StoreError::UnsupportedVersion`],
+    /// [`StoreError::ChecksumMismatch`], [`StoreError::Truncated`], or
+    /// [`StoreError::Corrupt`] for a damaged file, and [`StoreError::Io`]
+    /// for filesystem failures.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(path, CacheConfig::from_env())
+    }
+
+    /// Like [`Store::open`] with an explicit cache configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open`].
+    pub fn open_with(path: impl AsRef<Path>, cache: CacheConfig) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let _span = cm_obs::span!("store.open");
+
+        // Partial-write recovery: an interrupted commit can only leave a
+        // temporary file behind; the committed store is still intact.
+        let tmp = tmp_path(&path);
+        if tmp.exists() {
+            fs::remove_file(&tmp)?;
+            cm_obs::counter_add("store.recovered_partial", 1);
+        }
+
+        let mut store = Store {
+            path,
+            file: None,
+            chunks: BTreeMap::new(),
+            runs: BTreeMap::new(),
+            meta: BTreeMap::new(),
+            cache: BlockCache::new(cache),
+            file_bytes: 0,
+        };
+        if store.path.exists() {
+            store.load()?;
+        }
+        Ok(store)
+    }
+
+    /// File this store commits to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn file_name(&self) -> String {
+        self.path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| self.path.display().to_string())
+    }
+
+    fn load(&mut self) -> Result<(), StoreError> {
+        let name = self.file_name();
+        let mut file = File::open(&self.path)?;
+        let file_len = file.metadata()?.len();
+
+        let mut head = vec![0u8; SUPERBLOCK_LEN.min(file_len as usize)];
+        file.read_exact(&mut head)?;
+        let sb = Superblock::decode(&head, &name)?;
+
+        let index_end = sb.index_offset.checked_add(sb.index_len);
+        if index_end.is_none() || index_end.unwrap() > file_len {
+            return Err(StoreError::Truncated {
+                file: name,
+                what: format!(
+                    "index claims bytes {}..{} but the file holds {file_len}",
+                    sb.index_offset,
+                    sb.index_offset.saturating_add(sb.index_len)
+                ),
+            });
+        }
+
+        let mut index_bytes = vec![0u8; sb.index_len as usize];
+        file.seek(SeekFrom::Start(sb.index_offset))?;
+        file.read_exact(&mut index_bytes)?;
+        let mut r = IndexReader::new(&index_bytes, &name)?;
+
+        let n_series = r.u64("series count")?;
+        for _ in 0..n_series {
+            let program = r.str16("series program")?;
+            let run_index = r.u32("series run index")?;
+            let mode = mode_from_tag(r.u8("series mode")?, &name)?;
+            let event = EventId::new(r.u64("series event")? as usize);
+            let encoding =
+                Encoding::from_tag(r.u8("series encoding")?).map_err(|e| e.with_file(&name))?;
+            let count = r.u64("series value count")?;
+            let offset = r.u64("series chunk offset")?;
+            let len = r.u64("series chunk length")?;
+            let crc = r.u32("series chunk crc")?;
+            if offset.saturating_add(len) > sb.index_offset {
+                return Err(StoreError::Corrupt {
+                    file: name,
+                    what: format!("chunk at {offset}+{len} overlaps the index"),
+                });
+            }
+            self.chunks.insert(
+                SeriesKey {
+                    program,
+                    run_index,
+                    mode,
+                    event,
+                },
+                ChunkState::OnDisk(ChunkRef {
+                    encoding,
+                    count,
+                    offset,
+                    len,
+                    crc,
+                }),
+            );
+        }
+
+        let n_runs = r.u64("run count")?;
+        for _ in 0..n_runs {
+            let program = r.str16("run program")?;
+            let run_index = r.u32("run index")?;
+            let mode = mode_from_tag(r.u8("run mode")?, &name)?;
+            let exec_time = r.f64("run exec time")?;
+            self.runs.insert(
+                RunId {
+                    program,
+                    run_index,
+                    mode,
+                },
+                exec_time,
+            );
+        }
+
+        let n_meta = r.u64("meta count")?;
+        for _ in 0..n_meta {
+            let key = r.str16("meta key")?;
+            let value = r.str32("meta value")?;
+            self.meta.insert(key, value);
+        }
+        if !r.at_end() {
+            return Err(StoreError::Corrupt {
+                file: name,
+                what: "index has trailing bytes".to_string(),
+            });
+        }
+
+        self.file_bytes = file_len;
+        self.file = Some(file);
+        Ok(())
+    }
+
+    /// Stages one series for the next [`Store::commit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::DuplicateSeries`] if the key is already
+    /// stored or staged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cm_events::{EventId, SampleMode};
+    /// use cm_store::{SeriesKey, Store};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("cm_append_doc_{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir)?;
+    /// let mut store = Store::open(dir.join("a.cmstore"))?;
+    /// let key = SeriesKey::new("sort", 0, SampleMode::Ocoe, EventId::new(1));
+    /// store.append_series(key.clone(), &[1.0, 2.0])?;
+    /// // Staged data is readable before the commit…
+    /// assert_eq!(store.read_series(&key)?.len(), 2);
+    /// // …but appending the same key twice is rejected.
+    /// assert!(store.append_series(key, &[3.0]).is_err());
+    /// # Ok::<(), cm_store::StoreError>(())
+    /// ```
+    pub fn append_series(&mut self, key: SeriesKey, values: &[f64]) -> Result<(), StoreError> {
+        if self.chunks.contains_key(&key) {
+            return Err(StoreError::DuplicateSeries {
+                program: key.program,
+                run_index: key.run_index,
+                event: key.event.index(),
+            });
+        }
+        self.chunks
+            .insert(key, ChunkState::Staged(Arc::new(values.to_vec())));
+        Ok(())
+    }
+
+    /// Stages every series of a [`RunRecord`] plus its run-table entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::DuplicateSeries`] on any key collision (the
+    /// run table entry is keyed identically, so a duplicate run fails on
+    /// its first series).
+    pub fn append_run(&mut self, record: &RunRecord) -> Result<(), StoreError> {
+        for (event, series) in record.iter() {
+            self.append_series(
+                SeriesKey::new(record.program(), record.run_index(), record.mode(), event),
+                series.values(),
+            )?;
+        }
+        self.runs.insert(
+            RunId::new(record.program(), record.run_index(), record.mode()),
+            record.exec_time_secs(),
+        );
+        Ok(())
+    }
+
+    /// Sets one store-level metadata entry (persisted on commit).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.insert(key.into(), value.into());
+    }
+
+    /// Reads one store-level metadata entry.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(String::as_str)
+    }
+
+    /// Recorded execution time of one run, if present in the run table.
+    pub fn exec_time_secs(&self, id: &RunId) -> Option<f64> {
+        self.runs.get(id).copied()
+    }
+
+    /// Whether a series is stored (committed or staged).
+    pub fn contains_series(&self, key: &SeriesKey) -> bool {
+        self.chunks.contains_key(key)
+    }
+
+    /// All series keys, in sorted order.
+    pub fn series_keys(&self) -> impl Iterator<Item = &SeriesKey> {
+        self.chunks.keys()
+    }
+
+    /// All run ids in the run table, in sorted order.
+    pub fn run_ids(&self) -> impl Iterator<Item = &RunId> {
+        self.runs.keys()
+    }
+
+    /// Distinct program names across stored series, sorted.
+    pub fn programs(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.chunks.keys().map(|k| k.program.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Reads one series, consulting the block cache for committed
+    /// chunks; staged series are served from memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::SeriesNotFound`] for an unknown key,
+    /// [`StoreError::ChecksumMismatch`] when the chunk's CRC disagrees
+    /// with its payload, and [`StoreError::Corrupt`] /
+    /// [`StoreError::Io`] for undecodable or unreadable chunks.
+    pub fn read_series(&self, key: &SeriesKey) -> Result<Arc<Vec<f64>>, StoreError> {
+        match self.chunks.get(key) {
+            None => Err(StoreError::SeriesNotFound {
+                program: key.program.clone(),
+                run_index: key.run_index,
+                event: key.event.index(),
+            }),
+            Some(ChunkState::Staged(values)) => Ok(values.clone()),
+            Some(ChunkState::OnDisk(chunk)) => self.read_chunk(chunk),
+        }
+    }
+
+    /// Reads one series into a [`TimeSeries`] (cloning out of the cache).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::read_series`].
+    pub fn read_series_ts(&self, key: &SeriesKey) -> Result<TimeSeries, StoreError> {
+        Ok(TimeSeries::from_values(self.read_series(key)?.to_vec()))
+    }
+
+    /// Reassembles a full [`RunRecord`] from the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::SeriesNotFound`] when the run has no series,
+    /// otherwise as for [`Store::read_series`].
+    pub fn read_run(&self, id: &RunId) -> Result<RunRecord, StoreError> {
+        let mut record = RunRecord::new(id.program.clone(), id.run_index, id.mode);
+        if let Some(secs) = self.exec_time_secs(id) {
+            record.set_exec_time_secs(secs);
+        }
+        let keys: Vec<SeriesKey> = self
+            .chunks
+            .range(SeriesKey::new(id.program.clone(), id.run_index, id.mode, EventId::new(0))..)
+            .take_while(|(k, _)| {
+                k.program == id.program && k.run_index == id.run_index && k.mode == id.mode
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        if keys.is_empty() {
+            return Err(StoreError::SeriesNotFound {
+                program: id.program.clone(),
+                run_index: id.run_index,
+                event: 0,
+            });
+        }
+        for key in keys {
+            let values = self.read_series(&key)?;
+            record.insert_series(key.event, TimeSeries::from_values(values.to_vec()));
+        }
+        Ok(record)
+    }
+
+    fn read_chunk(&self, chunk: &ChunkRef) -> Result<Arc<Vec<f64>>, StoreError> {
+        if let Some(values) = self.cache.get(chunk.offset) {
+            return Ok(values);
+        }
+        let name = self.file_name();
+        let file = self.file.as_ref().ok_or_else(|| StoreError::Corrupt {
+            file: name.clone(),
+            what: "index references a chunk but no file is committed".to_string(),
+        })?;
+        let mut payload = vec![0u8; chunk.len as usize];
+        read_exact_at(file, &mut payload, chunk.offset)?;
+        if codec::crc32(&payload) != chunk.crc {
+            return Err(StoreError::ChecksumMismatch {
+                file: name,
+                what: format!("chunk at offset {}", chunk.offset),
+            });
+        }
+        let values = Arc::new(
+            codec::decode_chunk(chunk.encoding, &payload, chunk.count as usize)
+                .map_err(|e| e.with_file(&name))?,
+        );
+        self.cache.insert(chunk.offset, values.clone());
+        Ok(values)
+    }
+
+    /// Number of stored series (committed + staged).
+    pub fn series_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether any staged writes await a [`Store::commit`].
+    pub fn has_staged(&self) -> bool {
+        self.chunks
+            .values()
+            .any(|c| matches!(c, ChunkState::Staged(_)))
+    }
+
+    /// Block-cache counters for this store.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Aggregate store facts (version, chunk counts, sizes).
+    pub fn info(&self) -> StoreInfo {
+        let mut staged = 0;
+        let mut total_values = 0u64;
+        let mut delta_chunks = 0;
+        let mut raw_chunks = 0;
+        for state in self.chunks.values() {
+            match state {
+                ChunkState::Staged(v) => {
+                    staged += 1;
+                    total_values += v.len() as u64;
+                }
+                ChunkState::OnDisk(c) => {
+                    total_values += c.count;
+                    match c.encoding {
+                        Encoding::DeltaVarint => delta_chunks += 1,
+                        Encoding::RawF64 => raw_chunks += 1,
+                    }
+                }
+            }
+        }
+        StoreInfo {
+            version: VERSION,
+            series: self.chunks.len(),
+            staged,
+            runs: self.runs.len(),
+            meta_entries: self.meta.len(),
+            total_values,
+            file_bytes: self.file_bytes,
+            delta_chunks,
+            raw_chunks,
+        }
+    }
+
+    /// Makes every staged write durable: builds the complete store file
+    /// under a temporary name (committed chunks are byte-copied without
+    /// re-encoding, staged chunks are encoded), fsyncs it, and atomically
+    /// renames it over the store path.
+    ///
+    /// A no-op when nothing is staged and the file already exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure; the previously
+    /// committed state is preserved on any error.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        if !self.has_staged() && self.file.is_some() {
+            return Ok(());
+        }
+        let _span = cm_obs::span!("store.commit");
+
+        // Encode or copy every chunk payload, in key order.
+        let mut payloads: Vec<(SeriesKey, Encoding, u64, Vec<u8>)> =
+            Vec::with_capacity(self.chunks.len());
+        let mut staged_chunks = 0u64;
+        for (key, state) in &self.chunks {
+            match state {
+                ChunkState::Staged(values) => {
+                    let (encoding, payload) = codec::encode_chunk(values);
+                    staged_chunks += 1;
+                    payloads.push((key.clone(), encoding, values.len() as u64, payload));
+                }
+                ChunkState::OnDisk(chunk) => {
+                    let file = self.file.as_ref().ok_or_else(|| StoreError::Corrupt {
+                        file: self.file_name(),
+                        what: "committed chunk without a committed file".to_string(),
+                    })?;
+                    let mut payload = vec![0u8; chunk.len as usize];
+                    read_exact_at(file, &mut payload, chunk.offset)?;
+                    if codec::crc32(&payload) != chunk.crc {
+                        return Err(StoreError::ChecksumMismatch {
+                            file: self.file_name(),
+                            what: format!("chunk at offset {} during commit", chunk.offset),
+                        });
+                    }
+                    payloads.push((key.clone(), chunk.encoding, chunk.count, payload));
+                }
+            }
+        }
+
+        // Lay the file out: superblock, chunks, index.
+        let mut refs: Vec<ChunkRef> = Vec::with_capacity(payloads.len());
+        let mut offset = SUPERBLOCK_LEN as u64;
+        for (_, encoding, count, payload) in &payloads {
+            refs.push(ChunkRef {
+                encoding: *encoding,
+                count: *count,
+                offset,
+                len: payload.len() as u64,
+                crc: codec::crc32(payload),
+            });
+            offset += payload.len() as u64;
+        }
+        let index_offset = offset;
+
+        let mut w = IndexWriter::new();
+        w.u64(payloads.len() as u64);
+        for ((key, _, _, _), chunk) in payloads.iter().zip(&refs) {
+            w.str16(&key.program);
+            w.u32(key.run_index);
+            w.u8(mode_tag(key.mode));
+            w.u64(key.event.index() as u64);
+            w.u8(chunk.encoding.tag());
+            w.u64(chunk.count);
+            w.u64(chunk.offset);
+            w.u64(chunk.len);
+            w.u32(chunk.crc);
+        }
+        w.u64(self.runs.len() as u64);
+        for (id, &secs) in &self.runs {
+            w.str16(&id.program);
+            w.u32(id.run_index);
+            w.u8(mode_tag(id.mode));
+            w.f64(secs);
+        }
+        w.u64(self.meta.len() as u64);
+        for (key, value) in &self.meta {
+            w.str16(key);
+            w.str32(value);
+        }
+        let index = w.finish();
+
+        let sb = Superblock {
+            version: VERSION,
+            index_offset,
+            index_len: index.len() as u64,
+        };
+
+        // Write, fsync, rename: atomic replacement of the store file.
+        let tmp = tmp_path(&self.path);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&sb.encode())?;
+            for (_, _, _, payload) in &payloads {
+                f.write_all(payload)?;
+            }
+            f.write_all(&index)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+
+        let total_bytes = index_offset + index.len() as u64;
+        cm_obs::counter_add("store.commits", 1);
+        cm_obs::counter_add("store.chunks_written", staged_chunks);
+        cm_obs::counter_add("store.bytes_written", total_bytes);
+
+        // Swap in the new file: all offsets changed, so committed chunk
+        // refs are rebuilt and the cache is invalidated.
+        self.file = Some(File::open(&self.path)?);
+        self.file_bytes = total_bytes;
+        self.cache.clear();
+        for ((key, _, _, _), chunk) in payloads.into_iter().zip(refs) {
+            self.chunks.insert(key, ChunkState::OnDisk(chunk));
+        }
+        Ok(())
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(TMP_SUFFIX);
+    PathBuf::from(name)
+}
+
+/// Positioned read that does not move a shared cursor (the store file
+/// handle is shared by concurrent readers).
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset).map_err(StoreError::Io)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf).map_err(StoreError::Io)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cm_columnar_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("test.cmstore")
+    }
+
+    fn key(program: &str, run: u32, event: usize) -> SeriesKey {
+        SeriesKey::new(program, run, SampleMode::Mlpx, EventId::new(event))
+    }
+
+    #[test]
+    fn stage_commit_reopen_round_trip() {
+        let path = temp_store("roundtrip");
+        let mut store = Store::open(&path).unwrap();
+        store
+            .append_series(key("wc", 0, 1), &[1.0, 2.0, 3.0])
+            .unwrap();
+        store
+            .append_series(key("wc", 0, 2), &[0.5, f64::NAN, -7.25])
+            .unwrap();
+        store.set_meta("fingerprint", "abc123");
+        store.commit().unwrap();
+
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(reopened.series_count(), 2);
+        assert_eq!(
+            *reopened.read_series(&key("wc", 0, 1)).unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+        let nan_chunk = reopened.read_series(&key("wc", 0, 2)).unwrap();
+        assert_eq!(nan_chunk[0], 0.5);
+        assert!(nan_chunk[1].is_nan());
+        assert_eq!(reopened.meta("fingerprint"), Some("abc123"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_run_round_trips_records() {
+        let path = temp_store("runs");
+        let mut record = RunRecord::new("sort", 3, SampleMode::Ocoe);
+        record.set_exec_time_secs(12.75);
+        record.insert_series(EventId::new(5), TimeSeries::from_values(vec![10.0, 20.0]));
+        record.insert_series(EventId::new(9), TimeSeries::from_values(vec![]));
+
+        let mut store = Store::open(&path).unwrap();
+        store.append_run(&record).unwrap();
+        store.commit().unwrap();
+
+        let reopened = Store::open(&path).unwrap();
+        let id = RunId::new("sort", 3, SampleMode::Ocoe);
+        let got = reopened.read_run(&id).unwrap();
+        assert_eq!(got.exec_time_secs(), 12.75);
+        assert_eq!(got.event_count(), 2);
+        assert_eq!(got.series(EventId::new(5)).unwrap().values(), &[10.0, 20.0]);
+        assert!(got.series(EventId::new(9)).unwrap().is_empty());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_series_rejected() {
+        let path = temp_store("dup");
+        let mut store = Store::open(&path).unwrap();
+        store.append_series(key("a", 0, 1), &[1.0]).unwrap();
+        let err = store.append_series(key("a", 0, 1), &[2.0]).unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateSeries { .. }));
+        // Committed keys are protected too.
+        store.commit().unwrap();
+        assert!(store.append_series(key("a", 0, 1), &[2.0]).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn incremental_append_preserves_committed_chunks() {
+        let path = temp_store("incremental");
+        let mut store = Store::open(&path).unwrap();
+        store.append_series(key("a", 0, 1), &[1.0, 2.0]).unwrap();
+        store.commit().unwrap();
+
+        // Second session appends more without re-encoding the old chunk.
+        let mut store = Store::open(&path).unwrap();
+        store.append_series(key("a", 1, 1), &[3.0, 4.0]).unwrap();
+        store.commit().unwrap();
+
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(
+            *reopened.read_series(&key("a", 0, 1)).unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(
+            *reopened.read_series(&key("a", 1, 1)).unwrap(),
+            vec![3.0, 4.0]
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn staged_series_readable_before_commit() {
+        let path = temp_store("staged");
+        let mut store = Store::open(&path).unwrap();
+        store.append_series(key("a", 0, 7), &[5.0]).unwrap();
+        assert!(store.has_staged());
+        assert_eq!(*store.read_series(&key("a", 0, 7)).unwrap(), vec![5.0]);
+        assert!(!path.exists(), "nothing durable before commit");
+    }
+
+    #[test]
+    fn missing_series_is_typed() {
+        let path = temp_store("missing");
+        let store = Store::open(&path).unwrap();
+        assert!(matches!(
+            store.read_series(&key("nope", 0, 0)).unwrap_err(),
+            StoreError::SeriesNotFound { .. }
+        ));
+    }
+
+    #[test]
+    fn info_reports_encodings_and_sizes() {
+        let path = temp_store("info");
+        let mut store = Store::open(&path).unwrap();
+        store.append_series(key("a", 0, 1), &[1.0, 2.0]).unwrap(); // integral -> delta
+        store.append_series(key("a", 0, 2), &[1.5, 2.5]).unwrap(); // fractional -> raw
+        store.commit().unwrap();
+        let info = store.info();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.series, 2);
+        assert_eq!(info.staged, 0);
+        assert_eq!(info.total_values, 4);
+        assert_eq!(info.delta_chunks, 1);
+        assert_eq!(info.raw_chunks, 1);
+        assert!(info.file_bytes > SUPERBLOCK_LEN as u64);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_file_is_recovered() {
+        let path = temp_store("recover");
+        let mut store = Store::open(&path).unwrap();
+        store.append_series(key("a", 0, 1), &[9.0]).unwrap();
+        store.commit().unwrap();
+
+        // Simulate a crash mid-commit: garbage under the tmp name.
+        fs::write(tmp_path(&path), b"partial garbage").unwrap();
+        let reopened = Store::open(&path).unwrap();
+        assert!(!tmp_path(&path).exists(), "tmp cleaned up on open");
+        assert_eq!(*reopened.read_series(&key("a", 0, 1)).unwrap(), vec![9.0]);
+        fs::remove_file(&path).unwrap();
+    }
+}

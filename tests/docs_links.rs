@@ -1,0 +1,117 @@
+//! Documentation link sanity: every relative Markdown link in the
+//! repository's top-level docs must point at a file (or directory) that
+//! actually exists, and every anchor-only or external link is left
+//! alone. Keeps `README.md`, `DESIGN.md`, `ROADMAP.md`, `CHANGELOG.md`,
+//! and everything under `docs/` from rotting as files move.
+
+use std::path::{Path, PathBuf};
+
+/// Repository root, two levels above the core crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// The documents whose links we check.
+fn documents() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut docs: Vec<PathBuf> = ["README.md", "DESIGN.md", "ROADMAP.md", "CHANGELOG.md"]
+        .iter()
+        .map(|name| root.join(name))
+        .filter(|p| p.exists())
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                docs.push(path);
+            }
+        }
+    }
+    docs
+}
+
+/// Extracts `[text](target)` link targets from Markdown, skipping
+/// fenced code blocks and inline code spans.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let after = &rest[open + 2..];
+            let Some(close) = after.find(')') else { break };
+            let target = &after[..close];
+            // Backticked pseudo-links (`[...](...)`
+            // inside code spans) are rare enough to not special-case;
+            // real code spans with parens don't match the `](` shape.
+            targets.push(target.to_string());
+            rest = &after[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_links_resolve() {
+    let mut checked = 0;
+    let mut broken = Vec::new();
+    for doc in documents() {
+        let text = std::fs::read_to_string(&doc).unwrap();
+        let base = doc.parent().unwrap().to_path_buf();
+        for target in link_targets(&text) {
+            // External links, mailto, and in-page anchors are out of
+            // scope for a filesystem check.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // Strip an anchor suffix: `FILE.md#section` checks FILE.md.
+            let file_part = target.split('#').next().unwrap();
+            if file_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !base.join(file_part).exists() {
+                broken.push(format!("{}: {target}", doc.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+    assert!(
+        checked >= 3,
+        "expected to check several relative links, found {checked}; \
+         did the docs move?"
+    );
+}
+
+#[test]
+fn core_documents_exist() {
+    let root = repo_root();
+    for name in [
+        "README.md",
+        "DESIGN.md",
+        "ROADMAP.md",
+        "CHANGELOG.md",
+        "docs/STORAGE_FORMAT.md",
+    ] {
+        assert!(root.join(name).exists(), "missing {name}");
+    }
+}
