@@ -1,0 +1,191 @@
+//! Adversarial input generators.
+//!
+//! Counter series that real collectors occasionally produce but unit
+//! tests rarely think to write: empty, single-sample, perfectly
+//! constant, saturated with NaN, nothing but multiplexing gaps, values
+//! at the `2^52` delta-codec boundary, ±∞. Every generator is a pure
+//! function of a [`ChaosRng`], so a failing case replays from its seed.
+
+use crate::ChaosRng;
+
+/// Largest magnitude the store's delta codec encodes exactly (`2^52`);
+/// values straddling it exercise the codec's raw-f64 fallback.
+pub const DELTA_BOUNDARY: f64 = 4_503_599_627_370_496.0;
+
+/// The family of adversarial shapes [`series`] can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// No samples at all.
+    Empty,
+    /// Exactly one sample.
+    Single,
+    /// Every sample identical (zero variance).
+    Constant,
+    /// Every sample NaN.
+    AllNan,
+    /// Every sample zero — a run that was multiplexed out entirely.
+    AllMissing,
+    /// Finite data with ±∞ spikes mixed in.
+    Infinities,
+    /// Values hugging the `±2^52` codec boundary, plus `-0.0`.
+    Boundary,
+    /// Plausible data interrupted by pathological multiplexing gap
+    /// patterns (long zero bursts, alternating gaps).
+    MlpxGaps,
+    /// Plausible data with extreme-magnitude outlier spikes.
+    Spiky,
+}
+
+/// All shapes, for exhaustive sweeps.
+pub const SHAPES: [Shape; 9] = [
+    Shape::Empty,
+    Shape::Single,
+    Shape::Constant,
+    Shape::AllNan,
+    Shape::AllMissing,
+    Shape::Infinities,
+    Shape::Boundary,
+    Shape::MlpxGaps,
+    Shape::Spiky,
+];
+
+/// Generates one series of the given shape.
+///
+/// # Examples
+///
+/// ```
+/// use cm_chaos::{gen, ChaosRng};
+///
+/// let mut rng = ChaosRng::new(3);
+/// let s = gen::series(&mut rng, gen::Shape::AllNan);
+/// assert!(!s.is_empty());
+/// assert!(s.iter().all(|v| v.is_nan()));
+/// ```
+pub fn series(rng: &mut ChaosRng, shape: Shape) -> Vec<f64> {
+    let len = 8 + rng.below(56) as usize;
+    let level = 1.0 + rng.next_f64() * 99.0;
+    match shape {
+        Shape::Empty => Vec::new(),
+        Shape::Single => vec![level],
+        Shape::Constant => vec![level; len],
+        Shape::AllNan => vec![f64::NAN; len],
+        Shape::AllMissing => vec![0.0; len],
+        Shape::Infinities => {
+            let mut v = plausible(rng, len, level);
+            for x in v.iter_mut() {
+                if rng.chance(0.2) {
+                    *x = if rng.chance(0.5) {
+                        f64::INFINITY
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
+            }
+            v
+        }
+        Shape::Boundary => (0..len)
+            .map(|i| {
+                let off = rng.below(3) as f64 - 1.0;
+                match i % 4 {
+                    0 => DELTA_BOUNDARY + off,
+                    1 => -DELTA_BOUNDARY - off,
+                    2 => -0.0,
+                    _ => off,
+                }
+            })
+            .collect(),
+        Shape::MlpxGaps => {
+            let mut v = plausible(rng, len, level);
+            // A long burst of dropped intervals…
+            let burst = rng.below(len as u64 / 2) as usize;
+            let start = rng.below((len - burst) as u64) as usize;
+            for x in &mut v[start..start + burst] {
+                *x = 0.0;
+            }
+            // …and alternating single-interval gaps elsewhere.
+            let stride = 2 + rng.below(3) as usize;
+            for i in (0..len).step_by(stride) {
+                if rng.chance(0.5) {
+                    v[i] = 0.0;
+                }
+            }
+            v
+        }
+        Shape::Spiky => {
+            let mut v = plausible(rng, len, level);
+            for x in v.iter_mut() {
+                if rng.chance(0.1) {
+                    *x *= 1.0 + rng.next_f64() * 1e6;
+                }
+            }
+            v
+        }
+    }
+}
+
+/// Generates a seeded shape pick and its series.
+pub fn any_series(rng: &mut ChaosRng) -> (Shape, Vec<f64>) {
+    let shape = SHAPES[rng.below(SHAPES.len() as u64) as usize];
+    (shape, series(rng, shape))
+}
+
+/// An unremarkable noisy-but-clean series around `level`.
+fn plausible(rng: &mut ChaosRng, len: usize, level: f64) -> Vec<f64> {
+    (0..len)
+        .map(|_| level * (0.9 + rng.next_f64() * 0.2))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_their_defining_property() {
+        let mut rng = ChaosRng::new(1);
+        assert!(series(&mut rng, Shape::Empty).is_empty());
+        assert_eq!(series(&mut rng, Shape::Single).len(), 1);
+        let c = series(&mut rng, Shape::Constant);
+        assert!(c.windows(2).all(|w| w[0] == w[1]) && c.len() > 1);
+        assert!(series(&mut rng, Shape::AllNan).iter().all(|v| v.is_nan()));
+        assert!(series(&mut rng, Shape::AllMissing)
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(series(&mut rng, Shape::Infinities)
+            .iter()
+            .any(|v| v.is_infinite()));
+        let b = series(&mut rng, Shape::Boundary);
+        assert!(b.iter().any(|&v| v.abs() >= DELTA_BOUNDARY));
+        assert!(b.iter().any(|&v| v == 0.0 && v.is_sign_negative()));
+        assert!(series(&mut rng, Shape::MlpxGaps).contains(&0.0));
+        let s = series(&mut rng, Shape::Spiky);
+        let max = s.iter().cloned().fold(0.0_f64, f64::max);
+        let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 100.0, "spikes dominate: {min}..{max}");
+    }
+
+    #[test]
+    fn generation_replays_from_seed() {
+        // Compare bit patterns: NaN == NaN is false, but replay must be
+        // bit-exact including NaNs.
+        let run = |seed| {
+            let mut rng = ChaosRng::new(seed);
+            (0..20)
+                .map(|_| {
+                    let (shape, v) = any_series(&mut rng);
+                    (shape, v.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run(99);
+        assert_eq!(a, run(99));
+        assert_ne!(a, run(100));
+        // All shapes appear across a modest sweep.
+        let mut rng = ChaosRng::new(0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(format!("{:?}", any_series(&mut rng).0));
+        }
+        assert_eq!(seen.len(), SHAPES.len());
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic fault injection and adversarial input generation for
+//! CounterMiner.
+//!
+//! Hardware-counter pipelines fail in the field the way all data
+//! pipelines do: a collector emits an empty or constant or NaN-ridden
+//! series, a disk fills mid-commit, a sector rots under a committed
+//! store. This crate packages those failures as *reproducible test
+//! inputs* so the rest of the workspace can prove one invariant:
+//! **typed error or correct result — never a panic, never a NaN
+//! ranking, never silently wrong data.**
+//!
+//! Three pieces, all driven by a single `u64` seed:
+//!
+//! * [`ChaosRng`] — a zero-dependency splittable SplitMix64 PRNG; every
+//!   schedule and input below is a pure function of its seed, so any
+//!   failure replays exactly.
+//! * [`gen`] — generators for adversarial counter series: empty,
+//!   single-sample, constant, all-NaN, all-missing, ±∞ spikes, values
+//!   at the delta-codec's `2^52` boundary, pathological multiplexing
+//!   gap patterns.
+//! * [`FaultFs`] — a [`cm_store::Vfs`] wrapper that injects short
+//!   reads, failed and short writes, fsync failures, and silent
+//!   single-bit corruption into the columnar store's I/O, tallying
+//!   every injection on `cm_obs` counters under the `chaos.*`
+//!   namespace.
+//!
+//! # Examples
+//!
+//! A seeded end-to-end store torture step:
+//!
+//! ```
+//! use cm_chaos::FaultFs;
+//! use cm_store::{CacheConfig, Store};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("cm_chaos_doc_{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let fs = Arc::new(FaultFs::new(0xC0FFEE));
+//! let outcome = Store::open_with_vfs(dir.join("t.cmstore"), CacheConfig::default(), fs.clone());
+//! // The invariant under fault injection: a typed result, never a panic.
+//! match outcome {
+//!     Ok(_) => {}
+//!     Err(e) => println!("typed store error: {e}"),
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fault;
+pub mod gen;
+mod rng;
+
+pub use fault::{FaultFs, FaultKind};
+pub use rng::ChaosRng;

@@ -50,6 +50,11 @@ COMMANDS:
                                     FILE; a rerun with the same settings
                                     resumes from it, skipping collection
                                     and cleaning
+        [--chaos-seed U64]          dev: inject the seed's deterministic
+                                    schedule of I/O faults into the
+                                    store (requires --store); reports
+                                    the outcome instead of failing —
+                                    the run must never panic
   ingest <benchmark> --store FILE   collect and clean a benchmark into
         [--runs N] [--events N]     the columnar store without modeling
         [--seed S]                  (a later analyze --store resumes)
@@ -390,9 +395,51 @@ fn miner_config(args: &Args) -> Result<MinerConfig, ArgError> {
 /// `counterminer analyze <benchmark> [...]`
 pub fn analyze(args: &Args) -> CmdResult {
     let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let chaos_seed: Option<u64> = match args.get("chaos-seed") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("--chaos-seed needs a u64, got {raw:?}")))?,
+        ),
+    };
     let mut miner = CounterMiner::new(miner_config(args)?);
-    let report = match args.get("store") {
-        Some(path) => {
+    let report = match (args.get("store"), chaos_seed) {
+        (None, Some(_)) => {
+            return Err(ArgError("--chaos-seed requires --store FILE".into()).into());
+        }
+        (Some(path), Some(seed)) => {
+            // Dev harness: run the store-backed pipeline with the
+            // seed's fault schedule injected into every store I/O.
+            // Both outcomes are expected — completion or a typed
+            // error — so the command reports instead of failing; a
+            // panic is the only wrong answer.
+            let fs = std::sync::Arc::new(cm_chaos::FaultFs::new(seed));
+            let outcome = (|| -> Result<_, Box<dyn Error>> {
+                let mut store = Store::open_with_vfs(
+                    Path::new(path),
+                    cm_store::CacheConfig::from_env(),
+                    fs.clone(),
+                )?;
+                Ok(miner.analyze_with_store(benchmark, &mut store)?)
+            })();
+            match outcome {
+                Ok(report) => {
+                    println!(
+                        "chaos seed {seed}: {} fault(s) injected, pipeline completed",
+                        fs.injected()
+                    );
+                    report
+                }
+                Err(e) => {
+                    println!(
+                        "chaos seed {seed}: {} fault(s) injected, typed failure: {e}",
+                        fs.injected()
+                    );
+                    return Ok(());
+                }
+            }
+        }
+        (Some(path), None) => {
             let mut store = Store::open(Path::new(path))?;
             let report = miner.analyze_with_store(benchmark, &mut store)?;
             let info = store.info();
@@ -402,7 +449,7 @@ pub fn analyze(args: &Args) -> CmdResult {
             );
             report
         }
-        None => miner.analyze(benchmark)?,
+        (None, None) => miner.analyze(benchmark)?,
     };
 
     println!(
@@ -713,11 +760,35 @@ mod tests {
         assert!(USAGE.contains("--trainer"), "usage missing --trainer");
         assert!(USAGE.contains("--metrics"), "usage missing --metrics");
         assert!(USAGE.contains("--store"), "usage missing --store");
+        assert!(USAGE.contains("--chaos-seed"), "usage missing --chaos-seed");
         assert!(USAGE.contains("CM_OBS"), "usage missing CM_OBS");
         assert!(
             USAGE.contains("CM_STORE_CACHE"),
             "usage missing CM_STORE_CACHE"
         );
+    }
+
+    #[test]
+    fn chaos_seed_without_store_is_rejected() {
+        let parse = |tokens: &[&str]| {
+            crate::args::Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+        };
+        let err = analyze(&parse(&["analyze", "sort", "--chaos-seed", "7"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--store"), "unexpected error: {err}");
+        // And a non-numeric seed is a parse error, not a panic.
+        let err = analyze(&parse(&[
+            "analyze",
+            "sort",
+            "--chaos-seed",
+            "banana",
+            "--store",
+            "/tmp/x.cmstore",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("u64"), "unexpected error: {err}");
     }
 
     #[test]

@@ -40,10 +40,12 @@ pub(super) fn fill_missing(
         });
     }
 
-    // Not enough valid samples to interpolate from: keep the zeros
-    // rather than inventing data.
+    // Nothing valid to interpolate from: keep the zeros rather than
+    // inventing data. (With at least one valid sample, `impute_series`
+    // clamps its neighborhood to the valid count, so a sparse series
+    // still fills from whatever was observed.)
     let valid = values.len() - zeros.len();
-    if valid < config.knn_k {
+    if valid == 0 {
         return Ok(MissingOutcome {
             filled: 0,
             kept: zeros.len(),
@@ -93,13 +95,17 @@ mod tests {
         assert_eq!(v[0], 0.0);
     }
 
+    /// Regression: fewer valid samples than `k` used to keep the zeros
+    /// (leaving multiplexing gaps in the data). The imputer now clamps
+    /// its neighborhood, so even two valid samples fill the gaps.
     #[test]
-    fn keeps_zeros_when_too_few_valid_samples() {
+    fn few_valid_samples_still_fill_from_what_exists() {
         let mut v = vec![0.0, 5.0, 0.0, 6.0, 0.0];
-        // Only 2 valid samples < k = 5.
+        // Only 2 valid samples < k = 5: filled with their mean.
         let out = fill_missing(&mut v, &config()).unwrap();
-        assert_eq!(out.filled, 0);
-        assert_eq!(out.kept, 3);
+        assert_eq!(out.filled, 3);
+        assert_eq!(out.kept, 0);
+        assert!(v.iter().all(|&x| x > 4.0 && x < 7.0));
     }
 
     #[test]

@@ -114,11 +114,21 @@ impl DataCleaner {
     ///
     /// # Errors
     ///
-    /// Returns [`CmError::Invalid`] for an empty series, or propagates
-    /// statistics errors (e.g. a series too short for KNN).
+    /// Returns [`CmError::Invalid`] for an empty series or one containing
+    /// non-finite samples (NaN or ±∞ — a counter can never produce those,
+    /// so they signal corrupted input that no threshold arithmetic can
+    /// clean), or propagates statistics errors.
     pub fn clean_series(&self, series: &TimeSeries) -> Result<(TimeSeries, CleanReport), CmError> {
         if series.is_empty() {
             return Err(CmError::Invalid("cannot clean an empty series"));
+        }
+        // A NaN poisons the mean, the threshold, and every comparison
+        // against it; an infinity does the same one step later. Reject
+        // up front so cleaned output is always finite.
+        if series.values().iter().any(|v| !v.is_finite()) {
+            return Err(CmError::Invalid(
+                "cannot clean a series with non-finite samples",
+            ));
         }
         let mut values = series.values().to_vec();
 
@@ -246,6 +256,44 @@ mod tests {
     fn empty_series_rejected() {
         let cleaner = DataCleaner::default();
         assert!(cleaner.clean_series(&TimeSeries::new()).is_err());
+    }
+
+    /// Regression: a NaN sample used to sail through both cleaning
+    /// stages — the threshold became NaN, every `v > NaN` comparison was
+    /// false, and the NaN survived into "cleaned" output (infinities
+    /// likewise poisoned the threshold). Non-finite input must be a
+    /// typed error, never NaN-bearing output.
+    #[test]
+    fn non_finite_samples_are_a_typed_error() {
+        let cleaner = DataCleaner::default();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut v = vec![5.0; 20];
+            v[3] = bad;
+            let err = cleaner
+                .clean_series(&TimeSeries::from_values(v))
+                .expect_err("non-finite sample must be rejected");
+            assert!(matches!(err, CmError::Invalid(_)), "{bad}: {err:?}");
+        }
+        // All-NaN is the same typed error, not a panic.
+        assert!(cleaner
+            .clean_series(&TimeSeries::from_values(vec![f64::NAN; 8]))
+            .is_err());
+    }
+
+    /// Constant series of any length clean to themselves: zero-variance
+    /// threshold selection terminates with nothing flagged.
+    #[test]
+    fn constant_series_clean_to_themselves() {
+        let cleaner = DataCleaner::default();
+        for len in [1usize, 2, 5, 50] {
+            let v = vec![7.5; len];
+            let (clean, report) = cleaner
+                .clean_series(&TimeSeries::from_values(v.clone()))
+                .unwrap();
+            assert_eq!(clean.values(), &v[..], "len={len}");
+            assert_eq!(report.outliers_replaced, 0, "len={len}");
+            assert!(report.threshold.is_finite(), "len={len}");
+        }
     }
 
     #[test]

@@ -32,6 +32,20 @@ pub(super) fn replace_outliers(
     let std = descriptive::std_dev(values)?;
     let limit = mean + n_used * std;
 
+    // Zero variance means every sample *is* the mean: nothing can be an
+    // outlier, and floating-point summation error in `mean` must not be
+    // allowed to flag the whole series (if the computed mean rounds a
+    // hair below the common value, `v > limit` would be true for every
+    // sample). Report the exact common value as the threshold.
+    if std == 0.0 {
+        return Ok(OutlierOutcome {
+            replaced: 0,
+            threshold: mean,
+            n_used,
+            distribution,
+        });
+    }
+
     let outlier_mask: Vec<bool> = values.iter().map(|&v| v > limit).collect();
     let replaced = outlier_mask.iter().filter(|&&m| m).count();
     if replaced == 0 {
@@ -198,5 +212,22 @@ mod tests {
         let out = replace_outliers(&mut v, &config()).unwrap();
         // Whatever n was chosen, the call must succeed.
         assert!(out.n_used >= 3.0);
+    }
+
+    /// Regression: with `std == 0` the threshold `mean + n·0` collapses
+    /// onto the mean, and any rounding in the mean could flag every
+    /// sample. A constant series must terminate n-selection, flag
+    /// nothing, and report a finite threshold — for any magnitude.
+    #[test]
+    fn zero_variance_series_flags_nothing() {
+        for value in [0.0, 0.1, 5.0, 1.0 / 3.0, 1e18, 4503599627370497.0] {
+            for len in [1usize, 2, 20, 100] {
+                let mut v = vec![value; len];
+                let out = replace_outliers(&mut v, &config()).unwrap();
+                assert_eq!(out.replaced, 0, "value={value} len={len}");
+                assert!(out.threshold.is_finite(), "value={value} len={len}");
+                assert!(v.iter().all(|&x| x == value), "value={value} len={len}");
+            }
+        }
     }
 }

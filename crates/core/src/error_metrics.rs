@@ -50,8 +50,10 @@ pub fn mlpx_error(
     if ocoe1.is_empty() || ocoe2.is_empty() || mlpx.is_empty() {
         return Err(CmError::Invalid("error metric requires non-empty series"));
     }
-    let dist_ref = dtw::distance(ocoe1.values(), ocoe2.values());
-    let dist_mea = dtw::distance(mlpx.values(), ocoe1.values());
+    // The `try_` variants reject non-finite samples with a typed error —
+    // a NaN-poisoned series must never read as an error percentage.
+    let dist_ref = dtw::try_distance(ocoe1.values(), ocoe2.values()).map_err(CmError::Stats)?;
+    let dist_mea = dtw::try_distance(mlpx.values(), ocoe1.values()).map_err(CmError::Stats)?;
     if dist_mea == 0.0 {
         // A perfect measurement: define the error as zero rather than
         // dividing by zero.

@@ -144,6 +144,19 @@ impl CounterMiner {
         &self.db
     }
 
+    /// Resolves the concrete event set the collector will measure for a
+    /// benchmark under the current configuration. This is what the
+    /// snapshot fingerprint hashes: the *set*, not just its size.
+    fn resolve_events(&self, benchmark: Benchmark) -> cm_events::EventSet {
+        let workload = Workload::new(benchmark, &self.catalog);
+        let n_events = self
+            .config
+            .events_to_measure
+            .unwrap_or(self.catalog.len())
+            .min(self.catalog.len());
+        workload.top_event_ids(&self.catalog, n_events)
+    }
+
     /// Collects (and stores) the configured number of multiplexed runs
     /// of a benchmark.
     ///
@@ -152,12 +165,7 @@ impl CounterMiner {
     /// Returns a store error when the same benchmark is collected twice.
     pub fn collect(&mut self, benchmark: Benchmark) -> Result<Vec<SimRun>, CmError> {
         let workload = Workload::new(benchmark, &self.catalog);
-        let n_events = self
-            .config
-            .events_to_measure
-            .unwrap_or(self.catalog.len())
-            .min(self.catalog.len());
-        let events = workload.top_event_ids(&self.catalog, n_events);
+        let events = self.resolve_events(benchmark);
         let runs = collector::collect_runs(
             &workload,
             &events,
@@ -265,7 +273,8 @@ impl CounterMiner {
         let _analyze = cm_obs::span!("analyze", benchmark = benchmark.name());
         cm_obs::counter_add("pipeline.analyses", 1);
 
-        let fp = snapshot::fingerprint(benchmark, &self.config);
+        let measured = self.resolve_events(benchmark);
+        let fp = snapshot::fingerprint(benchmark, &self.config, measured.as_slice());
         let resumed = {
             let _s = cm_obs::span!("resume.probe");
             snapshot::load(store, benchmark, fp)?
@@ -277,7 +286,7 @@ impl CounterMiner {
             }
             None => {
                 cm_obs::counter_add("pipeline.resume.misses", 1);
-                self.collect_and_persist(benchmark, fp, store)?
+                self.collect_and_persist(benchmark, fp, &measured, store)?
             }
         };
         self.model_and_rank(
@@ -303,7 +312,8 @@ impl CounterMiner {
         store: &mut Store,
     ) -> Result<IngestSummary, CmError> {
         let _s = cm_obs::span!("ingest", benchmark = benchmark.name());
-        let fp = snapshot::fingerprint(benchmark, &self.config);
+        let measured = self.resolve_events(benchmark);
+        let fp = snapshot::fingerprint(benchmark, &self.config, measured.as_slice());
         let (snap, resumed) = match snapshot::load(store, benchmark, fp)? {
             Some(snap) => {
                 cm_obs::counter_add("pipeline.resume.hits", 1);
@@ -311,7 +321,10 @@ impl CounterMiner {
             }
             None => {
                 cm_obs::counter_add("pipeline.resume.misses", 1);
-                (self.collect_and_persist(benchmark, fp, store)?, false)
+                (
+                    self.collect_and_persist(benchmark, fp, &measured, store)?,
+                    false,
+                )
             }
         };
         Ok(IngestSummary {
@@ -334,20 +347,15 @@ impl CounterMiner {
         &mut self,
         benchmark: Benchmark,
         fp: u64,
+        measured: &cm_events::EventSet,
         store: &mut Store,
     ) -> Result<snapshot::Snapshot, CmError> {
         let runs = {
             let _s = cm_obs::span!("collect");
             let workload = Workload::new(benchmark, &self.catalog);
-            let n_events = self
-                .config
-                .events_to_measure
-                .unwrap_or(self.catalog.len())
-                .min(self.catalog.len());
-            let events = workload.top_event_ids(&self.catalog, n_events);
             collector::collect_runs(
                 &workload,
-                &events,
+                measured,
                 SampleMode::Mlpx,
                 self.config.runs_per_benchmark,
                 &self.config.pmu,

@@ -56,20 +56,25 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Fingerprints every knob that influences collection and cleaning.
+/// Fingerprints every knob that influences collection and cleaning,
+/// plus the *resolved* event set the collector will measure.
+///
+/// The event ids are sorted before hashing, so two configurations that
+/// measure the same set in a different order share a fingerprint (the
+/// collected data is identical), while configurations measuring
+/// *different* sets of the same size — which used to collide when only
+/// the count was hashed — never do.
 ///
 /// Deliberately excludes the importance/interaction/aggregation settings:
 /// those shape the *model* half of the pipeline, which always re-runs, so
 /// retuning EIR must not force a re-collection.
-pub(crate) fn fingerprint(benchmark: Benchmark, config: &MinerConfig) -> u64 {
+pub(crate) fn fingerprint(benchmark: Benchmark, config: &MinerConfig, events: &[EventId]) -> u64 {
+    let mut ids: Vec<usize> = events.iter().map(|e| e.index()).collect();
+    ids.sort_unstable();
+    ids.dedup();
     let desc = format!(
-        "v1|{:?}|pmu={:?}|cleaner={:?}|runs={}|events={:?}|seed={}",
-        benchmark,
-        config.pmu,
-        config.cleaner,
-        config.runs_per_benchmark,
-        config.events_to_measure,
-        config.seed,
+        "v2|{:?}|pmu={:?}|cleaner={:?}|runs={}|events={ids:?}|seed={}",
+        benchmark, config.pmu, config.cleaner, config.runs_per_benchmark, config.seed,
     );
     fnv1a(desc.as_bytes())
 }
@@ -252,17 +257,35 @@ mod tests {
     #[test]
     fn fingerprint_tracks_collection_knobs_only() {
         let base = MinerConfig::default();
-        let fp = fingerprint(Benchmark::Wordcount, &base);
-        assert_eq!(fp, fingerprint(Benchmark::Wordcount, &base));
-        assert_ne!(fp, fingerprint(Benchmark::Sort, &base));
+        let events = [EventId::new(3), EventId::new(7)];
+        let fp = fingerprint(Benchmark::Wordcount, &base, &events);
+        assert_eq!(fp, fingerprint(Benchmark::Wordcount, &base, &events));
+        assert_ne!(fp, fingerprint(Benchmark::Sort, &base, &events));
         let mut reseeded = base;
         reseeded.seed = 99;
-        assert_ne!(fp, fingerprint(Benchmark::Wordcount, &reseeded));
+        assert_ne!(fp, fingerprint(Benchmark::Wordcount, &reseeded, &events));
         // Model-side settings must not invalidate collected data.
         let mut retuned = base;
         retuned.interaction_top_k = 3;
         retuned.aggregation_window = 4;
-        assert_eq!(fp, fingerprint(Benchmark::Wordcount, &retuned));
+        assert_eq!(fp, fingerprint(Benchmark::Wordcount, &retuned, &events));
+    }
+
+    /// Regression: the fingerprint used to hash only the *count* of
+    /// measured events, so two configurations measuring different
+    /// event sets of the same size collided — one would silently resume
+    /// from the other's data. It must hash the set, order-invariantly.
+    #[test]
+    fn fingerprint_covers_the_event_set_order_invariantly() {
+        let config = MinerConfig::default();
+        let a = [EventId::new(1), EventId::new(2), EventId::new(3)];
+        let permuted = [EventId::new(3), EventId::new(1), EventId::new(2)];
+        let different = [EventId::new(1), EventId::new(2), EventId::new(4)];
+        let fp = fingerprint(Benchmark::Wordcount, &config, &a);
+        // Same set, permuted order: identical data, identical fingerprint.
+        assert_eq!(fp, fingerprint(Benchmark::Wordcount, &config, &permuted));
+        // Different set of the same size: must never collide.
+        assert_ne!(fp, fingerprint(Benchmark::Wordcount, &config, &different));
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! Two variants are provided: [`distance`] (exact, `O(n·m)` time with
 //! `O(min(n,m))` memory) and [`distance_banded`] (Sakoe–Chiba band,
 //! faster for long, roughly aligned series).
+//!
+//! The plain functions keep the classical convention of returning
+//! `f64::INFINITY` for a half-empty pair (and propagate NaN from NaN
+//! inputs); [`try_distance`] and [`try_distance_banded`] instead reject
+//! degenerate inputs with a typed [`StatsError`], which is what the
+//! pipeline uses so garbage series can never masquerade as "infinitely
+//! far" measurements.
+
+use crate::StatsError;
 
 /// Exact DTW distance with absolute-difference local cost.
 ///
@@ -78,6 +87,8 @@ pub fn distance_banded_bounded(a: &[f64], b: &[f64], radius: usize, bound: f64) 
     }
     let n = a.len();
     let m = b.len();
+    // Widen the band to at least the length difference so a warping path
+    // always exists, however narrow the caller's radius.
     let radius = radius.max(n.abs_diff(m));
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
@@ -87,7 +98,7 @@ pub fn distance_banded_bounded(a: &[f64], b: &[f64], radius: usize, bound: f64) 
         // grid and take the band around it.
         let center = i * m / n;
         let lo = center.saturating_sub(radius).max(1);
-        let hi = (center + radius).min(m);
+        let hi = center.saturating_add(radius).min(m);
         curr.fill(f64::INFINITY);
         // The DP origin prev[0] = 0 is only reachable diagonally from
         // (1, 1); curr[0] stays infinite so later rows cannot skip
@@ -105,6 +116,58 @@ pub fn distance_banded_bounded(a: &[f64], b: &[f64], radius: usize, bound: f64) 
         std::mem::swap(&mut prev, &mut curr);
     }
     prev[m]
+}
+
+/// Validates a DTW input pair for the `try_` entry points.
+fn validate_pair(a: &[f64], b: &[f64]) -> Result<(), StatsError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if a.iter().chain(b.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidParameter(
+            "DTW input contains a non-finite sample",
+        ));
+    }
+    Ok(())
+}
+
+/// [`distance`] with typed input validation: empty series and series
+/// containing NaN or infinities are rejected instead of surfacing as an
+/// infinite (or NaN) "distance" that silently poisons downstream
+/// aggregates.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] when either series is empty and
+/// [`StatsError::InvalidParameter`] when either contains a non-finite
+/// sample.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::dtw::try_distance;
+///
+/// assert_eq!(try_distance(&[1.0, 2.0], &[1.0, 2.0])?, 0.0);
+/// assert!(try_distance(&[], &[1.0]).is_err());
+/// assert!(try_distance(&[f64::NAN], &[1.0]).is_err());
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+pub fn try_distance(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    validate_pair(a, b)?;
+    Ok(distance(a, b))
+}
+
+/// [`distance_banded`] with typed input validation (see
+/// [`try_distance`]). The band is widened to at least
+/// `|a.len() - b.len()|` exactly as in [`distance_banded`], so a
+/// too-narrow radius is never an error — only degenerate *data* is.
+///
+/// # Errors
+///
+/// As for [`try_distance`].
+pub fn try_distance_banded(a: &[f64], b: &[f64], radius: usize) -> Result<f64, StatsError> {
+    validate_pair(a, b)?;
+    Ok(distance_banded(a, b, radius))
 }
 
 /// Exact DTW distances for a batch of series pairs, fanned out across
@@ -272,6 +335,59 @@ mod tests {
         let b = vec![10.0; 30];
         // True distance is 300; a tiny bound must be abandoned early.
         assert_eq!(distance_banded_bounded(&a, &b, 30, 1.0), f64::INFINITY);
+    }
+
+    /// Regression: a pathologically large radius used to overflow
+    /// `center + radius` and panic in debug builds. The band arithmetic
+    /// must saturate instead.
+    #[test]
+    fn huge_radius_does_not_overflow() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0];
+        assert_eq!(distance_banded(&a, &b, usize::MAX), distance(&a, &b));
+    }
+
+    /// A band narrower than the length difference must be widened, never
+    /// produce an unreachable (infinite) path.
+    #[test]
+    fn band_narrower_than_length_gap_is_widened() {
+        for (la, lb) in [(2usize, 40usize), (40, 2), (1, 64), (64, 1)] {
+            let a: Vec<f64> = (0..la).map(|i| i as f64).collect();
+            let b: Vec<f64> = (0..lb).map(|i| (i % 5) as f64).collect();
+            let exact = distance(&a, &b);
+            for radius in [0usize, 1, 2] {
+                let banded = distance_banded(&a, &b, radius);
+                assert!(
+                    banded.is_finite() && banded >= exact - 1e-9,
+                    "{la}x{lb} r={radius}: banded={banded} exact={exact}"
+                );
+            }
+        }
+    }
+
+    /// Regression: degenerate inputs (empty or non-finite series) used to
+    /// surface only as an infinite/NaN "distance". The `try_` entry
+    /// points reject them with a typed error.
+    #[test]
+    fn try_variants_reject_degenerate_inputs() {
+        assert!(matches!(
+            try_distance(&[], &[1.0]),
+            Err(StatsError::EmptyInput)
+        ));
+        assert!(matches!(
+            try_distance_banded(&[1.0], &[], 3),
+            Err(StatsError::EmptyInput)
+        ));
+        assert!(try_distance(&[f64::NAN, 1.0], &[1.0]).is_err());
+        assert!(try_distance_banded(&[1.0], &[f64::INFINITY], 2).is_err());
+        // Valid input passes through to the classical result.
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 2.0, 3.0, 4.0];
+        assert_eq!(try_distance(&a, &b).unwrap(), distance(&a, &b));
+        assert_eq!(
+            try_distance_banded(&a, &b, 1).unwrap(),
+            distance_banded(&a, &b, 1)
+        );
     }
 
     #[test]

@@ -103,14 +103,23 @@ impl KnnRegressor {
 /// run of consecutive missing values is filled from the valid samples
 /// around the run.
 ///
+/// When fewer than `k` valid samples exist the neighborhood degrades
+/// gracefully: `k` is clamped to the number of valid samples, so with
+/// exactly one valid sample every missing position takes its value and
+/// with a handful the fill is their (distance-ordered) mean. A typed
+/// error is returned only when there is *nothing* to interpolate from.
+///
 /// # Errors
 ///
-/// Returns [`StatsError::NotEnoughData`] when fewer than `k` valid
-/// samples exist, and [`StatsError::InvalidParameter`] for `k == 0` or
-/// an out-of-range missing index.
+/// Returns [`StatsError::EmptyInput`] when no valid samples exist, and
+/// [`StatsError::InvalidParameter`] for `k == 0` or an out-of-range
+/// missing index.
 pub fn impute_series(values: &mut [f64], missing: &[usize], k: usize) -> Result<(), StatsError> {
     if missing.is_empty() {
         return Ok(());
+    }
+    if k == 0 {
+        return Err(StatsError::InvalidParameter("k must be at least 1"));
     }
     if missing.iter().any(|&i| i >= values.len()) {
         return Err(StatsError::InvalidParameter("missing index out of range"));
@@ -124,7 +133,10 @@ pub fn impute_series(values: &mut [f64], missing: &[usize], k: usize) -> Result<
             ys.push(v);
         }
     }
-    let knn = KnnRegressor::fit(&xs, &ys, k)?;
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let knn = KnnRegressor::fit(&xs, &ys, k.min(xs.len()))?;
     for &i in missing {
         values[i] = knn.predict(i as f64);
     }
@@ -188,10 +200,36 @@ mod tests {
     fn impute_validates() {
         let mut v = vec![1.0, 2.0];
         assert!(impute_series(&mut v, &[5], 1).is_err());
-        let mut v = vec![1.0, 0.0];
-        assert!(impute_series(&mut v, &[1], 2).is_err()); // only 1 valid
+        let mut v = vec![1.0, 2.0];
+        assert!(impute_series(&mut v, &[0], 0).is_err()); // k == 0
         let mut v = vec![1.0, 2.0, 3.0];
         assert!(impute_series(&mut v, &[], 0).is_ok()); // nothing to do
+    }
+
+    /// Regression: with fewer valid samples than `k`, `impute_series`
+    /// used to refuse outright (`NotEnoughData`). It must instead clamp
+    /// the neighborhood to what exists — here one valid sample, so every
+    /// gap takes its value — and only error when nothing is observed.
+    #[test]
+    fn impute_falls_back_when_fewer_than_k_valid() {
+        let mut v = vec![7.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        impute_series(&mut v, &[1, 2, 3, 4, 5], 5).unwrap();
+        assert_eq!(v, vec![7.0; 6]);
+
+        // Two valid samples with k = 5: the fill is their mean and must
+        // be finite everywhere.
+        let mut v = vec![4.0, 0.0, 8.0, 0.0];
+        impute_series(&mut v, &[1, 3], 5).unwrap();
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert_eq!(v[1], 6.0);
+        assert_eq!(v[3], 6.0);
+
+        // Nothing observed at all: a typed error, never a panic.
+        let mut v = vec![0.0, 0.0];
+        assert!(matches!(
+            impute_series(&mut v, &[0, 1], 5),
+            Err(StatsError::EmptyInput)
+        ));
     }
 
     #[test]

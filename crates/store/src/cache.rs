@@ -193,11 +193,19 @@ impl BlockCache {
         &self.shards[(offset % self.shards.len() as u64) as usize]
     }
 
+    /// Whether the cache was configured away (zero capacity). A disabled
+    /// cache is fully inert: no storage, no counters, no obs traffic.
+    pub fn is_disabled(&self) -> bool {
+        self.capacity_per_shard == 0
+    }
+
     /// Looks a chunk up by file offset, recording a hit or miss.
+    ///
+    /// A disabled cache returns `None` without recording anything —
+    /// `CM_STORE_CACHE=0` must not pollute the `store.cache.*` counters
+    /// with misses that no cache ever had a chance to serve.
     pub fn get(&self, offset: u64) -> Option<Arc<Vec<f64>>> {
-        if self.capacity_per_shard == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            cm_obs::counter_add("store.cache.misses", 1);
+        if self.is_disabled() {
             return None;
         }
         let found = self
@@ -220,7 +228,7 @@ impl BlockCache {
 
     /// Inserts a decoded chunk, evicting LRU entries past capacity.
     pub fn insert(&self, offset: u64, values: Arc<Vec<f64>>) {
-        if self.capacity_per_shard == 0 {
+        if self.is_disabled() {
             return;
         }
         let evicted = self
@@ -319,6 +327,42 @@ mod tests {
         cache.insert(0, chunk(4, 1.0));
         assert!(cache.get(0).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    /// Regression: a disabled cache used to record every lookup as a
+    /// miss, so `CM_STORE_CACHE=0` polluted hit-rate statistics with
+    /// lookups no cache ever saw. Disabled means *inert*: all counters
+    /// stay zero.
+    #[test]
+    fn disabled_cache_records_no_activity() {
+        let cache = BlockCache::new(CacheConfig {
+            capacity_bytes: 0,
+            shards: 8,
+        });
+        assert!(cache.is_disabled());
+        for offset in [0u64, 8, 16] {
+            cache.insert(offset, chunk(4, 1.0));
+            assert!(cache.get(offset).is_none());
+        }
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    /// Degenerate configurations must size shards without panicking:
+    /// zero shards clamp to one, and capacities smaller than a single
+    /// entry behave as disabled for every real chunk.
+    #[test]
+    fn tiny_configs_never_panic_in_shard_sizing() {
+        for capacity_bytes in [0usize, 1, 7, 63] {
+            for shards in [0usize, 1, 7, 1024] {
+                let cache = BlockCache::new(CacheConfig {
+                    capacity_bytes,
+                    shards,
+                });
+                cache.insert(12, chunk(16, 2.0));
+                let _ = cache.get(12);
+                let _ = cache.stats();
+            }
+        }
     }
 
     #[test]

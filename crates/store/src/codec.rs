@@ -48,11 +48,15 @@ impl Encoding {
 /// arithmetic on the cast `i64` would not round-trip.
 const DELTA_MAX: f64 = 4_503_599_627_370_496.0; // 2^52
 
-/// Whether a chunk qualifies for [`Encoding::DeltaVarint`].
+/// Whether a chunk qualifies for [`Encoding::DeltaVarint`]: every value
+/// must survive the `f64 → i64 → f64` round trip **bit-exactly**. The
+/// bit comparison (not `==`) matters: `-0.0` casts to `0` and would come
+/// back as `+0.0` — numerically equal, but not the bytes that were
+/// stored, so it must take the raw fallback.
 fn delta_encodable(values: &[f64]) -> bool {
-    values
-        .iter()
-        .all(|&v| v.is_finite() && v.fract() == 0.0 && v.abs() <= DELTA_MAX)
+    values.iter().all(|&v| {
+        v.is_finite() && v.abs() <= DELTA_MAX && ((v as i64) as f64).to_bits() == v.to_bits()
+    })
 }
 
 /// Appends `v` to `out` as an LEB128 varint (7 bits per byte, high bit
@@ -258,6 +262,43 @@ mod tests {
         let values = vec![9.1e15, 9.1e15 + 2.0]; // above 2^52
         let (enc, _) = encode_chunk(&values);
         assert_eq!(enc, Encoding::RawF64);
+    }
+
+    /// Regression: `-0.0` is finite, integral, and `== 0.0`, so it used
+    /// to be delta-encoded — and decoded back as `+0.0`, silently
+    /// flipping the sign bit. It must take the raw fallback.
+    #[test]
+    fn negative_zero_round_trips_bit_exactly() {
+        let values = vec![1.0, -0.0, 2.0];
+        let (enc, payload) = encode_chunk(&values);
+        assert_eq!(enc, Encoding::RawF64);
+        let decoded = decode_chunk(enc, &payload, values.len()).unwrap();
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit drift on {a}");
+        }
+    }
+
+    /// The ±2^52 boundary itself is still in-range for the delta codec,
+    /// including the maximal mixed-sign delta of 2^53 between the two
+    /// extremes; one step beyond falls back to raw.
+    #[test]
+    fn two_pow_52_boundary_round_trips() {
+        let boundary = vec![DELTA_MAX, -DELTA_MAX, DELTA_MAX, 0.0, -DELTA_MAX];
+        let (enc, payload) = encode_chunk(&boundary);
+        assert_eq!(enc, Encoding::DeltaVarint);
+        let decoded = decode_chunk(enc, &payload, boundary.len()).unwrap();
+        for (a, b) in boundary.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit drift on {a}");
+        }
+
+        // 2^52 + 2 is integral and representable but out of delta range.
+        let beyond = vec![DELTA_MAX + 2.0, -DELTA_MAX - 2.0];
+        let (enc, payload) = encode_chunk(&beyond);
+        assert_eq!(enc, Encoding::RawF64);
+        let decoded = decode_chunk(enc, &payload, beyond.len()).unwrap();
+        for (a, b) in beyond.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit drift on {a}");
+        }
     }
 
     #[test]

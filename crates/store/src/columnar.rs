@@ -18,11 +18,10 @@ use crate::format::{
     mode_from_tag, mode_tag, ChunkRef, IndexReader, IndexWriter, Superblock, SUPERBLOCK_LEN,
     TMP_SUFFIX, VERSION,
 };
+use crate::vfs::{RealFs, Vfs, VfsFile};
 use crate::{CacheConfig, CacheStats, StoreError};
 use cm_events::{EventId, RunRecord, SampleMode, TimeSeries};
 use std::collections::BTreeMap;
-use std::fs::{self, File};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -152,8 +151,10 @@ pub struct StoreInfo {
 #[derive(Debug)]
 pub struct Store {
     path: PathBuf,
+    /// Filesystem all I/O goes through ([`RealFs`] unless injected).
+    vfs: Arc<dyn Vfs>,
     /// Open handle to the committed file, if one exists.
-    file: Option<File>,
+    file: Option<Box<dyn VfsFile>>,
     chunks: BTreeMap<SeriesKey, ChunkState>,
     runs: BTreeMap<RunId, f64>,
     meta: BTreeMap<String, String>,
@@ -185,19 +186,35 @@ impl Store {
     ///
     /// As for [`Store::open`].
     pub fn open_with(path: impl AsRef<Path>, cache: CacheConfig) -> Result<Self, StoreError> {
+        Self::open_with_vfs(path, cache, Arc::new(RealFs))
+    }
+
+    /// Like [`Store::open_with`], but with every filesystem operation
+    /// routed through `vfs` — the hook fault-injection harnesses use to
+    /// exercise the store's error paths (see the `cm-chaos` crate).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open`].
+    pub fn open_with_vfs(
+        path: impl AsRef<Path>,
+        cache: CacheConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         let _span = cm_obs::span!("store.open");
 
         // Partial-write recovery: an interrupted commit can only leave a
         // temporary file behind; the committed store is still intact.
         let tmp = tmp_path(&path);
-        if tmp.exists() {
-            fs::remove_file(&tmp)?;
+        if vfs.exists(&tmp) {
+            vfs.remove(&tmp)?;
             cm_obs::counter_add("store.recovered_partial", 1);
         }
 
         let mut store = Store {
             path,
+            vfs,
             file: None,
             chunks: BTreeMap::new(),
             runs: BTreeMap::new(),
@@ -205,7 +222,7 @@ impl Store {
             cache: BlockCache::new(cache),
             file_bytes: 0,
         };
-        if store.path.exists() {
+        if store.vfs.exists(&store.path) {
             store.load()?;
         }
         Ok(store)
@@ -225,11 +242,11 @@ impl Store {
 
     fn load(&mut self) -> Result<(), StoreError> {
         let name = self.file_name();
-        let mut file = File::open(&self.path)?;
-        let file_len = file.metadata()?.len();
+        let file = self.vfs.open(&self.path)?;
+        let file_len = file.len()?;
 
         let mut head = vec![0u8; SUPERBLOCK_LEN.min(file_len as usize)];
-        file.read_exact(&mut head)?;
+        file.read_exact_at(&mut head, 0)?;
         let sb = Superblock::decode(&head, &name)?;
 
         let index_end = sb.index_offset.checked_add(sb.index_len);
@@ -245,8 +262,7 @@ impl Store {
         }
 
         let mut index_bytes = vec![0u8; sb.index_len as usize];
-        file.seek(SeekFrom::Start(sb.index_offset))?;
-        file.read_exact(&mut index_bytes)?;
+        file.read_exact_at(&mut index_bytes, sb.index_offset)?;
         let mut r = IndexReader::new(&index_bytes, &name)?;
 
         let n_series = r.u64("series count")?;
@@ -486,7 +502,7 @@ impl Store {
             what: "index references a chunk but no file is committed".to_string(),
         })?;
         let mut payload = vec![0u8; chunk.len as usize];
-        read_exact_at(file, &mut payload, chunk.offset)?;
+        file.read_exact_at(&mut payload, chunk.offset)?;
         if codec::crc32(&payload) != chunk.crc {
             return Err(StoreError::ChecksumMismatch {
                 file: name,
@@ -586,7 +602,7 @@ impl Store {
                         what: "committed chunk without a committed file".to_string(),
                     })?;
                     let mut payload = vec![0u8; chunk.len as usize];
-                    read_exact_at(file, &mut payload, chunk.offset)?;
+                    file.read_exact_at(&mut payload, chunk.offset)?;
                     if codec::crc32(&payload) != chunk.crc {
                         return Err(StoreError::ChecksumMismatch {
                             file: self.file_name(),
@@ -649,7 +665,7 @@ impl Store {
         // Write, fsync, rename: atomic replacement of the store file.
         let tmp = tmp_path(&self.path);
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = self.vfs.create(&tmp)?;
             f.write_all(&sb.encode())?;
             for (_, _, _, payload) in &payloads {
                 f.write_all(payload)?;
@@ -657,7 +673,7 @@ impl Store {
             f.write_all(&index)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, &self.path)?;
+        self.vfs.rename(&tmp, &self.path)?;
 
         let total_bytes = index_offset + index.len() as u64;
         cm_obs::counter_add("store.commits", 1);
@@ -666,7 +682,7 @@ impl Store {
 
         // Swap in the new file: all offsets changed, so committed chunk
         // refs are rebuilt and the cache is invalidated.
-        self.file = Some(File::open(&self.path)?);
+        self.file = Some(self.vfs.open(&self.path)?);
         self.file_bytes = total_bytes;
         self.cache.clear();
         for ((key, _, _, _), chunk) in payloads.into_iter().zip(refs) {
@@ -682,24 +698,10 @@ fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(name)
 }
 
-/// Positioned read that does not move a shared cursor (the store file
-/// handle is shared by concurrent readers).
-#[cfg(unix)]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
-    use std::os::unix::fs::FileExt;
-    file.read_exact_at(buf, offset).map_err(StoreError::Io)
-}
-
-#[cfg(not(unix))]
-fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
-    let mut f = file.try_clone()?;
-    f.seek(SeekFrom::Start(offset))?;
-    f.read_exact(buf).map_err(StoreError::Io)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn temp_store(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("cm_columnar_{tag}_{}", std::process::id()));

@@ -76,6 +76,7 @@ mod error;
 mod format;
 mod persist;
 mod query;
+mod vfs;
 
 pub use cache::{CacheConfig, CacheStats};
 pub use codec::Encoding;
@@ -83,3 +84,4 @@ pub use columnar::{RunId, SeriesKey, Store, StoreInfo};
 pub use database::{Database, ProgramSummary, RunKey};
 pub use error::StoreError;
 pub use query::ExecTimeStats;
+pub use vfs::{RealFs, Vfs, VfsFile};

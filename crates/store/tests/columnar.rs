@@ -211,7 +211,7 @@ fn cache_hit_miss_counts_are_deterministic() {
 }
 
 #[test]
-fn zero_capacity_cache_always_misses() {
+fn zero_capacity_cache_is_inert() {
     let path = temp_store("cache_off");
     let mut store = Store::open_with(
         &path,
@@ -224,9 +224,14 @@ fn zero_capacity_cache_always_misses() {
     store.append_series(key(1), &[1.0, 2.0]).unwrap();
     store.commit().unwrap();
     for _ in 0..3 {
-        store.read_series(&key(1)).unwrap();
+        let read = store.read_series(&key(1)).unwrap();
+        assert_eq!(read.as_slice(), &[1.0, 2.0]);
     }
+    // A disabled cache is fully inert: reads still work, but no hit or
+    // miss traffic is recorded (counting misses on a cache the user
+    // turned off made `CM_STORE_CACHE=0` look like pathological churn).
     let stats = store.cache_stats();
     assert_eq!(stats.hits, 0);
-    assert_eq!(stats.misses, 3);
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.evictions, 0);
 }
