@@ -1,0 +1,128 @@
+//! Store read-path decode throughput: batched cold reads vs the
+//! per-key loop, warm cache hits, and serial vs parallel chunk decode.
+//!
+//! The `store_read` group is the perf-gate anchor for the zero-copy
+//! batched read path (`Store::read_series_batch`): committed baselines
+//! live in `BENCH_store_read.json` and `cm-bench --bin perf_gate`
+//! compares fresh Criterion runs against them.
+
+use cm_events::{EventId, SampleMode};
+use cm_store::{CacheConfig, SeriesKey, Store};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+
+const RUNS: u32 = 4;
+const EVENTS: usize = 16;
+
+fn bench_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cm_bench_store_read_{}_{name}.cmstore",
+        std::process::id()
+    ))
+}
+
+/// Integral counter-like values (DeltaVarint-eligible).
+fn counter_series(run: u32, event: usize, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (1000 + (i as u64 * 37 + run as u64 * 101 + event as u64 * 13) % 4096) as f64)
+        .collect()
+}
+
+fn all_keys() -> Vec<SeriesKey> {
+    let mut keys = Vec::with_capacity(RUNS as usize * EVENTS);
+    for run in 0..RUNS {
+        for event in 0..EVENTS {
+            keys.push(SeriesKey::new(
+                "bench",
+                run,
+                SampleMode::Mlpx,
+                EventId::new(event),
+            ));
+        }
+    }
+    keys
+}
+
+fn committed_store(path: &PathBuf, n: usize, cache: CacheConfig) -> Store {
+    let _ = std::fs::remove_file(path);
+    let mut store = Store::open_with(path, cache).unwrap();
+    for run in 0..RUNS {
+        for event in 0..EVENTS {
+            store
+                .append_series(
+                    SeriesKey::new("bench", run, SampleMode::Mlpx, EventId::new(event)),
+                    &counter_series(run, event, n),
+                )
+                .unwrap();
+        }
+    }
+    store.commit().unwrap();
+    store
+}
+
+fn batch_sum(store: &Store, keys: &[SeriesKey]) -> f64 {
+    store
+        .read_series_batch(std::hint::black_box(keys))
+        .unwrap()
+        .iter()
+        .map(|v| v[0])
+        .sum()
+}
+
+fn bench_store_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_read");
+    group.sample_size(20);
+    let no_cache = CacheConfig {
+        capacity_bytes: 0,
+        ..CacheConfig::default()
+    };
+    let keys = all_keys();
+
+    for n in [256usize, 1024] {
+        // Cold per-key loop: one positioned read + decode per chunk.
+        let path = bench_path("per_key_cold");
+        let store = committed_store(&path, n, no_cache);
+        group.bench_with_input(BenchmarkId::new("per_key_cold", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut sum = 0.0f64;
+                for key in &keys {
+                    sum += store.read_series(std::hint::black_box(key)).unwrap()[0];
+                }
+                sum
+            });
+        });
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+
+        // Cold batch: coalesced region reads + parallel borrowed decode.
+        let path = bench_path("batch_cold");
+        let store = committed_store(&path, n, no_cache);
+        group.bench_with_input(BenchmarkId::new("batch_cold", n), &n, |bench, _| {
+            bench.iter(|| batch_sum(&store, &keys));
+        });
+
+        // Same workload with the decode fan-out pinned to one thread:
+        // the parallel-vs-serial decode delta on this machine.
+        group.bench_with_input(BenchmarkId::new("batch_cold_serial", n), &n, |bench, _| {
+            cm_par::set_max_threads(1);
+            bench.iter(|| batch_sum(&store, &keys));
+            cm_par::set_max_threads(0);
+        });
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+
+        // Warm batch: every chunk already resident in the block cache.
+        let path = bench_path("batch_warm");
+        let store = committed_store(&path, n, CacheConfig::default());
+        batch_sum(&store, &keys);
+        group.bench_with_input(BenchmarkId::new("batch_warm", n), &n, |bench, _| {
+            bench.iter(|| batch_sum(&store, &keys));
+        });
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_read);
+criterion_main!(benches);

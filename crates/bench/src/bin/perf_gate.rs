@@ -1,0 +1,335 @@
+//! The performance-regression gate.
+//!
+//! Compares a fresh Criterion run (the `target/criterion/**/new/
+//! estimates.json` tree) against the committed `BENCH_*.json` baselines
+//! in the repository root and **fails** (exit code 1) when any shared
+//! benchmark id got slower than the noise threshold allows. CI runs
+//! this after `cargo bench`; locally:
+//!
+//! ```text
+//! cargo bench -p cm-bench --bench store_read --bench sgbrt
+//! cargo run -p cm-bench --bin perf_gate
+//! cargo run -p cm-bench --bin perf_gate -- --threshold 2.0
+//! cargo run -p cm-bench --bin perf_gate -- --update   # refresh baselines
+//! ```
+//!
+//! Only ids present in **both** a baseline file and the fresh run are
+//! compared, so partial bench runs gate exactly what they measured.
+//! The threshold is deliberately generous (default 1.5×, CI uses more):
+//! Criterion point estimates on shared runners are noisy, and a gate
+//! that cries wolf gets deleted. Everything is std-only — the gate must
+//! build and run even where Criterion's dependencies are unavailable.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default regression threshold: fresh/baseline above this fails.
+const DEFAULT_THRESHOLD: f64 = 1.5;
+
+fn main() -> ExitCode {
+    let mut threshold: Option<f64> = None;
+    let mut update = false;
+    let mut run_bench = false;
+    let mut baseline_dir = PathBuf::from(".");
+    let mut criterion_dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => threshold = Some(v),
+                _ => return usage("--threshold needs a positive number"),
+            },
+            "--update" => update = true,
+            "--run" => run_bench = true,
+            "--baseline-dir" => match args.next() {
+                Some(d) => baseline_dir = PathBuf::from(d),
+                None => return usage("--baseline-dir needs a path"),
+            },
+            "--criterion-dir" => match args.next() {
+                Some(d) => criterion_dir = Some(PathBuf::from(d)),
+                None => return usage("--criterion-dir needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let threshold = threshold
+        .or_else(|| {
+            std::env::var("CM_PERF_GATE_THRESHOLD")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(DEFAULT_THRESHOLD);
+    let criterion_dir = criterion_dir.unwrap_or_else(|| PathBuf::from("target").join("criterion"));
+
+    if run_bench {
+        let status = std::process::Command::new("cargo")
+            .args(["bench", "-p", "cm-bench"])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("perf gate: `cargo bench -p cm-bench` failed with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("perf gate: could not spawn cargo bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Baselines: every BENCH_*.json in the repo root with an
+    // `ns_per_iter` map, remembering which file each id came from.
+    let mut baselines: BTreeMap<String, (f64, PathBuf)> = BTreeMap::new();
+    let mut baseline_files: Vec<PathBuf> = Vec::new();
+    let entries = match std::fs::read_dir(&baseline_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!(
+                "perf gate: cannot read baseline dir {}: {e}",
+                baseline_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let path = entry.path();
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let ids = parse_ns_per_iter(&text);
+        if !ids.is_empty() {
+            baseline_files.push(path.clone());
+            for (id, ns) in ids {
+                baselines.insert(id, (ns, path.clone()));
+            }
+        }
+    }
+    if baselines.is_empty() {
+        eprintln!(
+            "perf gate: no BENCH_*.json baselines with an ns_per_iter map under {}",
+            baseline_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Fresh run: walk target/criterion for */new/estimates.json.
+    let mut fresh: BTreeMap<String, f64> = BTreeMap::new();
+    collect_estimates(&criterion_dir, &mut Vec::new(), &mut fresh);
+    if fresh.is_empty() {
+        eprintln!(
+            "perf gate: no Criterion estimates under {} — run `cargo bench -p cm-bench` \
+             (or pass --run) first",
+            criterion_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let shared: Vec<&String> = baselines
+        .keys()
+        .filter(|id| fresh.contains_key(*id))
+        .collect();
+    println!(
+        "perf gate: {} baseline id(s), {} fresh id(s), {} shared, threshold {threshold:.2}x",
+        baselines.len(),
+        fresh.len(),
+        shared.len()
+    );
+    if shared.is_empty() {
+        eprintln!("perf gate: no overlap between baselines and the fresh run — nothing gated");
+        return ExitCode::FAILURE;
+    }
+
+    let mut regressed: Vec<String> = Vec::new();
+    for id in &shared {
+        let (base, _) = baselines[*id];
+        let now = fresh[*id];
+        let ratio = now / base;
+        if ratio > threshold {
+            println!(
+                "  REGRESSION {id}: {base:.0} ns -> {now:.0} ns ({ratio:.2}x > {threshold:.2}x)"
+            );
+            regressed.push((*id).clone());
+        } else if ratio < 1.0 / threshold {
+            println!("  improved   {id}: {base:.0} ns -> {now:.0} ns ({ratio:.2}x)");
+        } else {
+            println!("  ok         {id}: {base:.0} ns -> {now:.0} ns ({ratio:.2}x)");
+        }
+    }
+
+    if update {
+        for path in &baseline_files {
+            match rewrite_baseline(path, &fresh) {
+                Ok(0) => {}
+                Ok(n) => println!("perf gate: updated {n} id(s) in {}", path.display()),
+                Err(e) => {
+                    eprintln!("perf gate: failed to update {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if regressed.is_empty() {
+        println!("perf gate PASSED: no id slower than {threshold:.2}x its baseline");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perf gate FAILED: {} regressed benchmark id(s): {}\n\
+             (rerun to rule out noise; if the change is intentional, refresh the baseline \
+             with `cargo run -p cm-bench --bin perf_gate -- --update`)",
+            regressed.len(),
+            regressed.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("perf gate: {err}");
+    }
+    eprintln!(
+        "usage: perf_gate [--run] [--update] [--threshold X] \
+         [--baseline-dir DIR] [--criterion-dir DIR]\n\
+         \x20 --run            run `cargo bench -p cm-bench` first\n\
+         \x20 --update         rewrite baseline ns_per_iter values from the fresh run\n\
+         \x20 --threshold X    fail when fresh/baseline > X (default {DEFAULT_THRESHOLD}, \
+         env CM_PERF_GATE_THRESHOLD)\n\
+         \x20 --baseline-dir   where BENCH_*.json live (default .)\n\
+         \x20 --criterion-dir  Criterion output tree (default target/criterion)"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Extracts the `"ns_per_iter": { "id": number, ... }` map from a
+/// baseline file. Minimal JSON scanning — ids in these files never
+/// contain escaped quotes — and anything unparseable yields an empty
+/// map rather than an error, so unrelated BENCH files are skipped.
+fn parse_ns_per_iter(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(start) = text.find("\"ns_per_iter\"") else {
+        return out;
+    };
+    let Some(open) = text[start..].find('{') else {
+        return out;
+    };
+    let body = &text[start + open + 1..];
+    let Some(close) = body.find('}') else {
+        return out;
+    };
+    for pair in body[..close].split(',') {
+        let mut halves = pair.splitn(2, ':');
+        let (Some(key), Some(value)) = (halves.next(), halves.next()) else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), ns));
+        }
+    }
+    out
+}
+
+/// Walks `dir` collecting `<id path>/new/estimates.json` mean point
+/// estimates; `stack` holds the id segments so far. Criterion's
+/// `report` directories are skipped.
+fn collect_estimates(dir: &Path, stack: &mut Vec<String>, out: &mut BTreeMap<String, f64>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == "report" {
+            continue;
+        }
+        if name == "new" {
+            let est = path.join("estimates.json");
+            if let Ok(text) = std::fs::read_to_string(&est) {
+                if let Some(mean) = parse_mean_point_estimate(&text) {
+                    out.insert(stack.join("/"), mean);
+                }
+            }
+            continue;
+        }
+        stack.push(name);
+        collect_estimates(&path, stack, out);
+        stack.pop();
+    }
+}
+
+/// Pulls `point_estimate` out of the `"mean"` object in a Criterion
+/// `estimates.json` without a JSON parser: finds the `"mean"` key, then
+/// the first `"point_estimate"` after it.
+fn parse_mean_point_estimate(text: &str) -> Option<f64> {
+    let mean = text.find("\"mean\"")?;
+    let after = &text[mean..];
+    let pe = after.find("\"point_estimate\"")?;
+    let tail = &after[pe + "\"point_estimate\"".len()..];
+    let colon = tail.find(':')?;
+    let tail = tail[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Rewrites the ns_per_iter values in one baseline file for every id
+/// the fresh run measured, preserving all surrounding content. Returns
+/// how many ids were updated.
+fn rewrite_baseline(path: &Path, fresh: &BTreeMap<String, f64>) -> std::io::Result<usize> {
+    let text = std::fs::read_to_string(path)?;
+    let mut updated = 0usize;
+    let mut out = text.clone();
+    for (id, ns) in parse_ns_per_iter(&text) {
+        let Some(&new_ns) = fresh.get(&id) else {
+            continue;
+        };
+        if (new_ns - ns).abs() < 0.5 {
+            continue;
+        }
+        let needle = format!("\"{id}\"");
+        let Some(key_at) = out.find(&needle) else {
+            continue;
+        };
+        let after_key = key_at + needle.len();
+        let Some(colon) = out[after_key..].find(':') else {
+            continue;
+        };
+        let value_at = after_key + colon + 1;
+        let rest = &out[value_at..];
+        let skip = rest.len() - rest.trim_start().len();
+        let value_at = value_at + skip;
+        let end = out[value_at..]
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .map(|e| value_at + e)
+            .unwrap_or(out.len());
+        out.replace_range(value_at..end, &format!("{}", new_ns.round() as u64));
+        updated += 1;
+    }
+    if updated > 0 {
+        std::fs::write(path, out)?;
+    }
+    Ok(updated)
+}

@@ -1,0 +1,96 @@
+//! The 64-seed fault sweep for the *batched* read path.
+//!
+//! [`Store::read_series_batch`] reads whole coalesced regions and fans
+//! the decode across worker threads, so it crosses the faulty
+//! filesystem seam in bigger, fewer operations than per-key reads.
+//! Under every seeded fault schedule it must uphold the same contract:
+//! every call returns `Ok` with bit-exact data or a typed
+//! [`StoreError`] — never a panic, never silently wrong values.
+
+use cm_chaos::FaultFs;
+use cm_events::{EventId, SampleMode};
+use cm_store::{CacheConfig, SeriesKey, Store, StoreError};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SEEDS: u64 = 64;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cm_chaos_batch_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn key(run: u32, event: usize) -> SeriesKey {
+    SeriesKey::new("chaos", run, SampleMode::Mlpx, EventId::new(event))
+}
+
+/// Both codecs plus the ±2^52 delta boundary and signed zero.
+fn payloads() -> Vec<(SeriesKey, Vec<f64>)> {
+    vec![
+        (key(0, 0), vec![1.0, 2.0, 3.0, 4.0]),
+        (key(0, 1), vec![0.5, -7.25, 1e-3]),
+        (key(0, 2), vec![4503599627370496.0, -4503599627370496.0]),
+        (key(0, 3), vec![-0.0, 0.0]),
+        (key(1, 0), (0..100).map(|i| (i * i) as f64).collect()),
+    ]
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], seed: u64) {
+    assert_eq!(got.len(), want.len(), "seed {seed}: length lied");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.to_bits(), w.to_bits(), "seed {seed}: batch read lied");
+    }
+}
+
+/// Batched reads under fire: every seed writes a clean store, then
+/// reads it back through a fault-injecting filesystem — with the cache
+/// disabled so every batch hits the Vfs seam again.
+#[test]
+fn batched_reads_survive_64_fault_seeds() {
+    let dir = temp_dir("read");
+    let no_cache = CacheConfig {
+        capacity_bytes: 0,
+        shards: 1,
+    };
+    let mut injected_total = 0u64;
+    let mut reads_ok = 0u32;
+    let mut reads_err = 0u32;
+
+    for seed in 0..SEEDS {
+        let path = dir.join(format!("s{seed}.cmstore"));
+        {
+            let mut store = Store::open_with(&path, CacheConfig::default()).unwrap();
+            for (k, v) in payloads() {
+                store.append_series(k, &v).unwrap();
+            }
+            store.commit().unwrap();
+        }
+
+        let fs = Arc::new(FaultFs::new(seed));
+        let keys: Vec<SeriesKey> = payloads().into_iter().map(|(k, _)| k).collect();
+        let result = (|| -> Result<(), StoreError> {
+            let store = Store::open_with_vfs(&path, no_cache, fs.clone())?;
+            // Two rounds so fault schedules that fire late in the op
+            // window still land inside a batched read.
+            for _ in 0..2 {
+                let batch = store.read_series_batch(&keys)?;
+                for (got, (_, want)) in batch.iter().zip(payloads()) {
+                    assert_bits_eq(got, &want, seed);
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => reads_ok += 1,
+            Err(_) => reads_err += 1, // typed error: acceptable under fire
+        }
+        injected_total += fs.injected();
+    }
+
+    // The sweep must exercise both regimes, or the harness is miswired.
+    assert!(injected_total > 0, "no seed injected any fault");
+    assert!(reads_ok > 0, "no seed completed a batched read");
+    assert!(reads_err > 0, "faults never reached the batched read path");
+}

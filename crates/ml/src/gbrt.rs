@@ -399,13 +399,13 @@ pub struct Sgbrt {
     learning_rate: f64,
     trees: Vec<RegressionTree>,
     n_features: usize,
-    /// The trees reflattened into SoA arrays — every prediction path
-    /// walks this, never the node enums.
+    /// The trees reflattened into one contiguous 16-byte-node array —
+    /// every prediction path walks this, never the node enums.
     flat: FlatForest,
 }
 
 impl Sgbrt {
-    /// Assembles a model, flattening the trees into the SoA predictor.
+    /// Assembles a model, flattening the trees into the compact predictor.
     fn from_parts(
         base: f64,
         learning_rate: f64,
@@ -438,13 +438,40 @@ impl Sgbrt {
 
     /// Predicts a batch of rows.
     ///
-    /// Each row walks the flat SoA forest; chunks fan out across
-    /// threads. Leaf values accumulate in tree order, so every
-    /// prediction is bit-identical to [`Sgbrt::predict`].
+    /// Chunks fan out across threads; within a chunk the flat forest's
+    /// blocked traversal streams the node array once per row block
+    /// instead of once per row. Leaf values accumulate in tree order,
+    /// so every prediction is bit-identical to [`Sgbrt::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the training width.
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
         cm_par::map_chunked(rows.len(), PREDICT_CHUNK, |range| {
-            rows[range].iter().map(|row| self.predict(row)).collect()
+            let chunk: Vec<&[f64]> = rows[range]
+                .iter()
+                .map(|row| {
+                    assert_eq!(
+                        row.len(),
+                        self.n_features,
+                        "feature row length does not match the fitted ensemble"
+                    );
+                    row.as_slice()
+                })
+                .collect();
+            self.finish_block(&chunk)
         })
+    }
+
+    /// Runs the blocked forest walk over one chunk of row slices and
+    /// applies the boosting affine map `base + learning_rate · sum`.
+    fn finish_block(&self, chunk: &[&[f64]]) -> Vec<f64> {
+        let mut out = vec![0.0; chunk.len()];
+        self.flat.predict_rows_into(chunk, &mut out);
+        for v in &mut out {
+            *v = self.base + self.learning_rate * *v;
+        }
+        out
     }
 
     /// Predicts a batch packed as one contiguous row-major buffer of
@@ -464,12 +491,14 @@ impl Sgbrt {
         );
         let k = rows.len() / self.n_features;
         cm_par::map_chunked(k, PREDICT_CHUNK, |range| {
-            range
-                .map(|i| {
-                    let row = &rows[i * self.n_features..(i + 1) * self.n_features];
-                    self.base + self.learning_rate * self.flat.predict_row(row)
-                })
-                .collect()
+            let packed = &rows[range.start * self.n_features..range.end * self.n_features];
+            let mut out = vec![0.0; range.len()];
+            self.flat
+                .predict_packed_into(packed, self.n_features, &mut out);
+            for v in &mut out {
+                *v = self.base + self.learning_rate * *v;
+            }
+            out
         })
     }
 

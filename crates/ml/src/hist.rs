@@ -24,7 +24,7 @@
 //! [`cm_par`] pool; every reduction is in fixed feature-then-bin order,
 //! so the grown tree is bit-identical at any thread count.
 
-use crate::binning::BinnedView;
+use crate::binning::{BinnedView, MAX_BINS};
 use crate::tree::{Node, RegressionTree, TreeConfig};
 use crate::MlError;
 
@@ -85,17 +85,29 @@ impl HistTree {
 }
 
 /// Per-feature (target-sum, count) histogram of one node.
+///
+/// Every column's arrays are fixed at [`MAX_BINS`] entries regardless of
+/// how many bins the column occupies: a `u8` bin code then provably
+/// indexes in bounds, so the accumulation scatter carries no bounds
+/// checks. Sums and counts stay in *separate* arrays — a count bump is
+/// an integer add that issues alongside the sum's floating-point add,
+/// where an interleaved `[sum, count]` f64 layout would serialize two
+/// FP adds through the same cache line (measurably slower on the build
+/// loop, which dominates hist training).
 struct Hist {
     /// `sums[j][b]`: sum of targets of the node's rows with code `b` in
-    /// view column `j`.
+    /// view column `j`. Length [`MAX_BINS`].
     sums: Vec<Vec<f64>>,
-    /// `cnts[j][b]`: number of such rows.
+    /// `cnts[j][b]`: number of such rows. Length [`MAX_BINS`].
     cnts: Vec<Vec<u32>>,
 }
 
 impl Hist {
     /// Turns `self` (a parent histogram) into the sibling of `child` —
-    /// the subtraction trick. Fixed feature-then-bin order.
+    /// the subtraction trick. Fixed feature-then-bin order. Slots past a
+    /// column's occupied bins are `+0.0` (resp. `0`) in both parent and
+    /// child, and `0.0 - 0.0 == +0.0`, so subtracting the full
+    /// fixed-width slice is safe and branch-free.
     fn subtract(mut self, child: &Hist) -> Hist {
         for (ps, cs) in self.sums.iter_mut().zip(&child.sums) {
             for (p, c) in ps.iter_mut().zip(cs) {
@@ -188,14 +200,20 @@ impl HistWorkspace {
     /// accumulated in segment order.
     fn build_hist(&self, seg: std::ops::Range<usize>) -> Hist {
         let positions = &self.positions[seg.clone()];
+        let y = self.y.as_slice();
         let one_col = |j: usize| -> (Vec<f64>, Vec<u32>) {
-            let codes = &self.codes[j];
-            let mut sums = vec![0.0f64; self.n_bins[j]];
-            let mut cnts = vec![0u32; self.n_bins[j]];
+            let codes = self.codes[j].as_slice();
+            let mut sums = vec![0.0f64; MAX_BINS];
+            let mut cnts = vec![0u32; MAX_BINS];
+            // Constant-length reslices: every `s[b]` / `c[b]` below is
+            // provably in bounds for a u8 code, so the scatter loop
+            // carries no bounds checks.
+            let s = &mut sums[..MAX_BINS];
+            let c = &mut cnts[..MAX_BINS];
             for &p in positions {
-                let c = codes[p as usize] as usize;
-                sums[c] += self.y[p as usize];
-                cnts[c] += 1;
+                let b = usize::from(codes[p as usize]);
+                s[b] += y[p as usize];
+                c[b] += 1;
             }
             (sums, cnts)
         };
@@ -206,12 +224,7 @@ impl HistWorkspace {
             } else {
                 (0..n_cols).map(one_col).collect()
             };
-        let mut sums = Vec::with_capacity(n_cols);
-        let mut cnts = Vec::with_capacity(n_cols);
-        for (s, c) in per_col {
-            sums.push(s);
-            cnts.push(c);
-        }
+        let (sums, cnts) = per_col.into_iter().unzip();
         Hist { sums, cnts }
     }
 
@@ -224,17 +237,20 @@ impl HistWorkspace {
         if n < 2 * min_leaf {
             return None;
         }
-        // Total over bins of column 0 — every column's bins partition
-        // the same rows.
-        let total: f64 = hist.sums[0].iter().sum();
+        // Total over the *occupied* bins of column 0 in bin order —
+        // every column's bins partition the same rows. (Summing the
+        // fixed-width tail too would fold extra `+0.0` terms into the
+        // total; harmless numerically but not bit-identical when the
+        // running sum is `-0.0`.)
+        let total: f64 = hist.sums[0].iter().take(self.n_bins[0]).sum();
         let scan_col = |j: usize| -> Option<(f64, u8)> {
-            let sums = &hist.sums[j];
-            let cnts = &hist.cnts[j];
+            let sums = &hist.sums[j][..MAX_BINS];
+            let cnts = &hist.cnts[j][..MAX_BINS];
             let mut best: Option<(f64, u8)> = None;
             let mut left_sum = 0.0;
             let mut left_n = 0usize;
             // The last bin cannot be a left side: no cut above it.
-            for b in 0..sums.len().saturating_sub(1) {
+            for b in 0..self.n_bins[j].saturating_sub(1) {
                 left_sum += sums[b];
                 left_n += cnts[b] as usize;
                 let right_n = n - left_n;

@@ -19,6 +19,58 @@
 
 use crate::StatsError;
 
+/// One DP row update over the band `[lo, hi]` (1-based columns), split
+/// into two passes so the hot part autovectorizes.
+///
+/// Pass 1 has no loop-carried dependency: it computes the local cost
+/// `|aᵢ − bⱼ|` and the best *vertical/diagonal* predecessor
+/// `min(prev[j], prev[j-1]) + cost` for the whole band — four equal
+/// length flat slices, branch-free `f64::min`, so LLVM turns it into
+/// SIMD lanes. Pass 2 resolves the *horizontal* recurrence
+/// `curr[j] = min(diag[j], cost[j] + curr[j-1])`, a short scalar chain
+/// with one min and one add per cell.
+///
+/// This is bit-identical to the classical single-pass update
+/// `cost + min(prev[j], curr[j-1], prev[j-1])`: `f64::min` here is
+/// associative/commutative (DP values are never `-0.0` — costs are
+/// `abs()` results and sums of non-negative values — and NaN is ignored
+/// symmetrically), and `min(x, y) + c == min(x + c, y + c)` exactly
+/// (IEEE addition is monotone and cannot map distinct finite operands
+/// to differently-rounded sums when the same `c` is added).
+///
+/// The caller must have `curr[lo - 1]` and `prev[lo - 1..=hi]` hold the
+/// correct DP values (∞ outside the reachable region).
+#[inline]
+#[allow(clippy::too_many_arguments)] // hot kernel: scratch rows passed flat, no struct indirection
+fn dtw_row(
+    ai: f64,
+    b: &[f64],
+    prev: &[f64],
+    curr: &mut [f64],
+    cost: &mut [f64],
+    diag: &mut [f64],
+    lo: usize,
+    hi: usize,
+) {
+    let w = hi - lo + 1;
+    let bs = &b[lo - 1..hi];
+    let pj = &prev[lo..hi + 1];
+    let pj1 = &prev[lo - 1..hi];
+    let cost = &mut cost[..w];
+    let diag = &mut diag[..w];
+    for k in 0..w {
+        let c = (ai - bs[k]).abs();
+        cost[k] = c;
+        diag[k] = pj[k].min(pj1[k]) + c;
+    }
+    let mut wave = curr[lo - 1];
+    let cu = &mut curr[lo..hi + 1];
+    for k in 0..w {
+        wave = diag[k].min(cost[k] + wave);
+        cu[k] = wave;
+    }
+}
+
 /// Exact DTW distance with absolute-difference local cost.
 ///
 /// Returns `f64::INFINITY` if exactly one input is empty, and `0.0` when
@@ -45,13 +97,12 @@ pub fn distance(a: &[f64], b: &[f64]) -> f64 {
     let m = inner.len();
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
+    let mut cost = vec![0.0; m];
+    let mut diag = vec![0.0; m];
     prev[0] = 0.0;
     for &x in outer {
         curr[0] = f64::INFINITY;
-        for j in 1..=m {
-            let cost = (x - inner[j - 1]).abs();
-            curr[j] = cost + prev[j].min(curr[j - 1]).min(prev[j - 1]);
-        }
+        dtw_row(x, inner, &prev, &mut curr, &mut cost, &mut diag, 1, m);
         std::mem::swap(&mut prev, &mut curr);
     }
     prev[m]
@@ -92,27 +143,38 @@ pub fn distance_banded_bounded(a: &[f64], b: &[f64], radius: usize, bound: f64) 
     let radius = radius.max(n.abs_diff(m));
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
+    let mut cost = vec![0.0; m];
+    let mut diag = vec![0.0; m];
     prev[0] = 0.0;
+    // Cells outside the band are ∞, but refilling the whole row every
+    // iteration costs O(m) per row — more than the band update itself
+    // for narrow bands. The band edges are monotone in `i` (`center` is
+    // nondecreasing, `radius` fixed), so stale cells left of `lo` are
+    // never read again and only the strip the band newly *grew into* on
+    // the right needs re-infinitizing. `prev_hi` tracks how far the
+    // previous row is valid (the initial row is fully initialized).
+    let mut prev_hi = m;
     for i in 1..=n {
         // Project row i onto the diagonal of the (possibly rectangular)
         // grid and take the band around it.
         let center = i * m / n;
         let lo = center.saturating_sub(radius).max(1);
         let hi = center.saturating_add(radius).min(m);
-        curr.fill(f64::INFINITY);
-        // The DP origin prev[0] = 0 is only reachable diagonally from
-        // (1, 1); curr[0] stays infinite so later rows cannot skip
-        // matching earlier samples.
-        let mut row_min = f64::INFINITY;
-        for j in lo..=hi {
-            let cost = (a[i - 1] - b[j - 1]).abs();
-            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
-            curr[j] = cost + best;
-            row_min = row_min.min(curr[j]);
+        if prev_hi < hi {
+            for p in &mut prev[prev_hi + 1..=hi] {
+                *p = f64::INFINITY;
+            }
         }
+        // The DP origin prev[0] = 0 is only reachable diagonally from
+        // (1, 1); curr[lo - 1] stays infinite so later rows cannot skip
+        // matching earlier samples.
+        curr[lo - 1] = f64::INFINITY;
+        dtw_row(a[i - 1], b, &prev, &mut curr, &mut cost, &mut diag, lo, hi);
+        let row_min = curr[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min);
         if row_min > bound {
             return f64::INFINITY;
         }
+        prev_hi = hi;
         std::mem::swap(&mut prev, &mut curr);
     }
     prev[m]
@@ -430,6 +492,61 @@ mod tests {
         assert_eq!(idx, best);
         assert_eq!(d, best_d);
         assert_eq!(nearest_neighbor(&query, &[], 16), None);
+    }
+
+    /// Reference implementation: full `(n+1)×(m+1)` matrix, classical
+    /// single-pass update, no row recycling or band-edge tricks. The
+    /// restructured two-pass kernel must reproduce it *bit for bit*.
+    fn naive_banded(a: &[f64], b: &[f64], radius: Option<usize>) -> f64 {
+        let n = a.len();
+        let m = b.len();
+        let radius = radius.map_or(usize::MAX, |r| r.max(n.abs_diff(m)));
+        let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
+        dp[0][0] = 0.0;
+        for i in 1..=n {
+            let center = i * m / n;
+            let lo = center.saturating_sub(radius).max(1);
+            let hi = center.saturating_add(radius).min(m);
+            for j in lo..=hi {
+                let cost = (a[i - 1] - b[j - 1]).abs();
+                let best = dp[i - 1][j].min(dp[i][j - 1]).min(dp[i - 1][j - 1]);
+                dp[i][j] = cost + best;
+            }
+        }
+        dp[n][m]
+    }
+
+    #[test]
+    fn restructured_kernel_matches_naive_dp_bit_exactly() {
+        for (la, lb) in [
+            (1usize, 1usize),
+            (1, 7),
+            (7, 1),
+            (13, 17),
+            (33, 32),
+            (40, 25),
+            (25, 40),
+            (64, 64),
+        ] {
+            let a: Vec<f64> = (0..la)
+                .map(|i| ((i * 37) % 19) as f64 * 0.5 - 3.25)
+                .collect();
+            let b: Vec<f64> = (0..lb)
+                .map(|i| ((i * 53) % 23) as f64 * 0.25 - 1.5)
+                .collect();
+            assert_eq!(
+                distance(&a, &b).to_bits(),
+                naive_banded(&a, &b, None).to_bits(),
+                "exact {la}x{lb}"
+            );
+            for radius in [0usize, 1, 3, 8, 100] {
+                assert_eq!(
+                    distance_banded(&a, &b, radius).to_bits(),
+                    naive_banded(&a, &b, Some(radius)).to_bits(),
+                    "banded {la}x{lb} r={radius}"
+                );
+            }
+        }
     }
 
     #[test]

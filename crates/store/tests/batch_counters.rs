@@ -1,0 +1,105 @@
+//! Observability equivalence of the batched read path.
+//!
+//! The `store.decode.*` counters must not depend on *how* chunks were
+//! read: a batch decode counts exactly the chunks and payload bytes the
+//! equivalent per-key loop would, while `store.decode.reads` — the one
+//! counter that is *about* I/O shape — shrinks to one per coalesced
+//! region. The `store.decode.batch` span must show up in the
+//! `--metrics summary` rendering.
+//!
+//! This file deliberately holds a single `#[test]`: the [`cm_obs`]
+//! registry is process-global, so counter arithmetic would race against
+//! sibling tests running in the same binary.
+
+use cm_events::{EventId, SampleMode};
+use cm_store::{CacheConfig, SeriesKey, Store};
+use std::path::PathBuf;
+
+fn temp_store() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cm_batch_ctr_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("ctr.cmstore")
+}
+
+fn key(run: u32, event: usize) -> SeriesKey {
+    SeriesKey::new("ctr", run, SampleMode::Mlpx, EventId::new(event))
+}
+
+fn payloads() -> Vec<(SeriesKey, Vec<f64>)> {
+    vec![
+        (key(0, 0), (0..300).map(|i| (7 * i % 512) as f64).collect()),
+        (key(0, 1), vec![0.5, -7.25, 1e-3]),
+        (key(0, 2), vec![4503599627370496.0, -4503599627370496.0]),
+        (key(1, 0), vec![-0.0, 0.0]),
+        (key(1, 1), (0..100).map(|i| (i * i) as f64).collect()),
+    ]
+}
+
+#[test]
+fn batch_counters_match_sequential_and_span_is_reported() {
+    let path = temp_store();
+    let mut store = Store::open_with(&path, CacheConfig::default()).unwrap();
+    for (k, v) in payloads() {
+        store.append_series(k, &v).unwrap();
+    }
+    store.commit().unwrap();
+    drop(store);
+
+    let keys: Vec<SeriesKey> = payloads().into_iter().map(|(k, _)| k).collect();
+
+    cm_obs::set_mode(cm_obs::Mode::Summary);
+    cm_obs::Registry::global().drain(); // discard open/commit noise
+
+    // Per-key loop on a cold store.
+    let sequential = Store::open_with(&path, CacheConfig::default()).unwrap();
+    for k in &keys {
+        sequential.read_series(k).unwrap();
+    }
+    let seq = cm_obs::Registry::global().drain();
+
+    // One batched read on another cold store.
+    let batched = Store::open_with(&path, CacheConfig::default()).unwrap();
+    batched.read_series_batch(&keys).unwrap();
+    let bat = cm_obs::Registry::global().drain();
+    cm_obs::set_mode(cm_obs::Mode::Off);
+
+    assert_eq!(
+        seq.counters["store.decode.chunks"],
+        keys.len() as u64,
+        "sequential loop decodes each chunk once"
+    );
+    assert_eq!(
+        bat.counters["store.decode.chunks"], seq.counters["store.decode.chunks"],
+        "batch decodes exactly the chunks the loop would"
+    );
+    assert_eq!(
+        bat.counters["store.decode.bytes"], seq.counters["store.decode.bytes"],
+        "batch decodes exactly the bytes the loop would"
+    );
+    assert_eq!(
+        seq.counters["store.decode.reads"],
+        keys.len() as u64,
+        "sequential loop issues one read per chunk"
+    );
+    let batch_reads = bat.counters["store.decode.reads"];
+    assert!(
+        (1..seq.counters["store.decode.reads"]).contains(&batch_reads),
+        "coalescing must merge adjacent chunks into fewer reads (got {batch_reads})"
+    );
+
+    // The batch span is visible in the summary reporter's output.
+    assert!(
+        bat.spans.keys().any(|s| s.contains("store.decode.batch")),
+        "store.decode.batch span recorded"
+    );
+    let summary = cm_obs::render_summary(&bat);
+    assert!(
+        summary.contains("store.decode.batch"),
+        "--metrics summary names the batch decode span:\n{summary}"
+    );
+    assert!(
+        summary.contains("store.decode.chunks"),
+        "--metrics summary lists the decode counters:\n{summary}"
+    );
+}

@@ -1,0 +1,199 @@
+//! Equivalence of the batched read path with per-key reads.
+//!
+//! [`Store::read_series_batch`] takes a different route to the bytes —
+//! coalesced region reads, borrowed-slice decode, parallel CRC checks —
+//! so these tests pin the contract that makes it safe to substitute for
+//! a loop of [`Store::read_series`] calls: **bit-identical results** for
+//! every committed encoding (raw `f64` and delta+varint, including the
+//! ±2^52 delta boundary and `-0.0`), with caching on, off, or warm, for
+//! duplicate and shuffled key orders, at any thread count.
+
+use cm_events::{EventId, SampleMode};
+use cm_store::{CacheConfig, SeriesKey, Store, StoreError};
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cm_batch_eq_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("eq.cmstore")
+}
+
+fn key(run: u32, event: usize) -> SeriesKey {
+    SeriesKey::new("eq", run, SampleMode::Mlpx, EventId::new(event))
+}
+
+/// Series covering both codecs and their edge cases: integral values
+/// (delta+varint) right up to the ±2^52 representability boundary, and
+/// fractional / signed-zero / non-finite values (raw `f64`).
+fn payloads() -> Vec<(SeriesKey, Vec<f64>)> {
+    const P52: f64 = 4503599627370496.0; // 2^52
+    vec![
+        (key(0, 0), vec![1.0, 2.0, 3.0, 4.0]),
+        (key(0, 1), vec![0.5, -7.25, 1e-3, f64::NAN]),
+        (key(0, 2), vec![P52, -P52, 0.0, P52 - 1.0]),
+        (key(0, 3), vec![-0.0, 0.0, -0.0]),
+        (key(1, 0), (0..500).map(|i| (i * i % 8191) as f64).collect()),
+        (key(1, 1), vec![f64::INFINITY, f64::NEG_INFINITY, -0.5]),
+        (key(2, 0), vec![]),
+    ]
+}
+
+fn committed(path: &PathBuf) -> Store {
+    let mut store = Store::open_with(path, CacheConfig::default()).unwrap();
+    for (k, v) in payloads() {
+        store.append_series(k, &v).unwrap();
+    }
+    store.commit().unwrap();
+    store
+}
+
+/// Element-wise bit equality — distinguishes `-0.0` from `0.0` and
+/// treats equal-bits NaNs as equal, which `==` on `f64` does not.
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: value {i} differs");
+    }
+}
+
+#[test]
+fn cold_batch_matches_per_key_reads_bit_exactly() {
+    let path = temp_store("cold");
+    committed(&path);
+
+    // Two fresh stores so both paths decode from disk, not the cache.
+    let sequential = Store::open_with(&path, CacheConfig::default()).unwrap();
+    let batched = Store::open_with(&path, CacheConfig::default()).unwrap();
+
+    let keys: Vec<SeriesKey> = payloads().into_iter().map(|(k, _)| k).collect();
+    let batch = batched.read_series_batch(&keys).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        let one = sequential.read_series(k).unwrap();
+        assert_bits_eq(&batch[i], &one, "cold batch vs per-key");
+    }
+}
+
+#[test]
+fn batch_with_cache_disabled_matches() {
+    let path = temp_store("nocache");
+    committed(&path);
+
+    let disabled = CacheConfig {
+        capacity_bytes: 0,
+        shards: 1,
+    };
+    let store = Store::open_with(&path, disabled).unwrap();
+    let keys: Vec<SeriesKey> = payloads().into_iter().map(|(k, _)| k).collect();
+    // Twice: with caching off every batch decodes from disk again.
+    for round in 0..2 {
+        let batch = store.read_series_batch(&keys).unwrap();
+        for (got, (_, want)) in batch.iter().zip(payloads()) {
+            assert_bits_eq(got, &want, &format!("uncached batch round {round}"));
+        }
+    }
+    assert_eq!(
+        store.cache_stats().entries,
+        0,
+        "disabled cache stayed empty"
+    );
+}
+
+#[test]
+fn warm_batch_serves_cache_hits_bit_exactly() {
+    let path = temp_store("warm");
+    let store = committed(&path);
+
+    let keys: Vec<SeriesKey> = payloads().into_iter().map(|(k, _)| k).collect();
+    let cold = store.read_series_batch(&keys).unwrap();
+    let misses_after_cold = store.cache_stats().misses;
+    let warm = store.read_series_batch(&keys).unwrap();
+
+    for ((c, w), (_, want)) in cold.iter().zip(&warm).zip(payloads()) {
+        assert_bits_eq(c, &want, "cold batch");
+        assert_bits_eq(w, &want, "warm batch");
+    }
+    assert_eq!(
+        store.cache_stats().misses,
+        misses_after_cold,
+        "warm batch decoded nothing"
+    );
+    assert!(store.cache_stats().hits >= keys.len() as u64 - 1);
+}
+
+#[test]
+fn duplicate_and_shuffled_keys_fill_every_slot() {
+    let path = temp_store("dup");
+    committed(&path);
+    let store = Store::open_with(&path, CacheConfig::default()).unwrap();
+
+    // Reversed order, with duplicates sprinkled in.
+    let mut keys: Vec<SeriesKey> = payloads().into_iter().map(|(k, _)| k).rev().collect();
+    keys.push(key(0, 2));
+    keys.push(key(0, 0));
+    keys.push(key(0, 2));
+
+    let by_key: std::collections::BTreeMap<SeriesKey, Vec<f64>> = payloads().into_iter().collect();
+    let batch = store.read_series_batch(&keys).unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        assert_bits_eq(&batch[i], &by_key[k], "shuffled/duplicate batch");
+    }
+}
+
+#[test]
+fn staged_and_committed_mix_reads_through() {
+    let path = temp_store("staged");
+    let mut store = committed(&path);
+    store.append_series(key(9, 9), &[42.0, -0.0]).unwrap();
+
+    let keys = vec![key(9, 9), key(0, 1), key(9, 9), key(0, 3)];
+    let batch = store.read_series_batch(&keys).unwrap();
+    assert_bits_eq(&batch[0], &[42.0, -0.0], "staged slot 0");
+    assert_bits_eq(&batch[1], &[0.5, -7.25, 1e-3, f64::NAN], "committed slot 1");
+    assert_bits_eq(&batch[2], &[42.0, -0.0], "staged slot 2");
+    assert_bits_eq(&batch[3], &[-0.0, 0.0, -0.0], "committed slot 3");
+}
+
+#[test]
+fn missing_key_is_a_typed_error() {
+    let path = temp_store("missing");
+    committed(&path);
+    let store = Store::open_with(&path, CacheConfig::default()).unwrap();
+
+    let keys = vec![key(0, 0), key(77, 77)];
+    match store.read_series_batch(&keys) {
+        Err(StoreError::SeriesNotFound {
+            program,
+            run_index,
+            event,
+        }) => {
+            assert_eq!(program, "eq");
+            assert_eq!(run_index, 77);
+            assert_eq!(event, 77);
+        }
+        other => panic!("expected SeriesNotFound, got {other:?}"),
+    }
+}
+
+#[test]
+fn batch_is_thread_count_invariant() {
+    let path = temp_store("threads");
+    committed(&path);
+    let keys: Vec<SeriesKey> = payloads().into_iter().map(|(k, _)| k).collect();
+
+    let mut runs: Vec<Vec<Vec<u64>>> = Vec::new();
+    for threads in [1, 2, 8] {
+        cm_par::set_max_threads(threads);
+        let store = Store::open_with(&path, CacheConfig::default()).unwrap();
+        let batch = store.read_series_batch(&keys).unwrap();
+        runs.push(
+            batch
+                .iter()
+                .map(|v| v.iter().map(|x| x.to_bits()).collect())
+                .collect(),
+        );
+    }
+    cm_par::set_max_threads(0);
+    assert_eq!(runs[0], runs[1], "1 vs 2 threads");
+    assert_eq!(runs[0], runs[2], "1 vs 8 threads");
+}
