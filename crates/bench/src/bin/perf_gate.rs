@@ -13,6 +13,12 @@
 //! cargo run -p cm-bench --bin perf_gate -- --update   # refresh baselines
 //! ```
 //!
+//! Besides the Criterion tree, `--fresh FILE` (repeatable) merges the
+//! `ns_per_iter` map of a freshly generated report — e.g. the
+//! `BENCH_serve_*.json` a `counterminer load --out` run just wrote —
+//! into the fresh set, so non-Criterion harnesses gate through the
+//! same mechanism.
+//!
 //! Only ids present in **both** a baseline file and the fresh run are
 //! compared, so partial bench runs gate exactly what they measured.
 //! The threshold is deliberately generous (default 1.5×, CI uses more):
@@ -33,6 +39,7 @@ fn main() -> ExitCode {
     let mut run_bench = false;
     let mut baseline_dir = PathBuf::from(".");
     let mut criterion_dir: Option<PathBuf> = None;
+    let mut fresh_files: Vec<PathBuf> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,6 +57,10 @@ fn main() -> ExitCode {
             "--criterion-dir" => match args.next() {
                 Some(d) => criterion_dir = Some(PathBuf::from(d)),
                 None => return usage("--criterion-dir needs a path"),
+            },
+            "--fresh" => match args.next() {
+                Some(f) => fresh_files.push(PathBuf::from(f)),
+                None => return usage("--fresh needs a file"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument {other:?}")),
@@ -120,13 +131,35 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // Fresh run: walk target/criterion for */new/estimates.json.
+    // Fresh run: walk target/criterion for */new/estimates.json, then
+    // merge the ns_per_iter maps of any --fresh report files (ids from
+    // files win over same-named Criterion ids — they are newer output).
     let mut fresh: BTreeMap<String, f64> = BTreeMap::new();
     collect_estimates(&criterion_dir, &mut Vec::new(), &mut fresh);
+    for file in &fresh_files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf gate: cannot read --fresh {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let ids = parse_ns_per_iter(&text);
+        if ids.is_empty() {
+            eprintln!(
+                "perf gate: --fresh {} has no ns_per_iter map",
+                file.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        for (id, ns) in ids {
+            fresh.insert(id, ns);
+        }
+    }
     if fresh.is_empty() {
         eprintln!(
-            "perf gate: no Criterion estimates under {} — run `cargo bench -p cm-bench` \
-             (or pass --run) first",
+            "perf gate: no Criterion estimates under {} and no --fresh reports — run \
+             `cargo bench -p cm-bench` (or pass --run) first",
             criterion_dir.display()
         );
         return ExitCode::FAILURE;
@@ -199,13 +232,15 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: perf_gate [--run] [--update] [--threshold X] \
-         [--baseline-dir DIR] [--criterion-dir DIR]\n\
+         [--baseline-dir DIR] [--criterion-dir DIR] [--fresh FILE]...\n\
          \x20 --run            run `cargo bench -p cm-bench` first\n\
          \x20 --update         rewrite baseline ns_per_iter values from the fresh run\n\
          \x20 --threshold X    fail when fresh/baseline > X (default {DEFAULT_THRESHOLD}, \
          env CM_PERF_GATE_THRESHOLD)\n\
          \x20 --baseline-dir   where BENCH_*.json live (default .)\n\
-         \x20 --criterion-dir  Criterion output tree (default target/criterion)"
+         \x20 --criterion-dir  Criterion output tree (default target/criterion)\n\
+         \x20 --fresh FILE     merge FILE's ns_per_iter map into the fresh set \
+         (repeatable; for non-Criterion reports like BENCH_serve_*.json)"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

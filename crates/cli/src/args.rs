@@ -25,7 +25,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option keys that take no value (boolean flags).
-const BOOLEAN_FLAGS: &[&str] = &["quick", "help", "ocoe"];
+const BOOLEAN_FLAGS: &[&str] = &["quick", "help", "ocoe", "json"];
 
 impl Args {
     /// Parses raw arguments (without the program name).

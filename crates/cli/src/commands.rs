@@ -2,7 +2,12 @@
 
 use crate::args::{ArgError, Args};
 use cm_events::{EventCatalog, SampleMode};
+use cm_load::{
+    chaos_sweep, prepare_store, run_workload, saturation_sweep, LoadReport, LoopMode, RunMetrics,
+    Workload as LoadWorkload,
+};
 use cm_ml::{SgbrtConfig, Trainer};
+use cm_serve::{Pending, Request, Response, ServeConfig, Server, ServerHandle};
 use cm_sim::{Benchmark, PmuConfig, SparkParam, SparkStudy, Workload, ALL_BENCHMARKS};
 use cm_store::{Database, SeriesKey, Store};
 use counterminer::case_study::{
@@ -12,6 +17,7 @@ use counterminer::error_metrics::mlpx_error;
 use counterminer::{collector, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig};
 use std::error::Error;
 use std::path::Path;
+use std::time::Duration;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -60,9 +66,31 @@ COMMANDS:
         [--seed S]                  (a later analyze --store resumes)
   query <FILE> [--program NAME]     list the programs of a columnar
         [--run N] [--event ABBR]    store, or summarize one stored series
-  store-info <FILE>                 columnar store facts: format version,
+  store-info <FILE> [--json]        columnar store facts: format version,
                                     series/chunk counts, encodings,
-                                    file size, metadata
+                                    file size, metadata; --json emits a
+                                    machine-readable object
+  serve --store FILE                start the in-process analysis server
+        [--benchmark B]             and run a deterministic smoke
+        [--requests N]              exercise: ping, store probe, and N
+        [--workers N]               identical analyze requests that
+                                    coalesce into one computation (the
+                                    stats line shows the dedup hits)
+  load --store FILE                 drive the concurrent serving layer
+        --benchmark B               with a seeded mixed workload, once
+        [--clients N] [--ops N]     with batching/dedup on and once off,
+        [--mode closed|open]        reporting p50/p99/p999 latency and
+        [--rate HZ] [--seed S]      throughput for both
+        [--warmup-ms N]
+        [--cooldown-ms N]
+        [--curve 8,16,32]           also sweep client counts and report
+                                    the measured saturation point
+        [--out BENCH.json]          write the perf_gate-compatible
+                                    report
+        [--chaos-seeds N]           instead rerun the workload once per
+        [--scratch DIR]             fault seed on a private store copy;
+                                    fails on any handler panic or torn
+                                    store
   spark <benchmark> [--seed S]      the Spark-tuning case study
   colocate <benchA> <benchB>        importance ranking of two co-located
         [--events N] [--seed S]     benchmarks sharing the PMU
@@ -482,7 +510,7 @@ pub fn ingest(args: &Args) -> CmdResult {
     let path = args
         .get("store")
         .ok_or_else(|| ArgError("--store FILE is required".into()))?;
-    let mut miner = CounterMiner::new(miner_config(args)?);
+    let miner = CounterMiner::new(miner_config(args)?);
     let mut store = Store::open(Path::new(path))?;
     let summary = miner.ingest(benchmark, &mut store)?;
     if summary.resumed {
@@ -553,11 +581,29 @@ pub fn query(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `counterminer store-info <FILE>`
+/// `counterminer store-info <FILE> [--json]`
 pub fn store_info(args: &Args) -> CmdResult {
     let path = required_positional(args, 1, "store file")?;
     let store = Store::open(Path::new(path))?;
     let info = store.info();
+    if args.flag("json") {
+        println!("{{");
+        println!(
+            "  \"path\": \"{}\",",
+            path.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+        println!("  \"version\": {},", info.version);
+        println!("  \"series\": {},", info.series);
+        println!("  \"staged\": {},", info.staged);
+        println!("  \"runs\": {},", info.runs);
+        println!("  \"meta_entries\": {},", info.meta_entries);
+        println!("  \"total_values\": {},", info.total_values);
+        println!("  \"file_bytes\": {},", info.file_bytes);
+        println!("  \"delta_chunks\": {},", info.delta_chunks);
+        println!("  \"raw_chunks\": {}", info.raw_chunks);
+        println!("}}");
+        return Ok(());
+    }
     println!("store {path}");
     println!("  format version  {}", info.version);
     println!("  series          {} ({} staged)", info.series, info.staged);
@@ -570,6 +616,267 @@ pub fn store_info(args: &Args) -> CmdResult {
     );
     if info.meta_entries > 0 {
         println!("  metadata        {} entries", info.meta_entries);
+    }
+    Ok(())
+}
+
+/// `counterminer serve --store FILE [--benchmark B] [...]`
+///
+/// Starts the in-process analysis server on a store and runs a
+/// deterministic smoke exercise against it: a ping, a store probe, and
+/// `--requests` *identical* analyze requests enqueued before the
+/// scheduler starts, so they land in one batch and deduplicate into a
+/// single computation. The final stats line shows the dedup hits.
+pub fn serve(args: &Args) -> CmdResult {
+    let path = args
+        .get("store")
+        .ok_or_else(|| ArgError("--store FILE is required".into()))?;
+    let requests: usize = args.get_num("requests", 8)?;
+    let config = ServeConfig {
+        miner: miner_config(args)?,
+        workers: args.get_num("workers", 0)?,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config);
+    server.add_store("main", Path::new(path))?;
+    let client = server.client();
+
+    let ping = client.submit(Request::Ping);
+    let info = client.submit(Request::Info {
+        store: "main".into(),
+    });
+    let analyzes: Vec<Pending> = match args.get("benchmark") {
+        Some(name) => {
+            let benchmark = benchmark_by_name(name)?;
+            (0..requests)
+                .map(|_| {
+                    client.submit(Request::Analyze {
+                        store: "main".into(),
+                        benchmark,
+                    })
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    let handle = server.start();
+    ping.wait()?;
+    if let Response::Info(i) = info.wait()? {
+        println!(
+            "store main: format v{}, {} series, {} bytes on disk",
+            i.version, i.series, i.file_bytes
+        );
+    }
+    let mut analysis = None;
+    for pending in analyzes {
+        if let Response::Analysis(a) = pending.wait()? {
+            analysis = Some(a);
+        }
+    }
+    if let Some(a) = analysis {
+        let catalog = EventCatalog::haswell();
+        println!(
+            "{}: {} ranked events, {:.1}% held-out error (snapshot fingerprint {:016x})",
+            a.benchmark,
+            a.ranking.len(),
+            a.best_error * 100.0,
+            a.fingerprint
+        );
+        for (event, share) in a.ranking.iter().take(5) {
+            println!("  {:<6} {share:5.1}%", catalog.info(*event).abbrev());
+        }
+    }
+    let cache = handle.cache_stats();
+    let stats = handle.shutdown();
+    println!(
+        "cache: {} hits, {} misses, {} entries resident",
+        cache.hits, cache.misses, cache.entries
+    );
+    println!(
+        "serve stats: {} requests, {} errors, {} batch flushes, {} coalesced reads, {} dedup hits",
+        stats.requests, stats.errors, stats.batch_flushes, stats.batch_coalesced, stats.dedup_hits
+    );
+    Ok(())
+}
+
+fn print_load_run(name: &str, m: &RunMetrics) {
+    let l = &m.latency;
+    println!(
+        "{name:<10} {:>9.0} ops/s   p50 {:>7} us  p99 {:>7} us  p999 {:>7} us  max {:>7} us   \
+         ({} dedup hits, {} coalesced reads, {} errors)",
+        m.throughput_ops_per_sec,
+        l.p50_ns / 1_000,
+        l.p99_ns / 1_000,
+        l.p999_ns / 1_000,
+        l.max_ns / 1_000,
+        m.stats.dedup_hits,
+        m.stats.batch_coalesced,
+        m.errors,
+    );
+}
+
+/// `counterminer load --store FILE --benchmark B [...]`
+///
+/// Warms the store, then drives the serving layer with a seeded mixed
+/// workload twice — batching/dedup on, then off — and reports latency
+/// percentiles and throughput for both. `--out` writes the
+/// `BENCH_serve_*.json` report the `perf_gate` binary understands;
+/// `--chaos-seeds N` instead reruns the workload once per fault seed on
+/// a private store copy and fails on any handler panic or torn store.
+pub fn load(args: &Args) -> CmdResult {
+    let path = args
+        .get("store")
+        .ok_or_else(|| ArgError("--store FILE is required".into()))?;
+    let benchmark = benchmark_by_name(
+        args.get("benchmark")
+            .ok_or_else(|| ArgError("--benchmark NAME is required".into()))?,
+    )?;
+    let config = miner_config(args)?;
+    let clients: usize = args.get_num("clients", 64)?;
+    let ops: usize = args.get_num("ops", 16)?;
+    let load_seed: u64 = args.get_num("seed", 0)?;
+    let workers: usize = args.get_num("workers", 0)?;
+    let warmup_ms: u64 = args.get_num("warmup-ms", 0)?;
+    let cooldown_ms: u64 = args.get_num("cooldown-ms", 0)?;
+    let mode = match args.get("mode").unwrap_or("closed") {
+        "closed" => LoopMode::Closed,
+        "open" => LoopMode::Open {
+            rate_hz: args.get_num("rate", 50.0)?,
+        },
+        other => {
+            return Err(ArgError(format!("--mode must be closed or open, not {other:?}")).into());
+        }
+    };
+    let workload = LoadWorkload {
+        clients,
+        ops_per_client: ops,
+        mode,
+        seed: load_seed,
+        warmup: Duration::from_millis(warmup_ms),
+        cooldown: Duration::from_millis(cooldown_ms),
+        ..LoadWorkload::default()
+    };
+
+    println!("warming {path} with {benchmark} ...");
+    let keys = prepare_store(Path::new(path), benchmark, &config)?;
+    println!("  {} series available to the query mix", keys.len());
+
+    if let Some(raw) = args.get("chaos-seeds") {
+        let seeds: u64 = raw
+            .parse()
+            .map_err(|_| ArgError(format!("--chaos-seeds needs a count, got {raw:?}")))?;
+        let scratch = match args.get("scratch") {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => std::env::temp_dir().join(format!("cm_load_chaos_{}", std::process::id())),
+        };
+        let sc = ServeConfig {
+            miner: config,
+            workers,
+            ..ServeConfig::default()
+        };
+        let report = chaos_sweep(
+            Path::new(path),
+            &scratch,
+            benchmark,
+            &sc,
+            &workload,
+            &keys,
+            0..seeds,
+        )?;
+        let _ = std::fs::remove_dir_all(&scratch);
+        println!(
+            "chaos sweep over {seeds} seed(s): {} faults injected, {} requests, {} typed errors",
+            report.total_faults(),
+            report.total_ops(),
+            report.total_typed_errors()
+        );
+        if report.handler_panics() > 0 || report.torn_stores() > 0 {
+            return Err(format!(
+                "chaos sweep failed: {} handler panic(s), {} torn store(s)",
+                report.handler_panics(),
+                report.torn_stores()
+            )
+            .into());
+        }
+        println!("every failure was typed; every store reopened intact");
+        return Ok(());
+    }
+
+    let start_server = |batching: bool| -> Result<ServerHandle, Box<dyn Error>> {
+        let sc = ServeConfig {
+            miner: config,
+            workers,
+            batching,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(sc);
+        server.add_store("main", Path::new(path))?;
+        Ok(server.start())
+    };
+    let mode_id = match workload.mode {
+        LoopMode::Closed => "closed",
+        LoopMode::Open { .. } => "open",
+    };
+    let mut report = LoadReport::new(
+        format!(
+            "cm-load {mode_id}-loop mixed workload: {clients} clients x {ops} ops, seed \
+             {load_seed}; batched vs unbatched on the same store"
+        ),
+        benchmark.name(),
+    );
+
+    let handle = start_server(true)?;
+    let batched = run_workload(&handle, "main", benchmark, &keys, &workload, "batched");
+    if let Some(curve) = args.get("curve") {
+        let counts = curve
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<Vec<usize>, _>>()
+            .map_err(|_| {
+                ArgError(format!(
+                    "--curve needs comma-separated counts, got {curve:?}"
+                ))
+            })?;
+        let (runs, saturation) = saturation_sweep(
+            &handle, "main", benchmark, &keys, &workload, &counts, "curve",
+        );
+        for r in &runs {
+            println!(
+                "  curve: {:>4} clients -> {:>9.0} ops/s",
+                r.clients, r.throughput_ops_per_sec
+            );
+        }
+        report.runs.extend(runs);
+        report.saturation_clients = saturation;
+        match saturation {
+            Some(c) => println!("saturation at {c} clients"),
+            None => println!("throughput still scaling at the last sweep point"),
+        }
+    }
+    handle.shutdown();
+
+    let handle = start_server(false)?;
+    let unbatched = run_workload(&handle, "main", benchmark, &keys, &workload, "unbatched");
+    handle.shutdown();
+
+    print_load_run("batched", &batched);
+    print_load_run("unbatched", &unbatched);
+    if unbatched.throughput_ops_per_sec > 0.0 {
+        println!(
+            "batching speedup: {:.2}x",
+            batched.throughput_ops_per_sec / unbatched.throughput_ops_per_sec
+        );
+    }
+    report.register_throughput(
+        &format!("serve/{mode_id}/throughput"),
+        batched.throughput_ops_per_sec,
+    );
+    report.add_run(&format!("serve/{mode_id}/mixed/batched"), batched);
+    report.add_run(&format!("serve/{mode_id}/mixed/unbatched"), unbatched);
+    if let Some(out) = args.get("out") {
+        report.write(Path::new(out))?;
+        println!("report -> {out}");
     }
     Ok(())
 }
@@ -720,6 +1027,22 @@ mod tests {
         assert!(query(&parse(&["query", "/tmp/x", "--program", "wc"])).is_err());
         // store-info without a store file.
         assert!(store_info(&parse(&["store-info"])).is_err());
+        // serve without --store.
+        assert!(serve(&parse(&["serve"])).is_err());
+        // load without --store, then without --benchmark.
+        assert!(load(&parse(&["load"])).is_err());
+        assert!(load(&parse(&["load", "--store", "/tmp/x.cmstore"])).is_err());
+        // load with an unknown loop mode (rejected before any I/O).
+        assert!(load(&parse(&[
+            "load",
+            "--store",
+            "/tmp/x.cmstore",
+            "--benchmark",
+            "sort",
+            "--mode",
+            "sideways",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -751,11 +1074,19 @@ mod tests {
             "ingest",
             "query",
             "store-info",
+            "serve",
+            "load",
             "spark",
             "colocate",
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
+        assert!(USAGE.contains("--json"), "usage missing --json");
+        assert!(USAGE.contains("--clients"), "usage missing --clients");
+        assert!(
+            USAGE.contains("--chaos-seeds"),
+            "usage missing --chaos-seeds"
+        );
         assert!(USAGE.contains("--threads"), "usage missing --threads");
         assert!(USAGE.contains("--trainer"), "usage missing --trainer");
         assert!(USAGE.contains("--metrics"), "usage missing --metrics");

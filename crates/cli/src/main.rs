@@ -57,6 +57,8 @@ fn main() {
         "ingest" => commands::ingest(&parsed),
         "query" => commands::query(&parsed),
         "store-info" => commands::store_info(&parsed),
+        "serve" => commands::serve(&parsed),
+        "load" => commands::load(&parsed),
         "spark" => commands::spark(&parsed),
         "colocate" => commands::colocate(&parsed),
         "help" | "--help" | "-h" => {

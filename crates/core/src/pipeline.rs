@@ -299,6 +299,60 @@ impl CounterMiner {
         )
     }
 
+    /// The snapshot fingerprint the store-backed paths probe for: a hash
+    /// of the collection knobs and the resolved event *set* for this
+    /// benchmark under the current configuration. Two miners with equal
+    /// fingerprints produce bit-identical snapshots — the key the
+    /// serving layer uses to deduplicate identical analyze requests.
+    pub fn snapshot_fingerprint(&self, benchmark: Benchmark) -> u64 {
+        let measured = self.resolve_events(benchmark);
+        snapshot::fingerprint(benchmark, &self.config, measured.as_slice())
+    }
+
+    /// The warm, shared-read half of [`Self::analyze_with_store`]: if a
+    /// snapshot matching the current configuration is committed in
+    /// `store`, models and ranks from it and returns the report;
+    /// otherwise returns `Ok(None)` without collecting anything.
+    ///
+    /// Unlike [`Self::analyze_with_store`] this needs only `&self` and
+    /// `&Store`, so any number of threads can analyze from one store
+    /// handle concurrently — the serving layer's hot path. (Its cold
+    /// path first populates the store via [`Self::ingest`], which does
+    /// take `&mut Store`.) Results are bit-identical to the other
+    /// analyze paths; a warm hit counts `pipeline.resume.hits` exactly
+    /// as resuming through `analyze_with_store` would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store and modeling failures; a fingerprint-matching
+    /// but corrupt snapshot is an error, never a silent `None`.
+    pub fn analyze_snapshot(
+        &self,
+        benchmark: Benchmark,
+        store: &Store,
+    ) -> Result<Option<AnalysisReport>, CmError> {
+        let _analyze = cm_obs::span!("analyze", benchmark = benchmark.name());
+        let fp = self.snapshot_fingerprint(benchmark);
+        let snap = {
+            let _s = cm_obs::span!("resume.probe");
+            snapshot::load(store, benchmark, fp)?
+        };
+        let Some(snap) = snap else {
+            return Ok(None);
+        };
+        cm_obs::counter_add("pipeline.analyses", 1);
+        cm_obs::counter_add("pipeline.resume.hits", 1);
+        self.model_and_rank(
+            benchmark,
+            &snap.runs,
+            &snap.events,
+            None,
+            snap.outliers_replaced,
+            snap.missing_filled,
+        )
+        .map(Some)
+    }
+
     /// Collects and cleans a benchmark and persists the snapshot into
     /// `store`, without modeling — `counterminer ingest`'s engine. A
     /// matching snapshot makes this a cheap no-op (`resumed: true`).
@@ -307,7 +361,7 @@ impl CounterMiner {
     ///
     /// Propagates collection, cleaning, and store failures.
     pub fn ingest(
-        &mut self,
+        &self,
         benchmark: Benchmark,
         store: &mut Store,
     ) -> Result<IngestSummary, CmError> {
@@ -344,7 +398,7 @@ impl CounterMiner {
     /// exact code the warm path will, and a store that cannot round-trip
     /// fails loudly on day one.
     fn collect_and_persist(
-        &mut self,
+        &self,
         benchmark: Benchmark,
         fp: u64,
         measured: &cm_events::EventSet,
@@ -585,6 +639,42 @@ mod tests {
             .analyze_with_store(Benchmark::Wordcount, &mut store)
             .unwrap();
         assert!(!other.eir.ranking.is_empty());
+    }
+
+    /// The shared-read analyze path: `None` before any snapshot exists,
+    /// and bit-identical to `analyze_with_store` once one is committed —
+    /// all through `&self` + `&Store`.
+    #[test]
+    fn analyze_snapshot_is_warm_only_and_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("cm_pipe_snap_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut store = Store::open(dir.join("snap.cmstore")).unwrap();
+
+        let miner = CounterMiner::new(tiny_config());
+        assert!(miner
+            .analyze_snapshot(Benchmark::Sort, &store)
+            .unwrap()
+            .is_none());
+
+        let summary = miner.ingest(Benchmark::Sort, &mut store).unwrap();
+        assert!(!summary.resumed);
+        let warm = miner
+            .analyze_snapshot(Benchmark::Sort, &store)
+            .unwrap()
+            .expect("snapshot committed by ingest");
+
+        let mut oracle = CounterMiner::new(tiny_config());
+        let full = oracle
+            .analyze_with_store(Benchmark::Sort, &mut store)
+            .unwrap();
+        assert_eq!(warm.eir.ranking, full.eir.ranking);
+        assert_eq!(warm.outliers_replaced, full.outliers_replaced);
+        assert_eq!(warm.missing_filled, full.missing_filled);
+        assert_eq!(
+            miner.snapshot_fingerprint(Benchmark::Sort),
+            oracle.snapshot_fingerprint(Benchmark::Sort)
+        );
     }
 
     #[test]

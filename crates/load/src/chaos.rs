@@ -1,0 +1,260 @@
+//! Fault injection under concurrent load: the serving layer's crash
+//! test. Every request outcome must be a typed success or a typed
+//! [`ServeError`](cm_serve::ServeError) — a panicking handler or a
+//! silently torn store is a bug.
+
+use crate::workload::{OpMix, Workload};
+use cm_chaos::{ChaosRng, FaultFs};
+use cm_serve::{ServeConfig, Server};
+use cm_sim::Benchmark;
+use cm_store::{SeriesKey, Store, Vfs};
+use std::path::Path;
+use std::sync::Arc;
+
+/// What one seed's run observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// The fault-schedule seed.
+    pub seed: u64,
+    /// Faults [`FaultFs`] actually injected.
+    pub faults_injected: u64,
+    /// Requests issued.
+    pub ops: u64,
+    /// Requests answered with a typed error.
+    pub typed_errors: u64,
+    /// Errors whose message reveals a caught panic — the worker pool's
+    /// `catch_unwind` backstop fired. Must stay zero: every fault path
+    /// is supposed to surface as a typed error *before* unwinding.
+    pub handler_panics: u64,
+    /// Whether the store reopened cleanly (real filesystem, faults
+    /// disarmed) after the run and every committed series decoded.
+    pub reopen_ok: bool,
+    /// When `reopen_ok` is false: the reopen/read failure was a typed
+    /// store error (detected corruption — acceptable), not silence.
+    pub reopen_typed_error: bool,
+}
+
+/// Aggregate over a [`chaos_sweep`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Per-seed outcomes, in seed order.
+    pub outcomes: Vec<ChaosOutcome>,
+}
+
+impl ChaosReport {
+    /// Total faults injected across seeds.
+    pub fn total_faults(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.faults_injected).sum()
+    }
+
+    /// Total requests issued across seeds.
+    pub fn total_ops(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.ops).sum()
+    }
+
+    /// Total typed request errors across seeds.
+    pub fn total_typed_errors(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.typed_errors).sum()
+    }
+
+    /// Total caught handler panics — any nonzero value is a bug.
+    pub fn handler_panics(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.handler_panics).sum()
+    }
+
+    /// Seeds whose store neither reopened cleanly nor failed with a
+    /// typed error — a torn store. Any nonzero value is a bug.
+    pub fn torn_stores(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.reopen_ok && !o.reopen_typed_error)
+            .count() as u64
+    }
+}
+
+/// Runs the workload against a fault-injected server once per seed in
+/// `seeds`, each seed on a private copy of the store at `template`
+/// (placed in `scratch_dir`). Seeds where `seed % 8 == 0` start from
+/// an *empty* store instead, so analyze traffic exercises the cold
+/// ingest-and-commit path under faults, not just reads.
+///
+/// The run itself never fails on injected faults — they are the data.
+///
+/// # Errors
+///
+/// Only harness I/O errors (copying the template, cleaning scratch).
+pub fn chaos_sweep(
+    template: &Path,
+    scratch_dir: &Path,
+    benchmark: Benchmark,
+    config: &ServeConfig,
+    workload: &Workload,
+    keys: &[SeriesKey],
+    seeds: std::ops::Range<u64>,
+) -> std::io::Result<ChaosReport> {
+    std::fs::create_dir_all(scratch_dir)?;
+    let mut report = ChaosReport::default();
+    for seed in seeds {
+        let path = scratch_dir.join(format!("chaos_{seed}.cmstore"));
+        let _ = std::fs::remove_file(&path);
+        let cold = seed % 8 == 0;
+        if !cold {
+            std::fs::copy(template, &path)?;
+        }
+        let outcome = run_one_seed(&path, benchmark, config, workload, keys, seed, cold);
+        let _ = std::fs::remove_file(&path);
+        report.outcomes.push(outcome);
+    }
+    Ok(report)
+}
+
+fn run_one_seed(
+    path: &Path,
+    benchmark: Benchmark,
+    config: &ServeConfig,
+    workload: &Workload,
+    keys: &[SeriesKey],
+    seed: u64,
+    cold: bool,
+) -> ChaosOutcome {
+    let fs = Arc::new(FaultFs::new(seed));
+    let mut outcome = ChaosOutcome {
+        seed,
+        faults_injected: 0,
+        ops: 0,
+        typed_errors: 0,
+        handler_panics: 0,
+        reopen_ok: false,
+        reopen_typed_error: false,
+    };
+
+    let mut server = Server::new(config.clone());
+    let vfs: Arc<dyn Vfs> = fs.clone();
+    match server.add_store_with_vfs("main", path, vfs) {
+        Ok(()) => {
+            let handle = server.start();
+            // A cold store has no keys yet; lean on analyze so the
+            // write path runs under faults.
+            let mix = if cold {
+                OpMix {
+                    query: 1,
+                    analyze: 4,
+                    ranked: 1,
+                    info: 1,
+                }
+            } else {
+                workload.mix
+            };
+            let mut root = ChaosRng::new(workload.seed ^ seed);
+            let client_seeds: Vec<u64> = (0..workload.clients).map(|_| root.next_u64()).collect();
+            let (ops, errors, panics) = std::thread::scope(|s| {
+                let workers: Vec<_> = client_seeds
+                    .iter()
+                    .map(|&cs| {
+                        let client = handle.client();
+                        let keys = if cold { &[][..] } else { keys };
+                        s.spawn(move || {
+                            let mut rng = ChaosRng::new(cs);
+                            let mut errors = 0u64;
+                            let mut panics = 0u64;
+                            for _ in 0..workload.ops_per_client {
+                                let req = crate::workload::pick_op(
+                                    &mut rng, &mix, "main", benchmark, keys,
+                                );
+                                if let Err(e) = client.call(req) {
+                                    errors += 1;
+                                    if e.to_string().contains("panic") {
+                                        panics += 1;
+                                    }
+                                }
+                            }
+                            (workload.ops_per_client as u64, errors, panics)
+                        })
+                    })
+                    .collect();
+                let mut totals = (0u64, 0u64, 0u64);
+                for w in workers {
+                    let (o, e, p) = w.join().expect("chaos client thread");
+                    totals.0 += o;
+                    totals.1 += e;
+                    totals.2 += p;
+                }
+                totals
+            });
+            outcome.ops = ops;
+            outcome.typed_errors = errors;
+            outcome.handler_panics = panics;
+            handle.shutdown();
+        }
+        Err(e) => {
+            // The store refused to open under injected faults: a typed
+            // outcome, counted like any request error.
+            outcome.typed_errors = 1;
+            if e.to_string().contains("panic") {
+                outcome.handler_panics = 1;
+            }
+        }
+    }
+
+    outcome.faults_injected = fs.injected();
+    fs.disarm();
+    // The torn-store check: reopened on the real filesystem, the
+    // committed image must either load and decode fully, or fail with
+    // a typed store error. (A missing file is a clean empty store.)
+    match Store::open(path) {
+        Ok(store) => {
+            let committed: Vec<SeriesKey> = store.series_keys().cloned().collect();
+            match store.read_series_batch(&committed) {
+                Ok(_) => outcome.reopen_ok = true,
+                Err(_) => outcome.reopen_typed_error = true,
+            }
+        }
+        Err(_) => outcome.reopen_typed_error = true,
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_outcomes() {
+        let report = ChaosReport {
+            outcomes: vec![
+                ChaosOutcome {
+                    seed: 0,
+                    faults_injected: 2,
+                    ops: 10,
+                    typed_errors: 3,
+                    handler_panics: 0,
+                    reopen_ok: true,
+                    reopen_typed_error: false,
+                },
+                ChaosOutcome {
+                    seed: 1,
+                    faults_injected: 1,
+                    ops: 10,
+                    typed_errors: 0,
+                    handler_panics: 0,
+                    reopen_ok: false,
+                    reopen_typed_error: true,
+                },
+                ChaosOutcome {
+                    seed: 2,
+                    faults_injected: 1,
+                    ops: 10,
+                    typed_errors: 1,
+                    handler_panics: 0,
+                    reopen_ok: false,
+                    reopen_typed_error: false,
+                },
+            ],
+        };
+        assert_eq!(report.total_faults(), 4);
+        assert_eq!(report.total_ops(), 30);
+        assert_eq!(report.total_typed_errors(), 4);
+        assert_eq!(report.handler_panics(), 0);
+        assert_eq!(report.torn_stores(), 1);
+    }
+}

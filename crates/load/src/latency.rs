@@ -1,0 +1,148 @@
+//! Latency sample collection and percentile summaries.
+
+/// Collects `(start_ns, latency_ns)` samples, where `start_ns` is the
+/// request's (intended) start offset from the beginning of the run.
+/// Each client thread records into its own recorder; the driver merges
+/// them after the run.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<(u64, u64)>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, start_ns: u64, latency_ns: u64) {
+        self.samples.push((start_ns, latency_ns));
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Moves every sample of `other` into this recorder.
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Summarizes the samples whose start offset falls inside
+    /// `[window_start_ns, window_end_ns)` — the measurement window
+    /// after warmup/cooldown trimming. Returns the summary and how
+    /// many samples it covers.
+    pub fn summarize(&self, window_start_ns: u64, window_end_ns: u64) -> LatencySummary {
+        let mut lat: Vec<u64> = self
+            .samples
+            .iter()
+            .filter(|(start, _)| *start >= window_start_ns && *start < window_end_ns)
+            .map(|(_, l)| *l)
+            .collect();
+        lat.sort_unstable();
+        LatencySummary::from_sorted(&lat)
+    }
+}
+
+/// Percentiles over one run's measured latencies, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Samples inside the measurement window.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Worst observed.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Builds the summary from an ascending-sorted latency slice.
+    pub fn from_sorted(sorted_ns: &[u64]) -> Self {
+        if sorted_ns.is_empty() {
+            return LatencySummary::default();
+        }
+        let count = sorted_ns.len() as u64;
+        let sum: u128 = sorted_ns.iter().map(|&v| v as u128).sum();
+        LatencySummary {
+            count,
+            mean_ns: sum as f64 / count as f64,
+            p50_ns: percentile(sorted_ns, 50.0),
+            p90_ns: percentile(sorted_ns, 90.0),
+            p99_ns: percentile(sorted_ns, 99.0),
+            p999_ns: percentile(sorted_ns, 99.9),
+            max_ns: *sorted_ns.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_a_uniform_ramp() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        let s = LatencySummary::from_sorted(&sorted);
+        assert_eq!(s.count, 1000);
+        // Nearest-rank rounds half away from zero: rank(50%) = 500.
+        assert_eq!(s.p50_ns, 501);
+        assert_eq!(s.p90_ns, 900);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.p999_ns, 999);
+        assert_eq!(s.max_ns, 1000);
+        assert!((s.mean_ns - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencySummary::from_sorted(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn window_filtering_trims_warmup_and_cooldown() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(10, 100); // before window
+        rec.record(50, 200); // inside
+        rec.record(60, 300); // inside
+        rec.record(95, 400); // after window
+        let s = rec.summarize(50, 90);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_ns, 300);
+        // Two samples: the median rank rounds up to the second.
+        assert_eq!(s.p50_ns, 300);
+    }
+
+    #[test]
+    fn merge_combines_recorders() {
+        let mut a = LatencyRecorder::new();
+        a.record(0, 1);
+        let mut b = LatencyRecorder::new();
+        b.record(1, 2);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! The CounterMiner load harness: a seeded workload driver for
+//! [`cm_serve`], measuring latency percentiles, throughput curves, and
+//! fault behavior under concurrent load.
+//!
+//! A [`Workload`] describes *what* to offer the server — how many
+//! simulated clients, how many operations each, the operation mix, and
+//! the loop discipline:
+//!
+//! * **closed loop** ([`LoopMode::Closed`]): each client issues its
+//!   next request the moment the previous one completes — measures
+//!   capacity;
+//! * **open loop** ([`LoopMode::Open`]): each client issues requests
+//!   on a fixed schedule regardless of completions, and latency is
+//!   measured from the *intended* start time, so queueing delay is
+//!   charged to the server (no coordinated omission).
+//!
+//! [`run_workload`] drives one workload against a running
+//! [`ServerHandle`] and returns [`RunMetrics`]: p50/p90/p99/p999/max
+//! latency over the measurement window (warmup and cooldown samples
+//! excluded), throughput, error counts, and the server's scheduling
+//! counters. [`saturation_sweep`] repeats a workload across client
+//! counts and marks where throughput stops scaling. [`LoadReport`]
+//! renders everything as the `BENCH_serve_*.json` shape the
+//! `perf_gate` binary consumes (`ns_per_iter` ids). [`chaos_sweep`]
+//! replays a workload against servers whose store I/O is corrupted by
+//! [`cm_chaos::FaultFs`] across many seeds, verifying every failure is
+//! a typed error.
+//!
+//! Everything is seeded ([`cm_chaos::ChaosRng`]): the request
+//! *schedule* is deterministic per seed, so `serve.requests` and
+//! `serve.errors` are reproducible even though timing-scoped counters
+//! (`serve.batch.*`) are not.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod chaos;
+mod latency;
+mod report;
+mod workload;
+
+pub use chaos::{chaos_sweep, ChaosOutcome, ChaosReport};
+pub use latency::{LatencyRecorder, LatencySummary};
+pub use report::LoadReport;
+pub use workload::{
+    prepare_store, run_workload, saturation_sweep, LoopMode, OpMix, RunMetrics, Workload,
+};

@@ -1,0 +1,208 @@
+//! The `BENCH_serve_*.json` report shape.
+
+use crate::workload::RunMetrics;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A load report in the repository's `BENCH_*.json` baseline format:
+/// human-readable run details plus a flat `ns_per_iter` map that the
+/// `perf_gate` binary gates on (bigger is worse, so throughput is
+/// registered as nanoseconds per operation).
+///
+/// Run labels are kept distinct from `ns_per_iter` ids on purpose: the
+/// gate's `--update` rewriter patches the first occurrence of an id in
+/// the file, which must be the entry in the `ns_per_iter` map.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Free-form description of what was measured and on what host.
+    pub description: String,
+    /// Benchmark the analyze/ranked traffic targeted.
+    pub benchmark: String,
+    /// Per-run details, in execution order.
+    pub runs: Vec<RunMetrics>,
+    /// Client count where throughput stopped scaling, if a sweep ran
+    /// and found one.
+    pub saturation_clients: Option<usize>,
+    /// Gate ids → nanoseconds per operation.
+    pub ns_per_iter: BTreeMap<String, f64>,
+}
+
+impl LoadReport {
+    /// An empty report.
+    pub fn new(description: impl Into<String>, benchmark: impl Into<String>) -> Self {
+        LoadReport {
+            description: description.into(),
+            benchmark: benchmark.into(),
+            ..LoadReport::default()
+        }
+    }
+
+    /// Registers a gate id measuring mean latency of `metrics`, and
+    /// remembers the run.
+    pub fn add_run(&mut self, id: &str, metrics: RunMetrics) {
+        self.ns_per_iter
+            .insert(id.to_string(), metrics.latency.mean_ns);
+        self.runs.push(metrics);
+    }
+
+    /// Registers a throughput-derived gate id (`1e9 / ops_per_sec`,
+    /// i.e. service nanoseconds per completed operation).
+    pub fn register_throughput(&mut self, id: &str, ops_per_sec: f64) {
+        if ops_per_sec > 0.0 {
+            self.ns_per_iter.insert(id.to_string(), 1e9 / ops_per_sec);
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"description\": {},", json_str(&self.description));
+        let _ = writeln!(out, "  \"benchmark\": {},", json_str(&self.benchmark));
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{comma}", run_json(run));
+        }
+        out.push_str("  ],\n");
+        match self.saturation_clients {
+            Some(c) => {
+                let _ = writeln!(out, "  \"saturation_clients\": {c},");
+            }
+            None => out.push_str("  \"saturation_clients\": null,\n"),
+        }
+        out.push_str("  \"ns_per_iter\": {\n");
+        let n = self.ns_per_iter.len();
+        for (i, (id, ns)) in self.ns_per_iter.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    {}: {:.0}{comma}", json_str(id), ns);
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing the file.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn run_json(run: &RunMetrics) -> String {
+    let l = &run.latency;
+    let s = &run.stats;
+    format!(
+        "{{\"label\": {}, \"clients\": {}, \"ops\": {}, \"errors\": {}, \
+         \"elapsed_ns\": {}, \"throughput_ops_per_sec\": {:.1}, \
+         \"latency\": {{\"count\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p90_ns\": {}, \
+         \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}, \
+         \"serve\": {{\"requests\": {}, \"errors\": {}, \"batch_flushes\": {}, \
+         \"batch_coalesced\": {}, \"dedup_hits\": {}}}}}",
+        json_str(&run.label),
+        run.clients,
+        run.ops,
+        run.errors,
+        run.elapsed_ns,
+        run.throughput_ops_per_sec,
+        l.count,
+        l.mean_ns,
+        l.p50_ns,
+        l.p90_ns,
+        l.p99_ns,
+        l.p999_ns,
+        l.max_ns,
+        s.requests,
+        s.errors,
+        s.batch_flushes,
+        s.batch_coalesced,
+        s.dedup_hits,
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencySummary;
+    use cm_serve::ServeStats;
+
+    fn metrics(label: &str, mean_ns: f64) -> RunMetrics {
+        RunMetrics {
+            label: label.to_string(),
+            clients: 8,
+            ops: 80,
+            errors: 0,
+            elapsed_ns: 1_000_000,
+            throughput_ops_per_sec: 1000.0,
+            latency: LatencySummary {
+                count: 80,
+                mean_ns,
+                p50_ns: 100,
+                p90_ns: 200,
+                p99_ns: 300,
+                p999_ns: 400,
+                max_ns: 500,
+            },
+            stats: ServeStats::default(),
+        }
+    }
+
+    #[test]
+    fn report_json_has_flat_ns_per_iter_map() {
+        let mut report = LoadReport::new("test", "sort");
+        report.add_run("serve/closed/mixed/batched", metrics("batched", 1234.0));
+        report.register_throughput("serve/closed/throughput", 2000.0);
+        let json = report.to_json();
+        // The gate's scanner reads the first {...} after "ns_per_iter";
+        // it must contain only flat `"id": number` pairs.
+        let at = json.find("\"ns_per_iter\"").expect("map present");
+        let body = &json[at..];
+        let open = body.find('{').unwrap();
+        let close = body.find('}').unwrap();
+        let inner = &body[open + 1..close];
+        assert!(inner.contains("\"serve/closed/mixed/batched\": 1234"));
+        assert!(inner.contains("\"serve/closed/throughput\": 500000"));
+        assert!(!inner.contains('{'));
+    }
+
+    #[test]
+    fn run_labels_do_not_shadow_gate_ids() {
+        let mut report = LoadReport::new("test", "sort");
+        report.add_run("serve/closed/mixed/batched", metrics("batched", 1.0));
+        let json = report.to_json();
+        // The id's first occurrence in the file must be inside the
+        // ns_per_iter map (the runs array comes first in the output,
+        // so labels must not equal ids).
+        let id_at = json.find("\"serve/closed/mixed/batched\"").unwrap();
+        let map_at = json.find("\"ns_per_iter\"").unwrap();
+        assert!(id_at > map_at, "gate id leaked into the runs section");
+    }
+
+    #[test]
+    fn json_strings_escape_quotes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,79 @@
+//! The serving layer under deterministic fault injection: across 64
+//! fault-schedule seeds, every failed request must surface as a typed
+//! error (never a caught panic), and every store must reopen cleanly
+//! or fail with a typed store error (never silently torn).
+
+use cm_load::{chaos_sweep, prepare_store, LoopMode, Workload};
+use cm_serve::ServeConfig;
+use cm_sim::Benchmark;
+use counterminer::MinerConfig;
+
+/// Tiny on purpose: the sweep runs 64 servers back to back.
+fn chaos_config() -> MinerConfig {
+    let mut config = MinerConfig {
+        events_to_measure: Some(8),
+        runs_per_benchmark: 1,
+        interaction_top_k: 2,
+        ..MinerConfig::default()
+    };
+    config.importance.sgbrt.n_trees = 8;
+    config.importance.sgbrt.tree.max_depth = 2;
+    config.importance.prune_step = 2;
+    config.importance.min_events = 4;
+    config
+}
+
+#[test]
+fn sixty_four_seed_fault_sweep_stays_typed_and_untorn() {
+    let benchmark = Benchmark::Sort;
+    let config = chaos_config();
+    let dir = std::env::temp_dir().join(format!("cm_load_chaos_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let template = dir.join("template.cmstore");
+    let _ = std::fs::remove_file(&template);
+    let keys = prepare_store(&template, benchmark, &config).expect("warm template");
+
+    let sc = ServeConfig {
+        miner: config,
+        workers: 2,
+        max_batch: 8,
+        ..ServeConfig::default()
+    };
+    let workload = Workload {
+        clients: 3,
+        ops_per_client: 4,
+        mode: LoopMode::Closed,
+        seed: 11,
+        ..Workload::default()
+    };
+    let report = chaos_sweep(&template, &dir, benchmark, &sc, &workload, &keys, 0..64)
+        .expect("sweep harness");
+
+    assert_eq!(report.outcomes.len(), 64);
+    assert_eq!(report.handler_panics(), 0, "caught panics: {report:?}");
+    assert_eq!(report.torn_stores(), 0, "torn stores: {report:?}");
+    // The schedules really fire (not every seed's fault ops are
+    // reached, but across 64 seeds plenty must be).
+    assert!(
+        report.total_faults() >= 8,
+        "fault injection barely engaged: {} faults",
+        report.total_faults()
+    );
+    for o in &report.outcomes {
+        // Either the store opened and every request got an answer, or
+        // the open itself failed with a typed error.
+        assert!(
+            o.ops == 12 || (o.ops == 0 && o.typed_errors >= 1),
+            "seed {}: {} ops, {} typed errors",
+            o.seed,
+            o.ops,
+            o.typed_errors
+        );
+        assert!(
+            o.reopen_ok || o.reopen_typed_error,
+            "seed {}: torn store",
+            o.seed
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,194 @@
+//! Concurrency correctness: many client threads hammering one shared
+//! store must observe results bit-identical to a single-threaded
+//! oracle, and identical concurrent analyses must collapse into one
+//! computation.
+
+use cm_load::prepare_store;
+use cm_serve::{Request, Response, ServeConfig, Server};
+use cm_sim::Benchmark;
+use cm_store::Store;
+use counterminer::{CounterMiner, MinerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Small enough for debug-mode CI, big enough to exercise the full
+/// pipeline (cleaning, SGBRT, pruning, interactions).
+fn micro_config() -> MinerConfig {
+    let mut config = MinerConfig {
+        events_to_measure: Some(12),
+        runs_per_benchmark: 1,
+        interaction_top_k: 3,
+        ..MinerConfig::default()
+    };
+    config.importance.sgbrt.n_trees = 20;
+    config.importance.sgbrt.tree.max_depth = 3;
+    config.importance.prune_step = 3;
+    config.importance.min_events = 6;
+    config
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cm_load_it_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("it.cmstore");
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn concurrent_mixed_load_matches_the_serial_oracle() {
+    let benchmark = Benchmark::Sort;
+    let config = micro_config();
+    let path = temp_store("oracle");
+    let keys = prepare_store(&path, benchmark, &config).expect("warm store");
+    assert!(!keys.is_empty());
+
+    // The serial oracle: one thread, its own store handle and miner.
+    let oracle_store = Store::open(&path).expect("oracle open");
+    let miner = CounterMiner::new(config);
+    let oracle = miner
+        .analyze_snapshot(benchmark, &oracle_store)
+        .expect("oracle analyze")
+        .expect("warm snapshot");
+    let oracle_ranking = oracle.eir.ranking.clone();
+    let oracle_series: Vec<Arc<Vec<f64>>> =
+        oracle_store.read_series_batch(&keys).expect("oracle reads");
+
+    for &clients in &[2usize, 4, 8, 16, 32] {
+        let sc = ServeConfig {
+            miner: config,
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(sc);
+        server.add_store("main", &path).expect("register");
+        let handle = server.start();
+        std::thread::scope(|s| {
+            for t in 0..clients {
+                let client = handle.client();
+                let keys = &keys;
+                let oracle_ranking = &oracle_ranking;
+                let oracle_series = &oracle_series;
+                s.spawn(move || {
+                    // Two series reads, spread across the key space.
+                    for j in 0..2usize {
+                        let i = (t * 7 + j * 3) % keys.len();
+                        match client
+                            .call(Request::Query {
+                                store: "main".into(),
+                                key: keys[i].clone(),
+                            })
+                            .expect("query")
+                        {
+                            Response::Series(series) => {
+                                assert_eq!(series.len(), oracle_series[i].len());
+                                for (a, b) in series.iter().zip(oracle_series[i].iter()) {
+                                    assert_eq!(
+                                        a.to_bits(),
+                                        b.to_bits(),
+                                        "{clients} clients: series {i} diverged"
+                                    );
+                                }
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                    // Then an analysis — full or top-k, alternating.
+                    if t % 2 == 0 {
+                        match client
+                            .call(Request::Analyze {
+                                store: "main".into(),
+                                benchmark,
+                            })
+                            .expect("analyze")
+                        {
+                            Response::Analysis(a) => {
+                                assert_eq!(a.ranking.len(), oracle_ranking.len());
+                                for ((ae, av), (oe, ov)) in
+                                    a.ranking.iter().zip(oracle_ranking.iter())
+                                {
+                                    assert_eq!(ae, oe, "{clients} clients: ranking order diverged");
+                                    assert_eq!(
+                                        av.to_bits(),
+                                        ov.to_bits(),
+                                        "{clients} clients: importance diverged"
+                                    );
+                                }
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    } else {
+                        match client
+                            .call(Request::Ranked {
+                                store: "main".into(),
+                                benchmark,
+                                top_k: 3,
+                            })
+                            .expect("ranked")
+                        {
+                            Response::Ranked(top) => {
+                                assert_eq!(top.len(), oracle_ranking.len().min(3));
+                                for ((ae, av), (oe, ov)) in top.iter().zip(oracle_ranking.iter()) {
+                                    assert_eq!(ae, oe);
+                                    assert_eq!(av.to_bits(), ov.to_bits());
+                                }
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = handle.shutdown();
+        assert_eq!(stats.errors, 0, "{clients} clients: request errors");
+        assert_eq!(stats.requests, (clients * 3) as u64);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn identical_analyzes_deduplicate_into_one_computation() {
+    let benchmark = Benchmark::Sort;
+    let config = micro_config();
+    let path = temp_store("dedup");
+    prepare_store(&path, benchmark, &config).expect("warm store");
+
+    let sc = ServeConfig {
+        miner: config,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(sc);
+    server.add_store("main", &path).expect("register");
+    let client = server.client();
+    // All eight identical requests are enqueued before the scheduler
+    // starts, so they form one batch and must collapse into a single
+    // computation fanned out to every waiter.
+    let pending: Vec<_> = (0..8)
+        .map(|_| {
+            client.submit(Request::Analyze {
+                store: "main".into(),
+                benchmark,
+            })
+        })
+        .collect();
+    let handle = server.start();
+    let mut first: Option<Arc<cm_serve::RankedAnalysis>> = None;
+    for p in pending {
+        match p.wait().expect("analyze") {
+            Response::Analysis(a) => match &first {
+                Some(f) => assert!(
+                    Arc::ptr_eq(f, &a),
+                    "deduplicated waiters received different allocations"
+                ),
+                None => first = Some(a),
+            },
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.batch_flushes, 1);
+    assert_eq!(stats.dedup_hits, 7);
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,83 @@
+//! Dedup observability: with metrics on, the scheduler's counters,
+//! the per-shard cache gauges, and the request span tree all surface
+//! in the cm-obs registry. Lives in its own test binary because it
+//! flips the process-global observability mode.
+
+use cm_load::prepare_store;
+use cm_serve::{Request, Response, ServeConfig, Server};
+use cm_sim::Benchmark;
+use counterminer::MinerConfig;
+
+#[test]
+fn dedup_hits_surface_in_the_obs_registry() {
+    let benchmark = Benchmark::Sort;
+    let mut config = MinerConfig {
+        events_to_measure: Some(10),
+        runs_per_benchmark: 1,
+        interaction_top_k: 2,
+        ..MinerConfig::default()
+    };
+    config.importance.sgbrt.n_trees = 10;
+    config.importance.sgbrt.tree.max_depth = 2;
+    config.importance.prune_step = 2;
+    config.importance.min_events = 4;
+
+    let dir = std::env::temp_dir().join(format!("cm_load_obs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("obs.cmstore");
+    let _ = std::fs::remove_file(&path);
+    prepare_store(&path, benchmark, &config).expect("warm store");
+
+    cm_obs::set_mode(cm_obs::Mode::Summary);
+    let _ = cm_obs::Registry::global().drain(); // start from a clean slate
+
+    let sc = ServeConfig {
+        miner: config,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(sc);
+    server.add_store("main", &path).expect("register");
+    let client = server.client();
+    let pending: Vec<_> = (0..6)
+        .map(|_| {
+            client.submit(Request::Analyze {
+                store: "main".into(),
+                benchmark,
+            })
+        })
+        .collect();
+    let handle = server.start();
+    for p in pending {
+        assert!(matches!(p.wait().expect("analyze"), Response::Analysis(_)));
+    }
+    handle.publish_gauges();
+    let stats = handle.shutdown();
+    cm_obs::set_mode(cm_obs::Mode::Off);
+    let snap = cm_obs::Registry::global().drain();
+
+    assert_eq!(stats.dedup_hits, 5);
+    assert_eq!(snap.counters.get("serve.requests"), Some(&6));
+    assert_eq!(snap.counters.get("serve.dedup.hits"), Some(&5));
+    // Batch-formation counters are timing-dependent by nature, so the
+    // determinism rule must exempt them — and only them.
+    let deterministic = snap.deterministic_counters();
+    assert!(deterministic.contains_key("serve.requests"));
+    assert!(!deterministic.contains_key("serve.dedup.hits"));
+    // The background gauge publisher ran at least once.
+    assert!(
+        snap.gauges
+            .keys()
+            .any(|k| k.starts_with("serve.cache.shard.")),
+        "no cache shard gauges in {:?}",
+        snap.gauges.keys()
+    );
+    // Request spans survived the client-to-worker thread hop.
+    let spans = snap.span_counts();
+    assert!(
+        spans.keys().any(|k| k.contains("serve.request")),
+        "no serve.request span in {:?}",
+        spans.keys()
+    );
+    let _ = std::fs::remove_file(&path);
+}

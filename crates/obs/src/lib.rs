@@ -34,10 +34,13 @@
 //! Count-valued data (counters, histogram counts, series points, span
 //! *counts*) must be **bit-identical at any thread count**; only
 //! durations (span times and `*_ns` counters) and explicitly
-//! scheduling-scoped metrics (`par.sched.*`) may vary. Counter sums
-//! commute, so any instrumentation that adds per-item counts from
-//! parallel workers satisfies this automatically. The rule is enforced
-//! end-to-end by the `obs_determinism` integration test and exposed via
+//! scheduling-scoped metrics (`par.sched.*`, and the serving layer's
+//! batch-formation counters `serve.batch.*` / `serve.dedup.*`, which
+//! depend on how many requests happen to be queued when the scheduler
+//! drains) may vary. Counter sums commute, so any instrumentation that
+//! adds per-item counts from parallel workers satisfies this
+//! automatically. The rule is enforced end-to-end by the
+//! `obs_determinism` integration test and exposed via
 //! [`Snapshot::deterministic_counters`].
 //!
 //! # Counter namespaces
@@ -54,6 +57,7 @@
 //! | `store.` | the persistent columnar store | `store.commits`, `store.chunks_written`, `store.bytes_written`, `store.recovered_partial`, `store.cache.hits`, `store.cache.misses`, `store.cache.evictions` |
 //! | `store.decode.` | the store's chunk read path | `store.decode.chunks` (chunks checksummed + decoded), `store.decode.bytes` (payload bytes decoded), `store.decode.reads` (positioned file reads issued; batched reads coalesce many chunks per read) |
 //! | `par.sched.` | thread-pool scheduling (non-deterministic by design) | `par.sched.steals` |
+//! | `serve.` | the concurrent analysis service (`cm-serve`) | `serve.requests`, `serve.errors` (workload-deterministic); `serve.batch.flushes`, `serve.batch.coalesced`, `serve.dedup.hits` (batch formation — scheduling-scoped like `par.sched.*`) |
 //! | `chaos.` | the fault-injection harness (`cm-chaos`) | `chaos.faults.injected`, `chaos.faults.short_read`, `chaos.faults.fail_write`, `chaos.faults.short_write`, `chaos.faults.fail_sync`, `chaos.faults.bit_flip` |
 //!
 //! New instrumentation should join an existing namespace or add one
@@ -88,7 +92,7 @@ pub use registry::{
     counter_add, gauge_set, histogram_record, label_set, series_push, Registry, Snapshot, SpanStat,
 };
 pub use report::{render_json, render_summary};
-pub use span::{span_enter, SpanGuard};
+pub use span::{span_enter, span_enter_detached, span_enter_under, SpanGuard, SpanHandle};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;

@@ -158,7 +158,11 @@ pub struct Store {
     chunks: BTreeMap<SeriesKey, ChunkState>,
     runs: BTreeMap<RunId, f64>,
     meta: BTreeMap<String, String>,
-    cache: BlockCache,
+    /// Decoded-chunk cache — private by default, shareable across store
+    /// handles (and store files) via [`Store::open_with_cache`].
+    cache: Arc<BlockCache>,
+    /// This store's identity inside a shared cache; derived from `path`.
+    salt: u64,
     file_bytes: u64,
 }
 
@@ -201,6 +205,42 @@ impl Store {
         cache: CacheConfig,
         vfs: Arc<dyn Vfs>,
     ) -> Result<Self, StoreError> {
+        Self::open_shared(path, Arc::new(BlockCache::new(cache)), vfs)
+    }
+
+    /// Opens a store whose decoded chunks live in `cache`, a
+    /// [`BlockCache`] that may be shared with other store handles (of
+    /// this file or of others). Entries are keyed by a per-path salt, so
+    /// stores sharing one cache never collide, and committing one store
+    /// only invalidates its own entries. Two handles opened on the same
+    /// path share hits; the same file reached through different path
+    /// spellings salts differently (an efficiency caveat, not a
+    /// correctness one).
+    ///
+    /// This is the serving-layer entry point: N concurrent readers stop
+    /// duplicating cached blocks the moment they share one `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open`].
+    pub fn open_with_cache(
+        path: impl AsRef<Path>,
+        cache: Arc<BlockCache>,
+    ) -> Result<Self, StoreError> {
+        Self::open_shared(path, cache, Arc::new(RealFs))
+    }
+
+    /// Like [`Store::open_with_cache`], but with every filesystem
+    /// operation routed through `vfs` (see [`Store::open_with_vfs`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::open`].
+    pub fn open_shared(
+        path: impl AsRef<Path>,
+        cache: Arc<BlockCache>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         let _span = cm_obs::span!("store.open");
 
@@ -212,6 +252,7 @@ impl Store {
             cm_obs::counter_add("store.recovered_partial", 1);
         }
 
+        let salt = crate::cache::path_salt(&path);
         let mut store = Store {
             path,
             vfs,
@@ -219,7 +260,8 @@ impl Store {
             chunks: BTreeMap::new(),
             runs: BTreeMap::new(),
             meta: BTreeMap::new(),
-            cache: BlockCache::new(cache),
+            cache,
+            salt,
             file_bytes: 0,
         };
         if store.vfs.exists(&store.path) {
@@ -512,7 +554,7 @@ impl Store {
                     })
                 }
                 Some(ChunkState::Staged(values)) => out[i] = Some(values.clone()),
-                Some(ChunkState::OnDisk(chunk)) => match self.cache.get(chunk.offset) {
+                Some(ChunkState::OnDisk(chunk)) => match self.cache.get(self.salt, chunk.offset) {
                     Some(values) => out[i] = Some(values),
                     None => match miss_index.get(&chunk.offset) {
                         Some(&m) => misses[m].1.push(i),
@@ -606,7 +648,7 @@ impl Store {
                 // eviction sequence matches sequential reads, and count
                 // per chunk so even an error-truncated batch leaves the
                 // counters exactly where the sequential loop would.
-                self.cache.insert(chunk.offset, values.clone());
+                self.cache.insert(self.salt, chunk.offset, values.clone());
                 cm_obs::counter_add("store.decode.chunks", 1);
                 cm_obs::counter_add("store.decode.bytes", chunk.len);
                 for &slot in slots {
@@ -667,7 +709,7 @@ impl Store {
     }
 
     fn read_chunk(&self, chunk: &ChunkRef) -> Result<Arc<Vec<f64>>, StoreError> {
-        if let Some(values) = self.cache.get(chunk.offset) {
+        if let Some(values) = self.cache.get(self.salt, chunk.offset) {
             return Ok(values);
         }
         let name = self.file_name();
@@ -690,7 +732,7 @@ impl Store {
         );
         cm_obs::counter_add("store.decode.chunks", 1);
         cm_obs::counter_add("store.decode.bytes", chunk.len);
-        self.cache.insert(chunk.offset, values.clone());
+        self.cache.insert(self.salt, chunk.offset, values.clone());
         Ok(values)
     }
 
@@ -858,10 +900,11 @@ impl Store {
         cm_obs::counter_add("store.bytes_written", total_bytes);
 
         // Swap in the new file: all offsets changed, so committed chunk
-        // refs are rebuilt and the cache is invalidated.
+        // refs are rebuilt and this store's cache entries are
+        // invalidated (other stores sharing the cache keep theirs).
         self.file = Some(self.vfs.open(&self.path)?);
         self.file_bytes = total_bytes;
-        self.cache.clear();
+        self.cache.clear_salt(self.salt);
         for ((key, _, _, _), chunk) in payloads.into_iter().zip(refs) {
             self.chunks.insert(key, ChunkState::OnDisk(chunk));
         }

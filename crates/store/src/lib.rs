@@ -78,7 +78,7 @@ mod persist;
 mod query;
 mod vfs;
 
-pub use cache::{CacheConfig, CacheStats};
+pub use cache::{BlockCache, CacheConfig, CacheStats};
 pub use codec::Encoding;
 pub use columnar::{RunId, SeriesKey, Store, StoreInfo};
 pub use database::{Database, ProgramSummary, RunKey};

@@ -191,7 +191,7 @@ fn truncated_store_is_a_typed_error_not_a_silent_recollect() {
     let path = temp_store("trunc");
 
     let mut store = Store::open(&path).unwrap();
-    let mut miner = CounterMiner::new(tiny_config());
+    let miner = CounterMiner::new(tiny_config());
     miner.ingest(Benchmark::Join, &mut store).unwrap();
     drop(store);
 
