@@ -25,7 +25,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option keys that take no value (boolean flags).
-const BOOLEAN_FLAGS: &[&str] = &["quick", "help", "ocoe", "json"];
+const BOOLEAN_FLAGS: &[&str] = &["quick", "help", "ocoe", "json", "follow"];
 
 impl Args {
     /// Parses raw arguments (without the program name).

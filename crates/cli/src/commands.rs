@@ -64,6 +64,11 @@ COMMANDS:
   ingest <benchmark> --store FILE   collect and clean a benchmark into
         [--runs N] [--events N]     the columnar store without modeling
         [--seed S]                  (a later analyze --store resumes)
+        [--follow] [--chunk N]      with --follow, stream the rows in N
+                                    at a time instead: each chunk is an
+                                    atomic append and cleaning advances
+                                    incrementally; an interrupted follow
+                                    resumes from the committed rows
   query <FILE> [--program NAME]     list the programs of a columnar
         [--run N] [--event ABBR]    store, or summarize one stored series
   store-info <FILE> [--json]        columnar store facts: format version,
@@ -76,6 +81,11 @@ COMMANDS:
         [--workers N]               identical analyze requests that
                                     coalesce into one computation (the
                                     stats line shows the dedup hits)
+  watch <benchmark> --store FILE    subscribe to the benchmark's ranking
+        [--top K] [--chunk N]       on the analysis server while its
+                                    rows stream in; prints a line only
+                                    when the top-K order or the MAPM
+                                    materially changes
   load --store FILE                 drive the concurrent serving layer
         --benchmark B               with a seeded mixed workload, once
         [--clients N] [--ops N]     with batching/dedup on and once off,
@@ -109,6 +119,9 @@ GLOBAL OPTIONS:
 ENVIRONMENT:
   CM_STORE_CACHE                    columnar-store block-cache capacity
                                     (e.g. 64M, 1G; 0 disables caching)
+  CM_STREAM_BLOCK                   streaming clean block size in rows
+                                    (default 64); changing it changes
+                                    the stream's config fingerprint
 ";
 
 fn benchmark_by_name(name: &str) -> Result<Benchmark, ArgError> {
@@ -504,12 +517,15 @@ pub fn analyze(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `counterminer ingest <benchmark> --store FILE [...]`
+/// `counterminer ingest <benchmark> --store FILE [--follow] [...]`
 pub fn ingest(args: &Args) -> CmdResult {
     let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
     let path = args
         .get("store")
         .ok_or_else(|| ArgError("--store FILE is required".into()))?;
+    if args.flag("follow") {
+        return ingest_follow(args, benchmark, path);
+    }
     let miner = CounterMiner::new(miner_config(args)?);
     let mut store = Store::open(Path::new(path))?;
     let summary = miner.ingest(benchmark, &mut store)?;
@@ -525,6 +541,59 @@ pub fn ingest(args: &Args) -> CmdResult {
             summary.runs, summary.events, summary.outliers_replaced, summary.missing_filled
         );
     }
+    Ok(())
+}
+
+/// `counterminer ingest <benchmark> --store FILE --follow [--chunk N]`
+///
+/// Streaming ingest: rows arrive in chunks, each chunk appended and
+/// committed atomically, with cleaning advancing incrementally (sealed
+/// blocks are cleaned exactly once). A killed and restarted follow
+/// resumes from the committed row count — re-running the command after
+/// an interruption continues where the store left off.
+fn ingest_follow(args: &Args, benchmark: Benchmark, path: &str) -> CmdResult {
+    let chunk: usize = args.get_num("chunk", 32)?;
+    if chunk == 0 {
+        return Err(ArgError("--chunk must be at least 1".into()).into());
+    }
+    let config = cm_stream::StreamConfig::from_env(miner_config(args)?);
+    let block = config.block;
+    let mut store = Store::open(Path::new(path))?;
+    let mut session = cm_stream::StreamSession::open(&mut store, benchmark, config)?;
+    if session.total_rows() > 0 {
+        println!(
+            "{benchmark}: resuming at row {} of {} ({} sealed)",
+            session.total_rows(),
+            session.source_rows(),
+            session.sealed_rows()
+        );
+    }
+    let mut appends = 0usize;
+    loop {
+        let report = session.append(&mut store, chunk)?;
+        if report.appended_rows > 0 {
+            appends += 1;
+            println!(
+                "  +{:<4} rows -> {:>4}/{} total, {:>4} sealed, {:>3} recleaned",
+                report.appended_rows,
+                report.total_rows,
+                session.source_rows(),
+                report.sealed_rows,
+                report.recleaned_rows
+            );
+        }
+        if report.exhausted {
+            break;
+        }
+    }
+    println!(
+        "{benchmark}: {} append(s) of up to {chunk} row(s), block size {block}; \
+         {} outliers replaced, {} missing values filled -> {path}",
+        appends,
+        session.outliers_replaced(),
+        session.missing_filled()
+    );
+    println!("(a later `analyze --store {path}` or `watch` picks this up)");
     Ok(())
 }
 
@@ -698,6 +767,85 @@ pub fn serve(args: &Args) -> CmdResult {
         stats.requests, stats.errors, stats.batch_flushes, stats.batch_coalesced, stats.dedup_hits
     );
     Ok(())
+}
+
+/// `counterminer watch <benchmark> --store FILE [--top K] [--chunk N]`
+///
+/// Live-subscription demo: starts the in-process analysis server on the
+/// store, subscribes to the benchmark's ranking, then streams the
+/// benchmark's rows in through `StreamAppend` requests. The client is
+/// notified only when the answer *materially* changes — the top-K order
+/// shifts or the MAPM moves — so most appends print nothing.
+pub fn watch(args: &Args) -> CmdResult {
+    let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
+    let path = args
+        .get("store")
+        .ok_or_else(|| ArgError("--store FILE is required".into()))?;
+    let top_k: usize = args.get_num("top", 5)?;
+    let chunk: usize = args.get_num("chunk", 32)?;
+    if chunk == 0 {
+        return Err(ArgError("--chunk must be at least 1".into()).into());
+    }
+    let config = ServeConfig {
+        miner: miner_config(args)?,
+        workers: args.get_num("workers", 0)?,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::new(config);
+    server.add_store("main", Path::new(path))?;
+    let client = server.client();
+    let handle = server.start();
+    let catalog = EventCatalog::haswell();
+
+    let result = (|| -> CmdResult {
+        let mut sub = client.subscribe("main", benchmark, top_k)?;
+        let mut appends = 0usize;
+        let mut notified = 0usize;
+        loop {
+            let response = client
+                .submit(Request::StreamAppend {
+                    store: "main".into(),
+                    benchmark,
+                    rows: chunk,
+                })
+                .wait()?;
+            let report = match response {
+                Response::Appended(report) => report,
+                other => return Err(format!("unexpected response: {other:?}").into()),
+            };
+            if report.appended_rows > 0 {
+                appends += 1;
+            }
+            for note in sub.poll()? {
+                notified += 1;
+                let events: Vec<&str> = note
+                    .summary
+                    .top_events()
+                    .iter()
+                    .map(|&e| catalog.info(e).abbrev())
+                    .collect();
+                println!(
+                    "#{:<3} row {:>4}  {:<12}  top [{}]  MAPM {} events, {:.1}% error",
+                    note.seq,
+                    note.sealed_rows,
+                    format!("{:?}", note.reason),
+                    events.join(" "),
+                    note.summary.mapm_events.len(),
+                    note.summary.best_error * 100.0
+                );
+            }
+            if report.exhausted {
+                break;
+            }
+        }
+        println!(
+            "{benchmark}: {appends} append(s) of up to {chunk} row(s), {notified} \
+             notification(s) — silent appends left the ranking unchanged"
+        );
+        Ok(())
+    })();
+    handle.shutdown();
+    result
 }
 
 fn print_load_run(name: &str, m: &RunMetrics) {
@@ -1021,6 +1169,28 @@ mod tests {
         assert!(ingest(&parse(&["ingest", "sort"])).is_err());
         // ingest of an unknown benchmark.
         assert!(ingest(&parse(&["ingest", "nope", "--store", "/tmp/x.cmstore"])).is_err());
+        // watch without --store, then with a zero chunk.
+        assert!(watch(&parse(&["watch", "sort"])).is_err());
+        assert!(watch(&parse(&[
+            "watch",
+            "sort",
+            "--store",
+            "/tmp/x.cmstore",
+            "--chunk",
+            "0",
+        ]))
+        .is_err());
+        // follow-mode ingest with a zero chunk (rejected before I/O).
+        assert!(ingest(&parse(&[
+            "ingest",
+            "sort",
+            "--store",
+            "/tmp/x.cmstore",
+            "--follow",
+            "--chunk",
+            "0",
+        ]))
+        .is_err());
         // query without a store file.
         assert!(query(&parse(&["query"])).is_err());
         // query with --program but no --event.
@@ -1075,12 +1245,19 @@ mod tests {
             "query",
             "store-info",
             "serve",
+            "watch",
             "load",
             "spark",
             "colocate",
         ] {
             assert!(USAGE.contains(cmd), "usage missing {cmd}");
         }
+        assert!(USAGE.contains("--follow"), "usage missing --follow");
+        assert!(USAGE.contains("--chunk"), "usage missing --chunk");
+        assert!(
+            USAGE.contains("CM_STREAM_BLOCK"),
+            "usage missing CM_STREAM_BLOCK"
+        );
         assert!(USAGE.contains("--json"), "usage missing --json");
         assert!(USAGE.contains("--clients"), "usage missing --clients");
         assert!(

@@ -58,6 +58,7 @@ fn main() {
         "query" => commands::query(&parsed),
         "store-info" => commands::store_info(&parsed),
         "serve" => commands::serve(&parsed),
+        "watch" => commands::watch(&parsed),
         "load" => commands::load(&parsed),
         "spark" => commands::spark(&parsed),
         "colocate" => commands::colocate(&parsed),

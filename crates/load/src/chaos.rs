@@ -5,9 +5,10 @@
 
 use crate::workload::{OpMix, Workload};
 use cm_chaos::{ChaosRng, FaultFs};
-use cm_serve::{ServeConfig, Server};
+use cm_serve::{Request, ServeConfig, Server};
 use cm_sim::Benchmark;
 use cm_store::{SeriesKey, Store, Vfs};
+use cm_stream::{StreamConfig, StreamError, StreamSession};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -32,6 +33,11 @@ pub struct ChaosOutcome {
     /// When `reopen_ok` is false: the reopen/read failure was a typed
     /// store error (detected corruption — acceptable), not silence.
     pub reopen_typed_error: bool,
+    /// Subscription notifications that violated ordering — a sequence
+    /// number that did not increase, or a sealed-row count that went
+    /// backwards. Must stay zero: a notification describing an older
+    /// analysis than one already delivered is *stale*.
+    pub stale_notifications: u64,
 }
 
 /// Aggregate over a [`chaos_sweep`].
@@ -69,6 +75,12 @@ impl ChaosReport {
             .iter()
             .filter(|o| !o.reopen_ok && !o.reopen_typed_error)
             .count() as u64
+    }
+
+    /// Total out-of-order subscription notifications across seeds —
+    /// any nonzero value is a bug.
+    pub fn stale_notifications(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.stale_notifications).sum()
     }
 }
 
@@ -126,6 +138,7 @@ fn run_one_seed(
         handler_panics: 0,
         reopen_ok: false,
         reopen_typed_error: false,
+        stale_notifications: 0,
     };
 
     let mut server = Server::new(config.clone());
@@ -141,6 +154,7 @@ fn run_one_seed(
                     analyze: 4,
                     ranked: 1,
                     info: 1,
+                    stream_append: 0,
                 }
             } else {
                 workload.mix
@@ -214,6 +228,182 @@ fn run_one_seed(
     outcome
 }
 
+/// Runs the *streaming* workload — appends interleaved with
+/// subscription polls — against a fault-injected server once per seed,
+/// each seed on a private store. Seeds where `seed % 8 == 0` start
+/// from an empty store (the cold stream-open path under faults); the
+/// rest resume from a template stream warmed with `template_rows`
+/// appended rows.
+///
+/// Per seed the harness verifies, beyond [`chaos_sweep`]'s contract:
+///
+/// * notifications arrive in order (strictly increasing sequence
+///   numbers, non-decreasing sealed-row counts) — violations count as
+///   [`ChaosOutcome::stale_notifications`];
+/// * after faults are disarmed, the committed store must load, every
+///   committed series must decode, *and* a fresh
+///   [`StreamSession`] must resume it — metadata and series row counts
+///   consistent. A session that reports inconsistency over a store
+///   that loaded cleanly is a torn append (neither `reopen_ok` nor
+///   `reopen_typed_error`).
+///
+/// # Errors
+///
+/// Only harness I/O errors (building the template, cleaning scratch).
+pub fn stream_chaos_sweep(
+    scratch_dir: &Path,
+    benchmark: Benchmark,
+    config: &ServeConfig,
+    template_rows: usize,
+    appends_per_seed: usize,
+    seeds: std::ops::Range<u64>,
+) -> std::io::Result<ChaosReport> {
+    std::fs::create_dir_all(scratch_dir)?;
+    let stream_config = StreamConfig::from_env(config.miner);
+
+    // Warm the template stream on the real filesystem.
+    let template = scratch_dir.join("stream_template.cmstore");
+    let _ = std::fs::remove_file(&template);
+    {
+        let mut store = Store::open(&template).map_err(harness_err)?;
+        let mut session = StreamSession::open(&mut store, benchmark, stream_config.clone())
+            .map_err(harness_err)?;
+        session
+            .append(&mut store, template_rows)
+            .map_err(harness_err)?;
+    }
+
+    let mut report = ChaosReport::default();
+    for seed in seeds {
+        let path = scratch_dir.join(format!("stream_chaos_{seed}.cmstore"));
+        let _ = std::fs::remove_file(&path);
+        let cold = seed % 8 == 0;
+        if !cold {
+            std::fs::copy(&template, &path)?;
+        }
+        let outcome = run_one_stream_seed(
+            &path,
+            benchmark,
+            config,
+            &stream_config,
+            appends_per_seed,
+            seed,
+        );
+        let _ = std::fs::remove_file(&path);
+        report.outcomes.push(outcome);
+    }
+    let _ = std::fs::remove_file(&template);
+    Ok(report)
+}
+
+fn harness_err(e: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+fn run_one_stream_seed(
+    path: &Path,
+    benchmark: Benchmark,
+    config: &ServeConfig,
+    stream_config: &StreamConfig,
+    appends: usize,
+    seed: u64,
+) -> ChaosOutcome {
+    let fs = Arc::new(FaultFs::new(seed));
+    let mut outcome = ChaosOutcome {
+        seed,
+        faults_injected: 0,
+        ops: 0,
+        typed_errors: 0,
+        handler_panics: 0,
+        reopen_ok: false,
+        reopen_typed_error: false,
+        stale_notifications: 0,
+    };
+
+    let mut server = Server::new(config.clone());
+    let vfs: Arc<dyn Vfs> = fs.clone();
+    match server.add_store_with_vfs("main", path, vfs) {
+        Ok(()) => {
+            let handle = server.start();
+            let client = handle.client();
+            let mut sub = client.subscribe("main", benchmark, 3).ok();
+            let mut rng = ChaosRng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+            let (mut last_seq, mut last_sealed) = (0u64, 0usize);
+            for i in 0..appends {
+                let rows = 1 + rng.below(24) as usize;
+                outcome.ops += 1;
+                if let Err(e) = client.call(Request::StreamAppend {
+                    store: "main".into(),
+                    benchmark,
+                    rows,
+                }) {
+                    outcome.typed_errors += 1;
+                    if e.to_string().contains("panic") {
+                        outcome.handler_panics += 1;
+                    }
+                }
+                // Drain the subscription every few appends.
+                if i % 3 != 2 {
+                    continue;
+                }
+                let Some(sub) = sub.as_mut() else { continue };
+                outcome.ops += 1;
+                match sub.poll() {
+                    Ok(notes) => {
+                        for note in notes {
+                            if note.seq <= last_seq || note.sealed_rows < last_sealed {
+                                outcome.stale_notifications += 1;
+                            }
+                            last_seq = note.seq;
+                            last_sealed = note.sealed_rows;
+                        }
+                    }
+                    Err(e) => {
+                        outcome.typed_errors += 1;
+                        if e.to_string().contains("panic") {
+                            outcome.handler_panics += 1;
+                        }
+                    }
+                }
+            }
+            handle.shutdown();
+        }
+        Err(e) => {
+            outcome.typed_errors = 1;
+            if e.to_string().contains("panic") {
+                outcome.handler_panics = 1;
+            }
+        }
+    }
+
+    outcome.faults_injected = fs.injected();
+    fs.disarm();
+    // The torn-append check, on the real filesystem: the committed
+    // image must load, decode, and *resume* as a stream — or fail with
+    // a typed store error. A clean load whose stream state is
+    // internally inconsistent is a torn append: neither flag is set.
+    match Store::open(path) {
+        Ok(mut store) => {
+            let committed: Vec<SeriesKey> = store.series_keys().cloned().collect();
+            match store.read_series_batch(&committed) {
+                Ok(_) => match StreamSession::open(&mut store, benchmark, stream_config.clone()) {
+                    Ok(_) => outcome.reopen_ok = true,
+                    Err(StreamError::Store(_)) | Err(StreamError::Core(_)) => {
+                        outcome.reopen_typed_error = true;
+                    }
+                    // ConfigMismatch cannot happen (same config) and
+                    // Inconsistent means metadata and series disagree:
+                    // both leave the outcome marked torn.
+                    Err(_) => {}
+                },
+                Err(_) => outcome.reopen_typed_error = true,
+            }
+        }
+        Err(_) => outcome.reopen_typed_error = true,
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +420,7 @@ mod tests {
                     handler_panics: 0,
                     reopen_ok: true,
                     reopen_typed_error: false,
+                    stale_notifications: 0,
                 },
                 ChaosOutcome {
                     seed: 1,
@@ -239,6 +430,7 @@ mod tests {
                     handler_panics: 0,
                     reopen_ok: false,
                     reopen_typed_error: true,
+                    stale_notifications: 2,
                 },
                 ChaosOutcome {
                     seed: 2,
@@ -248,6 +440,7 @@ mod tests {
                     handler_panics: 0,
                     reopen_ok: false,
                     reopen_typed_error: false,
+                    stale_notifications: 0,
                 },
             ],
         };
@@ -256,5 +449,6 @@ mod tests {
         assert_eq!(report.total_typed_errors(), 4);
         assert_eq!(report.handler_panics(), 0);
         assert_eq!(report.torn_stores(), 1);
+        assert_eq!(report.stale_notifications(), 2);
     }
 }

@@ -15,7 +15,7 @@
 //!   charged to the server (no coordinated omission).
 //!
 //! [`run_workload`] drives one workload against a running
-//! [`ServerHandle`] and returns [`RunMetrics`]: p50/p90/p99/p999/max
+//! [`cm_serve::ServerHandle`] and returns [`RunMetrics`]: p50/p90/p99/
 //! latency over the measurement window (warmup and cooldown samples
 //! excluded), throughput, error counts, and the server's scheduling
 //! counters. [`saturation_sweep`] repeats a workload across client
@@ -24,7 +24,12 @@
 //! `perf_gate` binary consumes (`ns_per_iter` ids). [`chaos_sweep`]
 //! replays a workload against servers whose store I/O is corrupted by
 //! [`cm_chaos::FaultFs`] across many seeds, verifying every failure is
-//! a typed error.
+//! a typed error, and [`stream_chaos_sweep`] does the same for the
+//! streaming workload — appends interleaved with subscription polls —
+//! additionally verifying that every store *resumes* as a stream after
+//! faults (no torn appends) and that notifications never arrive out of
+//! order. An [`OpMix`] with a nonzero `stream_append` weight folds
+//! live-ingest traffic into the ordinary measured workloads too.
 //!
 //! Everything is seeded ([`cm_chaos::ChaosRng`]): the request
 //! *schedule* is deterministic per seed, so `serve.requests` and
@@ -39,7 +44,7 @@ mod latency;
 mod report;
 mod workload;
 
-pub use chaos::{chaos_sweep, ChaosOutcome, ChaosReport};
+pub use chaos::{chaos_sweep, stream_chaos_sweep, ChaosOutcome, ChaosReport};
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use report::LoadReport;
 pub use workload::{

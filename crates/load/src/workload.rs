@@ -21,6 +21,10 @@ pub struct OpMix {
     pub ranked: u32,
     /// Store metadata probes ([`Request::Info`]).
     pub info: u32,
+    /// Streaming appends ([`Request::StreamAppend`]) of 1–16 rows each
+    /// — the live-ingest workload. Zero (the default) keeps the
+    /// classic read-mostly mix.
+    pub stream_append: u32,
 }
 
 impl Default for OpMix {
@@ -30,6 +34,7 @@ impl Default for OpMix {
             analyze: 2,
             ranked: 1,
             info: 1,
+            stream_append: 0,
         }
     }
 }
@@ -117,7 +122,7 @@ pub(crate) fn pick_op(
     benchmark: Benchmark,
     keys: &[SeriesKey],
 ) -> Request {
-    let total = (mix.query + mix.analyze + mix.ranked + mix.info).max(1) as u64;
+    let total = (mix.query + mix.analyze + mix.ranked + mix.info + mix.stream_append).max(1) as u64;
     let roll = rng.below(total) as u32;
     let store = store.to_string();
     if roll < mix.query || total == 1 {
@@ -135,8 +140,14 @@ pub(crate) fn pick_op(
             benchmark,
             top_k: 5,
         }
-    } else {
+    } else if roll < mix.query + mix.analyze + mix.ranked + mix.info {
         Request::Info { store }
+    } else {
+        Request::StreamAppend {
+            store,
+            benchmark,
+            rows: 1 + rng.below(16) as usize,
+        }
     }
 }
 
@@ -324,6 +335,7 @@ mod tests {
             analyze: 0,
             ranked: 0,
             info: 0,
+            stream_append: 0,
         }
     }
 

@@ -1,0 +1,73 @@
+//! Streaming appends under deterministic fault injection: across 64
+//! fault-schedule seeds, every failed append must surface as a typed
+//! error (never a caught panic), every store must reopen *and resume as
+//! a stream* cleanly or fail with a typed store error (never a torn
+//! append), and subscription notifications must never arrive out of
+//! order.
+
+use cm_load::stream_chaos_sweep;
+use cm_serve::ServeConfig;
+use cm_sim::Benchmark;
+use counterminer::MinerConfig;
+
+/// Tiny on purpose: the sweep runs 64 servers back to back, and
+/// watched appends retrain whenever a block seals.
+fn chaos_config() -> MinerConfig {
+    let mut config = MinerConfig {
+        events_to_measure: Some(8),
+        runs_per_benchmark: 1,
+        interaction_top_k: 2,
+        ..MinerConfig::default()
+    };
+    config.importance.sgbrt.n_trees = 8;
+    config.importance.sgbrt.tree.max_depth = 2;
+    config.importance.prune_step = 2;
+    config.importance.min_events = 4;
+    config
+}
+
+#[test]
+fn sixty_four_seed_append_fault_sweep_stays_typed_and_untorn() {
+    let benchmark = Benchmark::Sort;
+    let dir = std::env::temp_dir().join(format!("cm_load_stream_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let sc = ServeConfig {
+        miner: chaos_config(),
+        workers: 2,
+        max_batch: 8,
+        ..ServeConfig::default()
+    };
+    let report = stream_chaos_sweep(&dir, benchmark, &sc, 40, 6, 0..64).expect("sweep harness");
+
+    assert_eq!(report.outcomes.len(), 64);
+    assert_eq!(report.handler_panics(), 0, "caught panics: {report:?}");
+    assert_eq!(report.torn_stores(), 0, "torn appends: {report:?}");
+    assert_eq!(
+        report.stale_notifications(),
+        0,
+        "stale notifications: {report:?}"
+    );
+    assert!(
+        report.total_faults() >= 8,
+        "fault injection barely engaged: {} faults",
+        report.total_faults()
+    );
+    for o in &report.outcomes {
+        // Either the server came up and every operation got an answer,
+        // or store registration itself failed with a typed error.
+        assert!(
+            o.ops >= 6 || (o.ops == 0 && o.typed_errors >= 1),
+            "seed {}: {} ops, {} typed errors",
+            o.seed,
+            o.ops,
+            o.typed_errors
+        );
+        assert!(
+            o.reopen_ok || o.reopen_typed_error,
+            "seed {}: torn append",
+            o.seed
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -57,7 +57,8 @@
 //! | `store.` | the persistent columnar store | `store.commits`, `store.chunks_written`, `store.bytes_written`, `store.recovered_partial`, `store.cache.hits`, `store.cache.misses`, `store.cache.evictions` |
 //! | `store.decode.` | the store's chunk read path | `store.decode.chunks` (chunks checksummed + decoded), `store.decode.bytes` (payload bytes decoded), `store.decode.reads` (positioned file reads issued; batched reads coalesce many chunks per read) |
 //! | `par.sched.` | thread-pool scheduling (non-deterministic by design) | `par.sched.steals` |
-//! | `serve.` | the concurrent analysis service (`cm-serve`) | `serve.requests`, `serve.errors` (workload-deterministic); `serve.batch.flushes`, `serve.batch.coalesced`, `serve.dedup.hits` (batch formation — scheduling-scoped like `par.sched.*`) |
+//! | `serve.` | the concurrent analysis service (`cm-serve`) | `serve.requests`, `serve.errors`, `serve.subscriptions`, `serve.notifications` (workload-deterministic); `serve.batch.flushes`, `serve.batch.coalesced`, `serve.dedup.hits` (batch formation — scheduling-scoped like `par.sched.*`) |
+//! | `stream.` | streaming ingest & incremental analysis (`cm-stream`) | `stream.appends`, `stream.append_rows`, `stream.reclean_rows` (tail rows re-cleaned), `stream.warm_starts` (cached analysis reused), `stream.trains` (full retrains) — all workload-deterministic |
 //! | `chaos.` | the fault-injection harness (`cm-chaos`) | `chaos.faults.injected`, `chaos.faults.short_read`, `chaos.faults.fail_write`, `chaos.faults.short_write`, `chaos.faults.fail_sync`, `chaos.faults.bit_flip` |
 //!
 //! New instrumentation should join an existing namespace or add one

@@ -73,10 +73,16 @@
 mod proto;
 mod server;
 
-pub use proto::{RankedAnalysis, Request, Response, ServeError, Transport};
-pub use server::{Client, Pending, ServeConfig, ServeStats, Server, ServerHandle};
+pub use proto::{
+    Notification, NotifyReason, RankedAnalysis, Request, Response, ServeError, SubscriptionId,
+    Transport,
+};
+pub use server::{
+    Client, Pending, ServeConfig, ServeStats, Server, ServerHandle, SubscriptionHandle,
+};
 
 // Re-exported so service users can build configurations without naming
 // the pipeline crate directly.
 pub use cm_store::{CacheConfig, Store};
+pub use cm_stream::{AppendReport, RankSummary, StreamConfig};
 pub use counterminer::{CounterMiner, MinerConfig};

@@ -3,6 +3,7 @@
 use cm_events::EventId;
 use cm_sim::Benchmark;
 use cm_store::{SeriesKey, StoreInfo};
+use cm_stream::{AppendReport, RankSummary};
 use counterminer::{AnalysisReport, IngestSummary};
 use std::error::Error;
 use std::fmt;
@@ -56,6 +57,40 @@ pub enum Request {
         /// The benchmark to collect.
         benchmark: Benchmark,
     },
+    /// Append the next `rows` sampling intervals of a live stream to
+    /// the store (opening — or resuming — the server-side
+    /// [`StreamSession`](cm_stream::StreamSession) on first touch).
+    /// Appends to one `(store, benchmark)` stream serialize; the commit
+    /// is atomic, so a failed append leaves the previous committed
+    /// snapshot intact and answers with a typed error.
+    StreamAppend {
+        /// Registered store name.
+        store: String,
+        /// The benchmark being streamed.
+        benchmark: Benchmark,
+        /// How many source rows to append.
+        rows: usize,
+    },
+    /// Watch a stream: be notified when — and only when — the top-K
+    /// importance order or the MAPM materially changes
+    /// (see [`RankSummary::materially_differs`](cm_stream::RankSummary::materially_differs)).
+    Subscribe {
+        /// Registered store name.
+        store: String,
+        /// The benchmark stream to watch.
+        benchmark: Benchmark,
+        /// How many leading ranking entries the subscriber cares about.
+        top_k: usize,
+    },
+    /// Drain a subscription's queued notifications with sequence
+    /// numbers greater than `after`. Never blocks server-side: an empty
+    /// answer means "nothing new yet".
+    Poll {
+        /// The subscription to drain.
+        id: SubscriptionId,
+        /// Only notifications with `seq > after` are returned.
+        after: u64,
+    },
 }
 
 /// A successful answer to a [`Request`] (same order of variants).
@@ -75,6 +110,42 @@ pub enum Response {
     Ranked(Vec<(EventId, f64)>),
     /// Answer to [`Request::Ingest`].
     Ingested(IngestSummary),
+    /// Answer to [`Request::StreamAppend`]: what the append did.
+    Appended(AppendReport),
+    /// Answer to [`Request::Subscribe`]: the id to poll with.
+    Subscribed(SubscriptionId),
+    /// Answer to [`Request::Poll`]: the notifications drained, oldest
+    /// first (empty when nothing material happened since `after`).
+    Notify(Vec<Notification>),
+}
+
+/// Identifies one subscription on one server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub u64);
+
+/// Why a subscriber was notified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyReason {
+    /// The first analysis this subscription observed.
+    Initial,
+    /// The order of the watched top-K ranking entries changed.
+    TopKChanged,
+    /// The MAPM changed: a different event set, or a material shift in
+    /// its held-out error.
+    MapmChanged,
+}
+
+/// One ranking-change notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// Monotonic per-subscription sequence number, starting at 1.
+    pub seq: u64,
+    /// What changed.
+    pub reason: NotifyReason,
+    /// Rows the triggering analysis was trained on.
+    pub sealed_rows: usize,
+    /// The new ranking summary.
+    pub summary: RankSummary,
 }
 
 /// The serving-layer view of an [`AnalysisReport`]: the rankings and
@@ -131,6 +202,12 @@ pub enum ServeError {
     /// The analysis pipeline failed (or a handler panicked); the
     /// message is the rendered [`CmError`](counterminer::CmError).
     Pipeline(String),
+    /// The streaming layer refused: configuration mismatch against the
+    /// persisted stream, or inconsistent stream state; the message is
+    /// the rendered [`StreamError`](cm_stream::StreamError).
+    Stream(String),
+    /// A [`Request::Poll`] named a subscription that does not exist.
+    UnknownSubscription(SubscriptionId),
     /// The server shut down before answering.
     Closed,
 }
@@ -141,6 +218,10 @@ impl fmt::Display for ServeError {
             ServeError::UnknownStore(name) => write!(f, "unknown store {name:?}"),
             ServeError::Store(msg) => write!(f, "store failure: {msg}"),
             ServeError::Pipeline(msg) => write!(f, "pipeline failure: {msg}"),
+            ServeError::Stream(msg) => write!(f, "stream failure: {msg}"),
+            ServeError::UnknownSubscription(SubscriptionId(id)) => {
+                write!(f, "unknown subscription #{id}")
+            }
             ServeError::Closed => write!(f, "server closed"),
         }
     }

@@ -1,8 +1,13 @@
 //! The server: submission channel, batching scheduler, worker pool.
 
-use crate::proto::{RankedAnalysis, Request, Response, ServeError, Transport};
+use crate::proto::{
+    Notification, NotifyReason, RankedAnalysis, Request, Response, ServeError, SubscriptionId,
+    Transport,
+};
 use cm_obs::{span_enter_detached, span_enter_under, SpanGuard, SpanHandle};
+use cm_sim::Benchmark;
 use cm_store::{BlockCache, CacheConfig, CacheStats, SeriesKey, Store, StoreError, Vfs};
+use cm_stream::{RankSummary, StreamConfig, StreamError, StreamSession};
 use counterminer::{CmError, CounterMiner, MinerConfig};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -95,6 +100,26 @@ pub struct ServeStats {
     pub dedup_hits: u64,
 }
 
+/// One subscriber's change-detection state: comparisons run against the
+/// last summary it was *notified* with, so a slow drift still notifies
+/// once it accumulates past the tolerance.
+#[derive(Debug)]
+struct Subscription {
+    store: String,
+    benchmark: Benchmark,
+    top_k: usize,
+    last: Option<RankSummary>,
+    queue: Vec<Notification>,
+    next_seq: u64,
+}
+
+/// The subscription table; ids are never reused.
+#[derive(Debug, Default)]
+struct SubRegistry {
+    next_id: u64,
+    subs: HashMap<SubscriptionId, Subscription>,
+}
+
 /// State shared by the scheduler and every worker.
 #[derive(Debug)]
 struct Shared {
@@ -102,6 +127,13 @@ struct Shared {
     miner: CounterMiner,
     cache: Arc<BlockCache>,
     stats: StatsInner,
+    /// Configuration every server-side stream session opens with.
+    stream: StreamConfig,
+    /// Live stream sessions, one per `(store, benchmark)`. The mutex
+    /// serializes appends to a stream; a session that fails is dropped
+    /// so the next append reopens from the last committed snapshot.
+    streams: Mutex<HashMap<(String, Benchmark), StreamSession>>,
+    subs: Mutex<SubRegistry>,
 }
 
 impl Shared {
@@ -114,6 +146,13 @@ impl Shared {
 
 fn store_err(e: StoreError) -> ServeError {
     ServeError::Store(e.to_string())
+}
+
+fn stream_err(e: StreamError) -> ServeError {
+    match e {
+        StreamError::Store(s) => ServeError::Store(s.to_string()),
+        other => ServeError::Stream(other.to_string()),
+    }
 }
 
 fn cm_err(e: CmError) -> ServeError {
@@ -216,6 +255,9 @@ impl Server {
             miner: CounterMiner::new(config.miner),
             cache,
             stats: StatsInner::default(),
+            stream: StreamConfig::from_env(config.miner),
+            streams: Mutex::new(HashMap::new()),
+            subs: Mutex::new(SubRegistry::default()),
         });
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
@@ -359,6 +401,96 @@ impl Client {
     /// The request's [`ServeError`].
     pub fn call(&self, req: Request) -> Result<Response, ServeError> {
         self.submit(req).wait()
+    }
+
+    /// Subscribes to ranking changes of a benchmark stream and returns
+    /// a handle that polls for notifications (the transport is
+    /// request/response, so "push" is a poll the handle does for you).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownStore`] for an unregistered store, plus the
+    /// usual transport errors.
+    pub fn subscribe(
+        &self,
+        store: impl Into<String>,
+        benchmark: Benchmark,
+        top_k: usize,
+    ) -> Result<SubscriptionHandle, ServeError> {
+        match self.call(Request::Subscribe {
+            store: store.into(),
+            benchmark,
+            top_k,
+        })? {
+            Response::Subscribed(id) => Ok(SubscriptionHandle {
+                client: self.clone(),
+                id,
+                after: 0,
+            }),
+            other => Err(ServeError::Pipeline(format!(
+                "unexpected response to subscribe: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A live subscription: drains ranking-change notifications for one
+/// `(store, benchmark)` stream. Obtained from [`Client::subscribe`].
+///
+/// The handle tracks the last sequence number it returned, so each
+/// [`SubscriptionHandle::poll`] yields every notification exactly once.
+#[derive(Debug)]
+pub struct SubscriptionHandle {
+    client: Client,
+    id: SubscriptionId,
+    after: u64,
+}
+
+impl SubscriptionHandle {
+    /// The server-side subscription id.
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// Drains notifications queued since the last poll, oldest first.
+    /// Non-blocking on the server: an empty vec means "nothing new".
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSubscription`] if the id is gone, plus the
+    /// usual transport errors.
+    pub fn poll(&mut self) -> Result<Vec<Notification>, ServeError> {
+        match self.client.call(Request::Poll {
+            id: self.id,
+            after: self.after,
+        })? {
+            Response::Notify(list) => {
+                if let Some(last) = list.last() {
+                    self.after = last.seq;
+                }
+                Ok(list)
+            }
+            other => Err(ServeError::Pipeline(format!(
+                "unexpected response to poll: {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls until at least one notification arrives or `timeout`
+    /// elapses (returning the empty vec in that case).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SubscriptionHandle::poll`].
+    pub fn wait_next(&mut self, timeout: Duration) -> Result<Vec<Notification>, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let list = self.poll()?;
+            if !list.is_empty() || Instant::now() >= deadline {
+                return Ok(list);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }
 
@@ -519,7 +651,12 @@ impl Scheduler {
                         .or_default()
                         .push(env);
                 }
-                Request::Ping | Request::Info { .. } | Request::Ingest { .. } => {
+                Request::Ping
+                | Request::Info { .. }
+                | Request::Ingest { .. }
+                | Request::StreamAppend { .. }
+                | Request::Subscribe { .. }
+                | Request::Poll { .. } => {
                     singles.push(env);
                 }
             }
@@ -685,7 +822,119 @@ fn exec_single(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
                 .map(Response::Ingested)
                 .map_err(cm_err)
         }
+        Request::StreamAppend {
+            store,
+            benchmark,
+            rows,
+        } => exec_stream_append(shared, store, *benchmark, *rows),
+        Request::Subscribe {
+            store,
+            benchmark,
+            top_k,
+        } => {
+            shared.store(store)?; // fail fast on unknown stores
+            let mut registry = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
+            registry.next_id += 1;
+            let id = SubscriptionId(registry.next_id);
+            registry.subs.insert(
+                id,
+                Subscription {
+                    store: store.clone(),
+                    benchmark: *benchmark,
+                    top_k: *top_k,
+                    last: None,
+                    queue: Vec::new(),
+                    next_seq: 0,
+                },
+            );
+            cm_obs::counter_add("serve.subscriptions", 1);
+            Ok(Response::Subscribed(id))
+        }
+        Request::Poll { id, after } => {
+            let mut registry = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
+            let sub = registry
+                .subs
+                .get_mut(id)
+                .ok_or(ServeError::UnknownSubscription(*id))?;
+            // Everything at or below `after` is acknowledged: drop it.
+            sub.queue.retain(|n| n.seq > *after);
+            Ok(Response::Notify(sub.queue.clone()))
+        }
     }
+}
+
+/// Appends to the server-side stream session for `(store, benchmark)`,
+/// opening (or resuming) it on first touch, then notifies any
+/// subscribers whose watched summary materially changed.
+///
+/// The streams mutex serializes appends per server; the store's write
+/// lock covers staging and the atomic commit. A failed session is
+/// removed so the next append reopens from the last committed snapshot
+/// — the client sees a typed error, never a torn stream.
+fn exec_stream_append(
+    shared: &Shared,
+    store_name: &str,
+    benchmark: Benchmark,
+    rows: usize,
+) -> Result<Response, ServeError> {
+    let handle = shared.store(store_name)?;
+    let mut streams = shared.streams.lock().unwrap_or_else(|e| e.into_inner());
+    let key = (store_name.to_string(), benchmark);
+
+    let report = {
+        let mut guard = handle.write().unwrap_or_else(|e| e.into_inner());
+        if !streams.contains_key(&key) {
+            let session = StreamSession::open(&mut guard, benchmark, shared.stream.clone())
+                .map_err(stream_err)?;
+            streams.insert(key.clone(), session);
+        }
+        let session = streams.get_mut(&key).expect("session just ensured");
+        match session.append(&mut guard, rows) {
+            Ok(report) => report,
+            Err(e) => {
+                streams.remove(&key);
+                return Err(stream_err(e));
+            }
+        }
+    };
+
+    // Only pay for an analysis when someone is watching this stream
+    // (and even then, an append that sealed nothing warm-starts).
+    let session = streams.get_mut(&key).expect("session exists");
+    let mut registry = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
+    let watching = registry
+        .subs
+        .values()
+        .any(|s| s.store == key.0 && s.benchmark == benchmark);
+    if watching {
+        if let Some(analysis) = session.analysis().map_err(stream_err)? {
+            for sub in registry
+                .subs
+                .values_mut()
+                .filter(|s| s.store == key.0 && s.benchmark == benchmark)
+            {
+                let summary = analysis.summary(sub.top_k);
+                let reason = match &sub.last {
+                    None => Some(NotifyReason::Initial),
+                    Some(prev) if summary.order_changed(prev) => Some(NotifyReason::TopKChanged),
+                    Some(prev) if summary.mapm_changed(prev) => Some(NotifyReason::MapmChanged),
+                    Some(_) => None,
+                };
+                if let Some(reason) = reason {
+                    sub.next_seq += 1;
+                    sub.queue.push(Notification {
+                        seq: sub.next_seq,
+                        reason,
+                        sealed_rows: analysis.sealed_rows,
+                        summary: summary.clone(),
+                    });
+                    sub.last = Some(summary);
+                    cm_obs::counter_add("serve.notifications", 1);
+                }
+            }
+        }
+    }
+    Ok(Response::Appended(report))
 }
 
 /// The analysis hot path: try the warm, shared-read route first; on a
@@ -912,6 +1161,110 @@ mod tests {
         assert_eq!(stats.dedup_hits, 0);
         assert_eq!(stats.requests, 4);
         let _ = std::fs::remove_file(path);
+    }
+
+    fn stream_append(client: &Client, rows: usize) -> cm_stream::AppendReport {
+        match client
+            .call(Request::StreamAppend {
+                store: "main".into(),
+                benchmark: Benchmark::Sort,
+                rows,
+            })
+            .expect("stream append")
+        {
+            Response::Appended(report) => report,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscription_notifies_when_and_only_when_the_answer_changes() {
+        let (handle, path) = tiny_server("subscribe");
+        let client = handle.client();
+        let mut sub = client
+            .subscribe("main", Benchmark::Sort, 3)
+            .expect("subscribe");
+
+        // A mirror session over a private store predicts, deterministically,
+        // what the server's stream computes — the test oracle for
+        // "notified exactly when the summary materially changes".
+        let mirror_path = temp_store_path("subscribe_mirror");
+        let _ = std::fs::remove_file(&mirror_path);
+        let mut mirror_store = Store::open(&mirror_path).expect("mirror store");
+        let mut mirror = cm_stream::StreamSession::open(
+            &mut mirror_store,
+            Benchmark::Sort,
+            cm_stream::StreamConfig::from_env(tiny_config()),
+        )
+        .expect("mirror session");
+
+        // Nothing sealed yet: no analysis exists, so no notification.
+        let report = stream_append(&client, 40);
+        assert_eq!(report.sealed_rows, 0);
+        mirror.append(&mut mirror_store, 40).expect("mirror");
+        assert!(sub.poll().expect("poll").is_empty());
+
+        // First sealed block: the first analysis always notifies.
+        let report = stream_append(&client, 30);
+        assert_eq!(report.sealed_rows, 64);
+        mirror.append(&mut mirror_store, 30).expect("mirror");
+        let first = sub.wait_next(Duration::from_secs(30)).expect("wait");
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].reason, NotifyReason::Initial);
+        assert_eq!(first[0].sealed_rows, 64);
+        let mut last_notified = mirror
+            .analysis()
+            .expect("mirror analysis")
+            .expect("sealed")
+            .summary(3);
+        assert_eq!(first[0].summary, last_notified);
+
+        // No new sealed block: warm start, identical answer, silence.
+        let report = stream_append(&client, 10);
+        assert_eq!(report.sealed_rows, 64);
+        mirror.append(&mut mirror_store, 10).expect("mirror");
+        assert!(sub.poll().expect("poll").is_empty());
+
+        // Seal several more blocks; the mirror predicts whether each
+        // step's summary materially differs from the last notified one.
+        for rows in [100, 150] {
+            let server_report = stream_append(&client, rows);
+            mirror.append(&mut mirror_store, rows).expect("mirror");
+            assert_eq!(server_report.total_rows, mirror.total_rows());
+            let summary = mirror
+                .analysis()
+                .expect("mirror analysis")
+                .expect("sealed")
+                .summary(3);
+            let notes = sub.poll().expect("poll");
+            if summary.materially_differs(&last_notified) {
+                assert_eq!(notes.len(), 1, "material change must notify");
+                assert_eq!(notes[0].summary, summary);
+                assert!(matches!(
+                    notes[0].reason,
+                    NotifyReason::TopKChanged | NotifyReason::MapmChanged
+                ));
+                last_notified = summary;
+            } else {
+                assert!(notes.is_empty(), "immaterial change must stay silent");
+            }
+        }
+
+        // Polling an unknown subscription is a typed error.
+        let err = client
+            .call(Request::Poll {
+                id: crate::proto::SubscriptionId(9999),
+                after: 0,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::UnknownSubscription(crate::proto::SubscriptionId(9999))
+        );
+
+        handle.shutdown();
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(mirror_path);
     }
 
     #[test]

@@ -88,13 +88,44 @@ impl RunId {
     }
 }
 
-/// Where a chunk's bytes currently live.
+/// Longest committed chunk chain a series may keep. A commit that would
+/// exceed it *compacts* the series — decodes the chain plus the staged
+/// tail and re-encodes everything as one chunk — so streamed appends
+/// cannot grow a series into an unbounded list of tiny chunks. Reads
+/// therefore touch at most this many chunks per series.
+pub const MAX_CHUNK_CHAIN: usize = 8;
+
+/// Where one series' values currently live: a chain of committed chunks
+/// (in append order) plus, possibly, a staged tail that the next
+/// [`Store::commit`] makes durable. Either part may be empty, but never
+/// both.
 #[derive(Debug, Clone)]
-enum ChunkState {
-    /// Committed: payload at this location in the store file.
-    OnDisk(ChunkRef),
-    /// Staged by [`Store::append_series`], not yet durable.
-    Staged(Arc<Vec<f64>>),
+struct SeriesState {
+    /// Committed chunks, concatenated in order on read.
+    disk: Vec<ChunkRef>,
+    /// Values staged by [`Store::append_series`] /
+    /// [`Store::extend_series`], not yet durable; logically follows
+    /// every committed chunk.
+    tail: Option<Arc<Vec<f64>>>,
+}
+
+impl SeriesState {
+    fn staged(values: Vec<f64>) -> Self {
+        SeriesState {
+            disk: Vec::new(),
+            tail: Some(Arc::new(values)),
+        }
+    }
+
+    fn has_tail(&self) -> bool {
+        self.tail.is_some()
+    }
+
+    /// Total values across committed chunks and the staged tail.
+    fn len(&self) -> u64 {
+        self.disk.iter().map(|c| c.count).sum::<u64>()
+            + self.tail.as_ref().map_or(0, |t| t.len() as u64)
+    }
 }
 
 /// Aggregate facts about a store, as shown by `counterminer store-info`.
@@ -110,6 +141,9 @@ pub struct StoreInfo {
     pub runs: usize,
     /// Number of metadata entries.
     pub meta_entries: usize,
+    /// Series whose committed values span more than one chunk (streamed
+    /// appends that have not been compacted yet).
+    pub chained_series: usize,
     /// Total sample values across all series.
     pub total_values: u64,
     /// Committed file size in bytes (0 before the first commit).
@@ -155,7 +189,7 @@ pub struct Store {
     vfs: Arc<dyn Vfs>,
     /// Open handle to the committed file, if one exists.
     file: Option<Box<dyn VfsFile>>,
-    chunks: BTreeMap<SeriesKey, ChunkState>,
+    chunks: BTreeMap<SeriesKey, SeriesState>,
     runs: BTreeMap<RunId, f64>,
     meta: BTreeMap<String, String>,
     /// Decoded-chunk cache — private by default, shareable across store
@@ -164,6 +198,9 @@ pub struct Store {
     /// This store's identity inside a shared cache; derived from `path`.
     salt: u64,
     file_bytes: u64,
+    /// Whether run or metadata tables changed since the last commit —
+    /// mutations [`Store::has_staged`] cannot see from series tails.
+    tables_dirty: bool,
 }
 
 impl Store {
@@ -263,6 +300,7 @@ impl Store {
             cache,
             salt,
             file_bytes: 0,
+            tables_dirty: false,
         };
         if store.vfs.exists(&store.path) {
             store.load()?;
@@ -313,16 +351,39 @@ impl Store {
             let run_index = r.u32("series run index")?;
             let mode = mode_from_tag(r.u8("series mode")?, &name)?;
             let event = EventId::new(r.u64("series event")? as usize);
-            let encoding =
-                Encoding::from_tag(r.u8("series encoding")?).map_err(|e| e.with_file(&name))?;
-            let count = r.u64("series value count")?;
-            let offset = r.u64("series chunk offset")?;
-            let len = r.u64("series chunk length")?;
-            let crc = r.u32("series chunk crc")?;
-            if offset.saturating_add(len) > sb.index_offset {
+            // Version 1 stored exactly one chunk per series, inline;
+            // version 2 prefixes each series with its chain length.
+            let n_chunks = if sb.version >= 2 {
+                r.u32("series chunk count")? as usize
+            } else {
+                1
+            };
+            if n_chunks == 0 {
                 return Err(StoreError::Corrupt {
                     file: name,
-                    what: format!("chunk at {offset}+{len} overlaps the index"),
+                    what: "series with an empty chunk chain".to_string(),
+                });
+            }
+            let mut disk = Vec::with_capacity(n_chunks);
+            for _ in 0..n_chunks {
+                let encoding =
+                    Encoding::from_tag(r.u8("series encoding")?).map_err(|e| e.with_file(&name))?;
+                let count = r.u64("series value count")?;
+                let offset = r.u64("series chunk offset")?;
+                let len = r.u64("series chunk length")?;
+                let crc = r.u32("series chunk crc")?;
+                if offset.saturating_add(len) > sb.index_offset {
+                    return Err(StoreError::Corrupt {
+                        file: name,
+                        what: format!("chunk at {offset}+{len} overlaps the index"),
+                    });
+                }
+                disk.push(ChunkRef {
+                    encoding,
+                    count,
+                    offset,
+                    len,
+                    crc,
                 });
             }
             self.chunks.insert(
@@ -332,13 +393,7 @@ impl Store {
                     mode,
                     event,
                 },
-                ChunkState::OnDisk(ChunkRef {
-                    encoding,
-                    count,
-                    offset,
-                    len,
-                    crc,
-                }),
+                SeriesState { disk, tail: None },
             );
         }
 
@@ -409,8 +464,65 @@ impl Store {
             });
         }
         self.chunks
-            .insert(key, ChunkState::Staged(Arc::new(values.to_vec())));
+            .insert(key, SeriesState::staged(values.to_vec()));
         Ok(())
+    }
+
+    /// Appends `values` to the end of a series, staging them for the
+    /// next [`Store::commit`]. Unlike [`Store::append_series`] the key
+    /// may already exist — committed chunks are left untouched and the
+    /// new values become (or extend) the series' staged tail, which the
+    /// commit writes as a fresh chunk appended to the series' chain.
+    /// An unknown key is created, so `extend_series` on a fresh store
+    /// behaves exactly like `append_series`.
+    ///
+    /// This is the streaming-ingest entry point (`cm-stream` calls it
+    /// for every arriving chunk): repeated extend/commit cycles grow a
+    /// bounded chunk chain that [`Store::commit`] compacts once it
+    /// exceeds [`MAX_CHUNK_CHAIN`] links.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for parity with
+    /// [`Store::append_series`] and future invariants.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cm_events::{EventId, SampleMode};
+    /// use cm_store::{SeriesKey, Store};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("cm_extend_doc_{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir)?;
+    /// let path = dir.join("extend.cmstore");
+    /// # let _ = std::fs::remove_file(&path);
+    /// let mut store = Store::open(&path)?;
+    /// let key = SeriesKey::new("wc", 0, SampleMode::Mlpx, EventId::new(1));
+    /// store.extend_series(key.clone(), &[1.0, 2.0])?;
+    /// store.commit()?;
+    /// store.extend_series(key.clone(), &[3.0])?; // append after the committed chunk
+    /// assert_eq!(*store.read_series(&key)?, vec![1.0, 2.0, 3.0]);
+    /// store.commit()?;
+    /// assert_eq!(*Store::open(&path)?.read_series(&key)?, vec![1.0, 2.0, 3.0]);
+    /// # std::fs::remove_file(&path)?;
+    /// # Ok::<(), cm_store::StoreError>(())
+    /// ```
+    pub fn extend_series(&mut self, key: SeriesKey, values: &[f64]) -> Result<(), StoreError> {
+        let state = self
+            .chunks
+            .entry(key)
+            .or_insert_with(|| SeriesState::staged(Vec::new()));
+        match &mut state.tail {
+            Some(tail) => Arc::make_mut(tail).extend_from_slice(values),
+            None => state.tail = Some(Arc::new(values.to_vec())),
+        }
+        Ok(())
+    }
+
+    /// Total number of values in a series (committed + staged), without
+    /// decoding anything. `None` for an unknown key.
+    pub fn series_len(&self, key: &SeriesKey) -> Option<u64> {
+        self.chunks.get(key).map(SeriesState::len)
     }
 
     /// Stages every series of a [`RunRecord`] plus its run-table entry.
@@ -431,12 +543,14 @@ impl Store {
             RunId::new(record.program(), record.run_index(), record.mode()),
             record.exec_time_secs(),
         );
+        self.tables_dirty = true;
         Ok(())
     }
 
     /// Sets one store-level metadata entry (persisted on commit).
     pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
         self.meta.insert(key.into(), value.into());
+        self.tables_dirty = true;
     }
 
     /// Reads one store-level metadata entry.
@@ -481,14 +595,31 @@ impl Store {
     /// with its payload, and [`StoreError::Corrupt`] /
     /// [`StoreError::Io`] for undecodable or unreadable chunks.
     pub fn read_series(&self, key: &SeriesKey) -> Result<Arc<Vec<f64>>, StoreError> {
-        match self.chunks.get(key) {
-            None => Err(StoreError::SeriesNotFound {
+        let state = self
+            .chunks
+            .get(key)
+            .ok_or_else(|| StoreError::SeriesNotFound {
                 program: key.program.clone(),
                 run_index: key.run_index,
                 event: key.event.index(),
-            }),
-            Some(ChunkState::Staged(values)) => Ok(values.clone()),
-            Some(ChunkState::OnDisk(chunk)) => self.read_chunk(chunk),
+            })?;
+        match (state.disk.as_slice(), &state.tail) {
+            // Pure staged series: serve the tail directly.
+            ([], Some(tail)) => Ok(tail.clone()),
+            ([], None) => Ok(Arc::new(Vec::new())),
+            // Single committed chunk, no tail: the zero-copy fast path.
+            ([chunk], None) => self.read_chunk(chunk),
+            // Chunk chain (and/or tail): concatenate in append order.
+            (chunks, tail) => {
+                let mut out = Vec::with_capacity(state.len() as usize);
+                for chunk in chunks {
+                    out.extend_from_slice(&self.read_chunk(chunk)?);
+                }
+                if let Some(tail) = tail {
+                    out.extend_from_slice(tail);
+                }
+                Ok(Arc::new(out))
+            }
         }
     }
 
@@ -537,36 +668,50 @@ impl Store {
     /// ```
     pub fn read_series_batch(&self, keys: &[SeriesKey]) -> Result<Vec<Arc<Vec<f64>>>, StoreError> {
         let _span = cm_obs::span!("store.decode.batch");
-        let mut out: Vec<Option<Arc<Vec<f64>>>> = vec![None; keys.len()];
+        // Each slot assembles from an ordered list of parts: a part is
+        // either already in memory (staged tail, cache hit) or a missed
+        // chunk awaiting decode.
+        enum Part {
+            Mem(Arc<Vec<f64>>),
+            Miss(usize),
+        }
+        let mut parts: Vec<Vec<Part>> = Vec::with_capacity(keys.len());
         // One entry per *distinct* missed chunk, in first-occurrence
-        // (key) order, with every output slot it must fill — duplicate
-        // keys decode once, exactly as the second of two sequential
-        // reads would hit the cache the first one populated.
-        let mut misses: Vec<(ChunkRef, Vec<usize>)> = Vec::new();
+        // (key) order — duplicate keys (and shared chunks) decode once,
+        // exactly as the second of two sequential reads would hit the
+        // cache the first one populated.
+        let mut misses: Vec<ChunkRef> = Vec::new();
         let mut miss_index: BTreeMap<u64, usize> = BTreeMap::new();
-        for (i, key) in keys.iter().enumerate() {
-            match self.chunks.get(key) {
-                None => {
-                    return Err(StoreError::SeriesNotFound {
-                        program: key.program.clone(),
-                        run_index: key.run_index,
-                        event: key.event.index(),
-                    })
+        for key in keys {
+            let state = self
+                .chunks
+                .get(key)
+                .ok_or_else(|| StoreError::SeriesNotFound {
+                    program: key.program.clone(),
+                    run_index: key.run_index,
+                    event: key.event.index(),
+                })?;
+            let mut slot_parts =
+                Vec::with_capacity(state.disk.len() + usize::from(state.has_tail()));
+            for chunk in &state.disk {
+                match self.cache.get(self.salt, chunk.offset) {
+                    Some(values) => slot_parts.push(Part::Mem(values)),
+                    None => {
+                        let m = *miss_index.entry(chunk.offset).or_insert_with(|| {
+                            misses.push(*chunk);
+                            misses.len() - 1
+                        });
+                        slot_parts.push(Part::Miss(m));
+                    }
                 }
-                Some(ChunkState::Staged(values)) => out[i] = Some(values.clone()),
-                Some(ChunkState::OnDisk(chunk)) => match self.cache.get(self.salt, chunk.offset) {
-                    Some(values) => out[i] = Some(values),
-                    None => match miss_index.get(&chunk.offset) {
-                        Some(&m) => misses[m].1.push(i),
-                        None => {
-                            miss_index.insert(chunk.offset, misses.len());
-                            misses.push((*chunk, vec![i]));
-                        }
-                    },
-                },
             }
+            if let Some(tail) = &state.tail {
+                slot_parts.push(Part::Mem(tail.clone()));
+            }
+            parts.push(slot_parts);
         }
 
+        let mut decoded_arcs: Vec<Arc<Vec<f64>>> = Vec::with_capacity(misses.len());
         if !misses.is_empty() {
             let name = self.file_name();
             let file = self.file.as_ref().ok_or_else(|| StoreError::Corrupt {
@@ -593,12 +738,12 @@ impl Store {
             // fresh pages per read.
             const MAX_REGION_BYTES: u64 = 1 << 16;
             let mut order: Vec<usize> = (0..misses.len()).collect();
-            order.sort_by_key(|&k| misses[k].0.offset);
+            order.sort_by_key(|&k| misses[k].offset);
             let mut regions: Vec<Region> = Vec::new();
             // Region each miss decodes from, indexed like `misses`.
             let mut region_of = vec![0usize; misses.len()];
             for &k in &order {
-                let c = &misses[k].0;
+                let c = &misses[k];
                 let end = c.offset + c.len;
                 match regions.last_mut() {
                     Some(r)
@@ -628,7 +773,7 @@ impl Store {
             // out is order-preserving, and errors are surfaced in miss
             // order, so failures match the sequential loop exactly.
             let decoded = cm_par::map_range(misses.len(), |k| -> Result<Vec<f64>, StoreError> {
-                let chunk = &misses[k].0;
+                let chunk = &misses[k];
                 let region = &regions[region_of[k]];
                 let rel = (chunk.offset - region.start) as usize;
                 let payload = &buffers[region_of[k]][rel..rel + chunk.len as usize];
@@ -642,7 +787,7 @@ impl Store {
                     .map_err(|e| e.with_file(&name))
             });
 
-            for ((chunk, slots), values) in misses.iter().zip(decoded) {
+            for (chunk, values) in misses.iter().zip(decoded) {
                 let values = Arc::new(values?);
                 // Insert in first-occurrence key order so the cache's
                 // eviction sequence matches sequential reads, and count
@@ -651,15 +796,35 @@ impl Store {
                 self.cache.insert(self.salt, chunk.offset, values.clone());
                 cm_obs::counter_add("store.decode.chunks", 1);
                 cm_obs::counter_add("store.decode.bytes", chunk.len);
-                for &slot in slots {
-                    out[slot] = Some(values.clone());
-                }
+                decoded_arcs.push(values);
             }
         }
 
-        Ok(out
+        // Assemble each slot from its parts. Single-part slots (the
+        // common case: one committed chunk, or a pure staged series)
+        // stay zero-copy; chained series concatenate.
+        Ok(parts
             .into_iter()
-            .map(|v| v.expect("every slot filled or errored"))
+            .map(|slot_parts| {
+                let resolve = |p: &Part| -> Arc<Vec<f64>> {
+                    match p {
+                        Part::Mem(v) => v.clone(),
+                        Part::Miss(m) => decoded_arcs[*m].clone(),
+                    }
+                };
+                match slot_parts.as_slice() {
+                    [] => Arc::new(Vec::new()),
+                    [one] => resolve(one),
+                    many => {
+                        let total: usize = many.iter().map(|p| resolve(p).len()).sum();
+                        let mut joined = Vec::with_capacity(total);
+                        for p in many {
+                            joined.extend_from_slice(&resolve(p));
+                        }
+                        Arc::new(joined)
+                    }
+                }
+            })
             .collect())
     }
 
@@ -743,9 +908,7 @@ impl Store {
 
     /// Whether any staged writes await a [`Store::commit`].
     pub fn has_staged(&self) -> bool {
-        self.chunks
-            .values()
-            .any(|c| matches!(c, ChunkState::Staged(_)))
+        self.chunks.values().any(SeriesState::has_tail)
     }
 
     /// Block-cache counters for this store.
@@ -756,21 +919,22 @@ impl Store {
     /// Aggregate store facts (version, chunk counts, sizes).
     pub fn info(&self) -> StoreInfo {
         let mut staged = 0;
+        let mut chained_series = 0;
         let mut total_values = 0u64;
         let mut delta_chunks = 0;
         let mut raw_chunks = 0;
         for state in self.chunks.values() {
-            match state {
-                ChunkState::Staged(v) => {
-                    staged += 1;
-                    total_values += v.len() as u64;
-                }
-                ChunkState::OnDisk(c) => {
-                    total_values += c.count;
-                    match c.encoding {
-                        Encoding::DeltaVarint => delta_chunks += 1,
-                        Encoding::RawF64 => raw_chunks += 1,
-                    }
+            if state.has_tail() {
+                staged += 1;
+            }
+            if state.disk.len() > 1 {
+                chained_series += 1;
+            }
+            total_values += state.len();
+            for c in &state.disk {
+                match c.encoding {
+                    Encoding::DeltaVarint => delta_chunks += 1,
+                    Encoding::RawF64 => raw_chunks += 1,
                 }
             }
         }
@@ -780,6 +944,7 @@ impl Store {
             staged,
             runs: self.runs.len(),
             meta_entries: self.meta.len(),
+            chained_series,
             total_values,
             file_bytes: self.file_bytes,
             delta_chunks,
@@ -787,10 +952,35 @@ impl Store {
         }
     }
 
+    /// Reads and CRC-verifies one committed chunk's raw payload bytes
+    /// (no decode) — the byte-copy path commit uses to carry unchanged
+    /// chunks into the next file generation.
+    fn read_committed_payload(&self, chunk: &ChunkRef) -> Result<Vec<u8>, StoreError> {
+        let file = self.file.as_ref().ok_or_else(|| StoreError::Corrupt {
+            file: self.file_name(),
+            what: "committed chunk without a committed file".to_string(),
+        })?;
+        let mut payload = vec![0u8; chunk.len as usize];
+        file.read_exact_at(&mut payload, chunk.offset)?;
+        if codec::crc32(&payload) != chunk.crc {
+            return Err(StoreError::ChecksumMismatch {
+                file: self.file_name(),
+                what: format!("chunk at offset {} during commit", chunk.offset),
+            });
+        }
+        Ok(payload)
+    }
+
     /// Makes every staged write durable: builds the complete store file
     /// under a temporary name (committed chunks are byte-copied without
-    /// re-encoding, staged chunks are encoded), fsyncs it, and atomically
-    /// renames it over the store path.
+    /// re-encoding, staged tails are encoded as fresh chunks appended
+    /// to each series' chain), fsyncs it, and atomically renames it
+    /// over the store path.
+    ///
+    /// A series whose chain would exceed [`MAX_CHUNK_CHAIN`] links is
+    /// *compacted* instead: its committed chunks and staged tail are
+    /// decoded, concatenated, and re-encoded as a single chunk, so
+    /// streamed appends cannot degrade reads indefinitely.
     ///
     /// A no-op when nothing is staged and the file already exists.
     ///
@@ -799,67 +989,85 @@ impl Store {
     /// Returns [`StoreError::Io`] on filesystem failure; the previously
     /// committed state is preserved on any error.
     pub fn commit(&mut self) -> Result<(), StoreError> {
-        if !self.has_staged() && self.file.is_some() {
+        if !self.has_staged() && !self.tables_dirty && self.file.is_some() {
             return Ok(());
         }
         let _span = cm_obs::span!("store.commit");
 
-        // Encode or copy every chunk payload, in key order.
-        let mut payloads: Vec<(SeriesKey, Encoding, u64, Vec<u8>)> =
+        // An encoded chunk ready to hit disk: encoding, value count,
+        // payload bytes.
+        type EncodedChunk = (Encoding, u64, Vec<u8>);
+
+        // Build each series' new chunk chain, in key order.
+        let mut payloads: Vec<(SeriesKey, Vec<EncodedChunk>)> =
             Vec::with_capacity(self.chunks.len());
         let mut staged_chunks = 0u64;
+        let mut compactions = 0u64;
         for (key, state) in &self.chunks {
-            match state {
-                ChunkState::Staged(values) => {
-                    let (encoding, payload) = codec::encode_chunk(values);
-                    staged_chunks += 1;
-                    payloads.push((key.clone(), encoding, values.len() as u64, payload));
+            let chain_len = state.disk.len() + usize::from(state.has_tail());
+            let mut chain: Vec<EncodedChunk> = Vec::with_capacity(chain_len.min(MAX_CHUNK_CHAIN));
+            if chain_len > MAX_CHUNK_CHAIN {
+                // Compact: decode the whole chain plus the tail and
+                // re-encode the series as one chunk.
+                let mut values = Vec::with_capacity(state.len() as usize);
+                for chunk in &state.disk {
+                    values.extend_from_slice(&self.read_chunk(chunk)?);
                 }
-                ChunkState::OnDisk(chunk) => {
-                    let file = self.file.as_ref().ok_or_else(|| StoreError::Corrupt {
-                        file: self.file_name(),
-                        what: "committed chunk without a committed file".to_string(),
-                    })?;
-                    let mut payload = vec![0u8; chunk.len as usize];
-                    file.read_exact_at(&mut payload, chunk.offset)?;
-                    if codec::crc32(&payload) != chunk.crc {
-                        return Err(StoreError::ChecksumMismatch {
-                            file: self.file_name(),
-                            what: format!("chunk at offset {} during commit", chunk.offset),
-                        });
-                    }
-                    payloads.push((key.clone(), chunk.encoding, chunk.count, payload));
+                if let Some(tail) = &state.tail {
+                    values.extend_from_slice(tail);
+                }
+                let (encoding, payload) = codec::encode_chunk(&values);
+                staged_chunks += 1;
+                compactions += 1;
+                chain.push((encoding, values.len() as u64, payload));
+            } else {
+                for chunk in &state.disk {
+                    let payload = self.read_committed_payload(chunk)?;
+                    chain.push((chunk.encoding, chunk.count, payload));
+                }
+                if let Some(tail) = &state.tail {
+                    let (encoding, payload) = codec::encode_chunk(tail);
+                    staged_chunks += 1;
+                    chain.push((encoding, tail.len() as u64, payload));
                 }
             }
+            payloads.push((key.clone(), chain));
         }
 
         // Lay the file out: superblock, chunks, index.
-        let mut refs: Vec<ChunkRef> = Vec::with_capacity(payloads.len());
+        let mut refs: Vec<Vec<ChunkRef>> = Vec::with_capacity(payloads.len());
         let mut offset = SUPERBLOCK_LEN as u64;
-        for (_, encoding, count, payload) in &payloads {
-            refs.push(ChunkRef {
-                encoding: *encoding,
-                count: *count,
-                offset,
-                len: payload.len() as u64,
-                crc: codec::crc32(payload),
-            });
-            offset += payload.len() as u64;
+        for (_, chain) in &payloads {
+            let mut chain_refs = Vec::with_capacity(chain.len());
+            for (encoding, count, payload) in chain {
+                chain_refs.push(ChunkRef {
+                    encoding: *encoding,
+                    count: *count,
+                    offset,
+                    len: payload.len() as u64,
+                    crc: codec::crc32(payload),
+                });
+                offset += payload.len() as u64;
+            }
+            refs.push(chain_refs);
         }
         let index_offset = offset;
 
         let mut w = IndexWriter::new();
         w.u64(payloads.len() as u64);
-        for ((key, _, _, _), chunk) in payloads.iter().zip(&refs) {
+        for ((key, _), chain) in payloads.iter().zip(&refs) {
             w.str16(&key.program);
             w.u32(key.run_index);
             w.u8(mode_tag(key.mode));
             w.u64(key.event.index() as u64);
-            w.u8(chunk.encoding.tag());
-            w.u64(chunk.count);
-            w.u64(chunk.offset);
-            w.u64(chunk.len);
-            w.u32(chunk.crc);
+            w.u32(chain.len() as u32);
+            for chunk in chain {
+                w.u8(chunk.encoding.tag());
+                w.u64(chunk.count);
+                w.u64(chunk.offset);
+                w.u64(chunk.len);
+                w.u32(chunk.crc);
+            }
         }
         w.u64(self.runs.len() as u64);
         for (id, &secs) in &self.runs {
@@ -886,8 +1094,10 @@ impl Store {
         {
             let mut f = self.vfs.create(&tmp)?;
             f.write_all(&sb.encode())?;
-            for (_, _, _, payload) in &payloads {
-                f.write_all(payload)?;
+            for (_, chain) in &payloads {
+                for (_, _, payload) in chain {
+                    f.write_all(payload)?;
+                }
             }
             f.write_all(&index)?;
             f.sync_all()?;
@@ -898,6 +1108,9 @@ impl Store {
         cm_obs::counter_add("store.commits", 1);
         cm_obs::counter_add("store.chunks_written", staged_chunks);
         cm_obs::counter_add("store.bytes_written", total_bytes);
+        if compactions > 0 {
+            cm_obs::counter_add("store.compactions", compactions);
+        }
 
         // Swap in the new file: all offsets changed, so committed chunk
         // refs are rebuilt and this store's cache entries are
@@ -905,9 +1118,16 @@ impl Store {
         self.file = Some(self.vfs.open(&self.path)?);
         self.file_bytes = total_bytes;
         self.cache.clear_salt(self.salt);
-        for ((key, _, _, _), chunk) in payloads.into_iter().zip(refs) {
-            self.chunks.insert(key, ChunkState::OnDisk(chunk));
+        for ((key, _), chain) in payloads.into_iter().zip(refs) {
+            self.chunks.insert(
+                key,
+                SeriesState {
+                    disk: chain,
+                    tail: None,
+                },
+            );
         }
+        self.tables_dirty = false;
         Ok(())
     }
 }
@@ -1054,6 +1274,138 @@ mod tests {
         assert_eq!(info.delta_chunks, 1);
         assert_eq!(info.raw_chunks, 1);
         assert!(info.file_bytes > SUPERBLOCK_LEN as u64);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn extend_series_chains_chunks_across_commits() {
+        let path = temp_store("chain");
+        let mut store = Store::open(&path).unwrap();
+        store.extend_series(key("a", 0, 1), &[1.0, 2.0]).unwrap();
+        store.commit().unwrap();
+        store.extend_series(key("a", 0, 1), &[3.0]).unwrap();
+        // Staged tail is readable before the commit, after the chunk.
+        assert_eq!(
+            *store.read_series(&key("a", 0, 1)).unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+        assert_eq!(store.series_len(&key("a", 0, 1)), Some(3));
+        store.commit().unwrap();
+        assert_eq!(store.info().chained_series, 1);
+
+        // Reopen: the chain persists and reads concatenated, both via
+        // the single-key path and the batched path.
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(reopened.info().chained_series, 1);
+        assert_eq!(
+            *reopened.read_series(&key("a", 0, 1)).unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
+        let batch = reopened.read_series_batch(&[key("a", 0, 1)]).unwrap();
+        assert_eq!(*batch[0], vec![1.0, 2.0, 3.0]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn long_chains_are_compacted_on_commit() {
+        let path = temp_store("compact");
+        let mut store = Store::open(&path).unwrap();
+        let mut expect = Vec::new();
+        // One value per commit: chain grows 1, 2, ... and must compact
+        // once it would exceed MAX_CHUNK_CHAIN.
+        for i in 0..(MAX_CHUNK_CHAIN as u32 + 3) {
+            store
+                .extend_series(key("a", 0, 1), &[f64::from(i)])
+                .unwrap();
+            expect.push(f64::from(i));
+            store.commit().unwrap();
+            let state = store.chunks.get(&key("a", 0, 1)).unwrap();
+            assert!(
+                state.disk.len() <= MAX_CHUNK_CHAIN,
+                "chain length {} exceeds the cap",
+                state.disk.len()
+            );
+        }
+        assert_eq!(*store.read_series(&key("a", 0, 1)).unwrap(), expect);
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(*reopened.read_series(&key("a", 0, 1)).unwrap(), expect);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn extend_mixes_with_single_chunk_series_in_batches() {
+        let path = temp_store("mixed_batch");
+        let mut store = Store::open(&path).unwrap();
+        store.append_series(key("a", 0, 1), &[1.0, 2.0]).unwrap();
+        store.commit().unwrap();
+        store.extend_series(key("a", 0, 1), &[3.0]).unwrap();
+        store.append_series(key("a", 0, 2), &[9.0]).unwrap();
+        // Chained+staged, staged-only, and committed-only all in one
+        // batch, with a duplicate key.
+        let keys = [key("a", 0, 1), key("a", 0, 2), key("a", 0, 1)];
+        let got = store.read_series_batch(&keys).unwrap();
+        assert_eq!(*got[0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(*got[1], vec![9.0]);
+        assert_eq!(*got[2], vec![1.0, 2.0, 3.0]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_single_chunk_files_still_load() {
+        use crate::format::MAGIC;
+        // Hand-craft a version-1 store: superblock + one delta chunk +
+        // a v1 index (no chunk-count field).
+        let path = temp_store("v1");
+        let values = [4.0, 5.0, 6.0];
+        let (encoding, payload) = codec::encode_chunk(&values);
+        let offset = SUPERBLOCK_LEN as u64;
+
+        let mut w = IndexWriter::new();
+        w.u64(1); // one series
+        w.str16("legacy");
+        w.u32(0);
+        w.u8(mode_tag(SampleMode::Mlpx));
+        w.u64(7);
+        w.u8(encoding.tag());
+        w.u64(values.len() as u64);
+        w.u64(offset);
+        w.u64(payload.len() as u64);
+        w.u32(codec::crc32(&payload));
+        w.u64(0); // runs
+        w.u64(0); // meta
+        let index = w.finish();
+
+        let index_offset = offset + payload.len() as u64;
+        let mut file = Vec::new();
+        // Superblock::encode always stamps the current VERSION, so
+        // build the v1 header by hand: magic, version, reserved flags,
+        // offsets, crc.
+        let mut head = Vec::new();
+        head.extend_from_slice(&MAGIC);
+        head.extend_from_slice(&1u32.to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes());
+        head.extend_from_slice(&index_offset.to_le_bytes());
+        head.extend_from_slice(&(index.len() as u64).to_le_bytes());
+        let crc = codec::crc32(&head);
+        head.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(head.len(), SUPERBLOCK_LEN);
+        file.extend_from_slice(&head);
+        file.extend_from_slice(&payload);
+        file.extend_from_slice(&index);
+        fs::write(&path, &file).unwrap();
+
+        let store = Store::open(&path).unwrap();
+        let k = SeriesKey::new("legacy", 0, SampleMode::Mlpx, EventId::new(7));
+        assert_eq!(*store.read_series(&k).unwrap(), values.to_vec());
+
+        // Extending and committing rewrites the file at the current
+        // version with a two-link chain.
+        let mut store = store;
+        store.extend_series(k.clone(), &[7.0]).unwrap();
+        store.commit().unwrap();
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(reopened.info().version, VERSION);
+        assert_eq!(*reopened.read_series(&k).unwrap(), vec![4.0, 5.0, 6.0, 7.0]);
         fs::remove_file(&path).unwrap();
     }
 

@@ -32,9 +32,15 @@ use cm_events::SampleMode;
 /// File magic: "CounterMiner Columnar Store".
 pub(crate) const MAGIC: [u8; 4] = *b"CMCS";
 
-/// Current format version. Readers reject anything else (see
-/// `docs/STORAGE_FORMAT.md` for the compatibility rules).
-pub(crate) const VERSION: u32 = 1;
+/// Current format version — what [`Store::commit`](crate::Store::commit)
+/// writes. Version 2 added per-series *chunk chains* (the streaming
+/// append path); version-1 files (single chunk per series) remain
+/// readable. See `docs/STORAGE_FORMAT.md` for the version history and
+/// compatibility rules.
+pub(crate) const VERSION: u32 = 2;
+
+/// Format versions this reader understands.
+pub(crate) const SUPPORTED_VERSIONS: &[u32] = &[1, 2];
 
 /// Size of the fixed superblock in bytes.
 pub(crate) const SUPERBLOCK_LEN: usize = 32;
@@ -96,7 +102,7 @@ impl Superblock {
             });
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
+        if !SUPPORTED_VERSIONS.contains(&version) {
             return Err(StoreError::UnsupportedVersion {
                 file: file.to_string(),
                 found: version,

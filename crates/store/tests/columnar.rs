@@ -122,7 +122,7 @@ fn wrong_version_is_typed() {
             found, supported, ..
         }) => {
             assert_eq!(found, 7);
-            assert_eq!(supported, 1);
+            assert_eq!(supported, 2);
         }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }

@@ -1,0 +1,62 @@
+//! Streaming-layer errors.
+
+use counterminer::CmError;
+use std::fmt;
+
+/// Everything that can go wrong while streaming.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A pipeline stage (cleaning, modeling, ranking) failed.
+    Core(CmError),
+    /// The backing store failed.
+    Store(cm_store::StoreError),
+    /// The store already holds a stream for this benchmark recorded
+    /// under a different configuration; resuming would mix
+    /// incompatible data.
+    ConfigMismatch {
+        /// Configuration recorded in the store.
+        found: String,
+        /// Configuration this session was opened with.
+        expected: String,
+    },
+    /// The store's stream metadata and its series disagree — the
+    /// signature of an interrupted append by a writer that did not go
+    /// through the atomic-commit path.
+    Inconsistent(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Core(e) => write!(f, "stream pipeline error: {e}"),
+            StreamError::Store(e) => write!(f, "stream store error: {e}"),
+            StreamError::ConfigMismatch { found, expected } => write!(
+                f,
+                "stream config mismatch: store recorded `{found}`, session expects `{expected}`"
+            ),
+            StreamError::Inconsistent(what) => write!(f, "inconsistent stream state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Core(e) => Some(e),
+            StreamError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CmError> for StreamError {
+    fn from(e: CmError) -> Self {
+        StreamError::Core(e)
+    }
+}
+
+impl From<cm_store::StoreError> for StreamError {
+    fn from(e: cm_store::StoreError) -> Self {
+        StreamError::Store(e)
+    }
+}

@@ -1,0 +1,137 @@
+//! Compact ranking summaries and the "did the answer really change?"
+//! predicate the subscription layer is built on.
+
+use cm_events::EventId;
+use counterminer::AnalysisReport;
+
+/// Relative change in the MAPM's held-out error below which two
+/// analyses are considered the same answer (1 %). Importance values
+/// jitter slightly as rows accumulate; subscribers care about the
+/// *ordering* and about genuine model-quality shifts, not noise.
+pub const ERROR_TOLERANCE: f64 = 0.01;
+
+/// What a subscriber sees of one analysis: the top-K importance order,
+/// the MAPM's event set, and its held-out error.
+///
+/// # Examples
+///
+/// ```
+/// use cm_events::EventId;
+/// use cm_stream::RankSummary;
+///
+/// let a = RankSummary {
+///     top: vec![(EventId::new(3), 40.0), (EventId::new(1), 30.0)],
+///     mapm_events: vec![EventId::new(1), EventId::new(3)],
+///     best_error: 0.10,
+/// };
+/// // Same order, same MAPM, error within 1 %: not a material change.
+/// let mut b = a.clone();
+/// b.best_error = 0.1005;
+/// assert!(!b.materially_differs(&a));
+/// // Swapped top-2: material.
+/// b.top.swap(0, 1);
+/// assert!(b.materially_differs(&a));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSummary {
+    /// The top-K events with their importance percentages, descending.
+    pub top: Vec<(EventId, f64)>,
+    /// The events the most accurate performance model (MAPM) uses, in
+    /// column order.
+    pub mapm_events: Vec<EventId>,
+    /// Held-out error of the MAPM, as a fraction.
+    pub best_error: f64,
+}
+
+impl RankSummary {
+    /// Summarizes an analysis down to its top `k` events.
+    pub fn of(report: &AnalysisReport, k: usize) -> Self {
+        RankSummary {
+            top: report.eir.top(k).to_vec(),
+            mapm_events: report.eir.mapm_events.clone(),
+            best_error: report.eir.best_error(),
+        }
+    }
+
+    /// The top events alone, in rank order.
+    pub fn top_events(&self) -> Vec<EventId> {
+        self.top.iter().map(|&(e, _)| e).collect()
+    }
+
+    /// Whether the top-K *order* differs from `prev` (events or their
+    /// ranking positions, ignoring importance magnitudes).
+    pub fn order_changed(&self, prev: &Self) -> bool {
+        self.top_events() != prev.top_events()
+    }
+
+    /// Whether the MAPM differs from `prev`: a different event set, or
+    /// a held-out error shifted by more than [`ERROR_TOLERANCE`]
+    /// relative to the previous error.
+    pub fn mapm_changed(&self, prev: &Self) -> bool {
+        if self.mapm_events != prev.mapm_events {
+            return true;
+        }
+        let base = prev.best_error.abs().max(f64::EPSILON);
+        (self.best_error - prev.best_error).abs() / base > ERROR_TOLERANCE
+    }
+
+    /// The subscription predicate: notify only when the top-K order or
+    /// the MAPM materially changed.
+    pub fn materially_differs(&self, prev: &Self) -> bool {
+        self.order_changed(prev) || self.mapm_changed(prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> RankSummary {
+        RankSummary {
+            top: vec![(EventId::new(5), 50.0), (EventId::new(2), 25.0)],
+            mapm_events: vec![EventId::new(2), EventId::new(5), EventId::new(9)],
+            best_error: 0.2,
+        }
+    }
+
+    #[test]
+    fn identical_summaries_do_not_differ() {
+        let a = summary();
+        assert!(!a.materially_differs(&summary()));
+    }
+
+    #[test]
+    fn importance_jitter_without_reorder_is_immaterial() {
+        let a = summary();
+        let mut b = summary();
+        b.top[0].1 = 51.3;
+        b.best_error = 0.2001;
+        assert!(!b.materially_differs(&a));
+    }
+
+    #[test]
+    fn order_change_is_material() {
+        let a = summary();
+        let mut b = summary();
+        b.top.swap(0, 1);
+        assert!(b.order_changed(&a));
+        assert!(b.materially_differs(&a));
+    }
+
+    #[test]
+    fn mapm_event_set_change_is_material() {
+        let a = summary();
+        let mut b = summary();
+        b.mapm_events.pop();
+        assert!(b.mapm_changed(&a));
+        assert!(b.materially_differs(&a));
+    }
+
+    #[test]
+    fn large_error_shift_is_material() {
+        let a = summary();
+        let mut b = summary();
+        b.best_error = 0.25;
+        assert!(b.mapm_changed(&a));
+    }
+}

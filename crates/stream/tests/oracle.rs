@@ -1,0 +1,170 @@
+//! The streaming oracle: for *any* sequence of appends, at *any* thread
+//! count, the streamed cleaned series and the final ranking are
+//! bit-identical to a cold batch run over the same data.
+//!
+//! This is the correctness contract that makes incremental analysis
+//! trustworthy — a subscriber watching a live stream converges on
+//! exactly the answer a batch re-analysis would give.
+
+use cm_sim::Benchmark;
+use cm_store::Store;
+use cm_stream::{StreamConfig, StreamSession};
+use counterminer::MinerConfig;
+use std::path::PathBuf;
+
+fn tiny_config() -> MinerConfig {
+    let mut config = MinerConfig {
+        runs_per_benchmark: 1,
+        events_to_measure: Some(10),
+        interaction_top_k: 4,
+        ..MinerConfig::default()
+    };
+    config.importance.sgbrt.n_trees = 40;
+    config.importance.sgbrt.tree.max_depth = 3;
+    config.importance.prune_step = 3;
+    config.importance.min_events = 8;
+    config
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        miner: tiny_config(),
+        block: 32,
+    }
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cm_stream_oracle_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join("oracle.cmstore")
+}
+
+/// Streams `total` rows into a fresh store in `chunk`-sized appends and
+/// returns the session (chunk 0 means "everything in one append").
+fn stream_in_chunks(tag: &str, total: usize, chunk: usize) -> (StreamSession, Store) {
+    let path = temp_store(tag);
+    let mut store = Store::open(&path).expect("open store");
+    let mut session =
+        StreamSession::open(&mut store, Benchmark::Sort, stream_config()).expect("open session");
+    assert!(total <= session.source_rows());
+    if chunk == 0 {
+        session.append(&mut store, total).expect("append all");
+    } else {
+        let mut done = 0;
+        while done < total {
+            let n = chunk.min(total - done);
+            let report = session.append(&mut store, n).expect("append chunk");
+            assert_eq!(report.appended_rows, n);
+            done += n;
+        }
+    }
+    assert_eq!(session.total_rows(), total);
+    (session, store)
+}
+
+/// Everything the oracle compares, rendered bit-faithfully: cleaned
+/// bytes per series, the full importance ranking, the MAPM event set
+/// and held-out error, and the interaction ranking.
+fn fingerprint(session: &mut StreamSession) -> String {
+    let mut out = String::new();
+    for run in 0..session.config().miner.runs_per_benchmark {
+        for &event in &session.events().to_vec() {
+            let cleaned = session.cleaned_series(run, event).expect("cleaned series");
+            let bits: Vec<u64> = cleaned.iter().map(|v| v.to_bits()).collect();
+            out.push_str(&format!("clean r{run} e{}: {bits:?}\n", event.index()));
+        }
+    }
+    if let Some(analysis) = session.analysis().expect("analysis") {
+        out.push_str(&format!("sealed: {}\n", analysis.sealed_rows));
+        let eir = &analysis.report.eir;
+        let ranking: Vec<(usize, u64)> = eir
+            .ranking
+            .iter()
+            .map(|&(e, v)| (e.index(), v.to_bits()))
+            .collect();
+        out.push_str(&format!("ranking: {ranking:?}\n"));
+        let mapm: Vec<usize> = eir.mapm_events.iter().map(|e| e.index()).collect();
+        out.push_str(&format!(
+            "mapm: {mapm:?} err {}\n",
+            eir.best_error().to_bits()
+        ));
+        out.push_str(&format!(
+            "interactions: {:?}\n",
+            analysis.report.interactions
+        ));
+    } else {
+        out.push_str("no analysis\n");
+    }
+    out
+}
+
+#[test]
+fn any_append_partitioning_matches_the_cold_batch_run() {
+    let total = 160; // five sealed blocks of 32
+    let (mut cold, _s) = stream_in_chunks("cold", total, 0);
+    let want = fingerprint(&mut cold);
+
+    for chunk in [1, 7, 32, 100] {
+        let (mut streamed, _s) = stream_in_chunks(&format!("chunk{chunk}"), total, chunk);
+        let got = fingerprint(&mut streamed);
+        assert_eq!(got, want, "partitioning into chunks of {chunk} diverged");
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_answer() {
+    let total = 96;
+    let want = {
+        cm_par::set_max_threads(1);
+        let (mut s, _st) = stream_in_chunks("t1", total, 40);
+        fingerprint(&mut s)
+    };
+    for threads in [2, 4] {
+        cm_par::set_max_threads(threads);
+        let (mut s, _st) = stream_in_chunks(&format!("t{threads}"), total, 40);
+        let got = fingerprint(&mut s);
+        assert_eq!(got, want, "{threads} threads diverged from serial");
+    }
+    cm_par::set_max_threads(0);
+}
+
+#[test]
+fn full_source_stream_matches_cold_batch() {
+    let probe_store = temp_store("probe");
+    let mut probe = Store::open(&probe_store).expect("open");
+    let total = StreamSession::open(&mut probe, Benchmark::Sort, stream_config())
+        .expect("open session")
+        .source_rows();
+
+    let (mut cold, _s) = stream_in_chunks("full_cold", total, 0);
+    let (mut streamed, _s2) = stream_in_chunks("full_stream", total, 64);
+    assert_eq!(fingerprint(&mut streamed), fingerprint(&mut cold));
+}
+
+#[test]
+fn resumed_session_continues_bit_identically() {
+    let total = 128;
+    let (mut oneshot, _s) = stream_in_chunks("resume_ref", total, 0);
+    let want = fingerprint(&mut oneshot);
+
+    // Stream half, drop everything, reopen the store, resume, stream
+    // the rest: the handoff must be invisible in the bytes.
+    let path = temp_store("resume_split");
+    let mut store = Store::open(&path).expect("open");
+    let mut session =
+        StreamSession::open(&mut store, Benchmark::Sort, stream_config()).expect("open");
+    session.append(&mut store, 70).expect("first half");
+    drop(session);
+    drop(store);
+
+    let mut store = Store::open(&path).expect("reopen");
+    let mut session =
+        StreamSession::open(&mut store, Benchmark::Sort, stream_config()).expect("resume");
+    assert_eq!(session.total_rows(), 70);
+    session.append(&mut store, (total - 70) / 2).expect("more");
+    session
+        .append(&mut store, total - session.total_rows())
+        .expect("rest");
+    assert_eq!(fingerprint(&mut session), want);
+}

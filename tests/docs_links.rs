@@ -102,6 +102,88 @@ fn relative_links_resolve() {
     );
 }
 
+/// GitHub-style anchor slug for a Markdown heading: lowercase, spaces
+/// to hyphens, punctuation dropped (hyphens kept).
+fn heading_slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' {
+                Some(if c == ' ' { '-' } else { c })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Every heading anchor a document defines, skipping fenced code.
+fn anchors(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            out.push(heading_slug(line.trim_start_matches('#')));
+        }
+    }
+    out
+}
+
+#[test]
+fn section_anchors_resolve() {
+    let mut checked = 0;
+    let mut broken = Vec::new();
+    for doc in documents() {
+        let text = std::fs::read_to_string(&doc).unwrap();
+        let base = doc.parent().unwrap().to_path_buf();
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            // `#anchor` points into this document; `FILE.md#anchor`
+            // into another. Either way the anchor must match a heading.
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) if !a.is_empty() => (f, a),
+                _ => continue,
+            };
+            let target_doc = if file_part.is_empty() {
+                doc.clone()
+            } else {
+                let p = base.join(file_part);
+                if !p.exists() || p.extension().is_none_or(|e| e != "md") {
+                    continue; // relative_links_resolve covers existence
+                }
+                p
+            };
+            checked += 1;
+            let target_text = std::fs::read_to_string(&target_doc).unwrap();
+            if !anchors(&target_text).contains(&anchor.to_string()) {
+                broken.push(format!("{}: #{anchor} not in {file_part:?}", doc.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "dangling section anchors:\n{}",
+        broken.join("\n")
+    );
+    assert!(
+        checked >= 2,
+        "expected to check several section anchors, found {checked}; \
+         did the docs drop their tables of contents?"
+    );
+}
+
 #[test]
 fn core_documents_exist() {
     let root = repo_root();
@@ -110,6 +192,7 @@ fn core_documents_exist() {
         "DESIGN.md",
         "ROADMAP.md",
         "CHANGELOG.md",
+        "docs/ARCHITECTURE.md",
         "docs/STORAGE_FORMAT.md",
     ] {
         assert!(root.join(name).exists(), "missing {name}");
