@@ -14,7 +14,9 @@ use counterminer::case_study::{
     rank_param_event_interactions, sweep_parameter, ProfilingCostModel,
 };
 use counterminer::error_metrics::mlpx_error;
-use counterminer::{collector, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig};
+use counterminer::{
+    collector, CleanerKind, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig,
+};
 use std::error::Error;
 use std::path::Path;
 use std::time::Duration;
@@ -51,6 +53,14 @@ COMMANDS:
                                     or histogram bins (default: hist;
                                     the CM_TRAINER environment variable
                                     also works)
+        [--cleaner point|bayes]     reconstruction estimator: point
+                                    (default) or bayes, which attaches a
+                                    variance to every reconstructed
+                                    value and reports confidence
+                                    intervals and a ranking-stability
+                                    score (the CM_CLEANER environment
+                                    variable also works; the cleaner is
+                                    part of the snapshot fingerprint)
                                     with --store, collected and cleaned
                                     data persist into the columnar store
                                     FILE; a rerun with the same settings
@@ -122,6 +132,9 @@ ENVIRONMENT:
   CM_STREAM_BLOCK                   streaming clean block size in rows
                                     (default 64); changing it changes
                                     the stream's config fingerprint
+  CM_CLEANER                        default reconstruction estimator
+                                    (point or bayes) wherever --cleaner
+                                    is not given
 ";
 
 fn benchmark_by_name(name: &str) -> Result<Benchmark, ArgError> {
@@ -416,8 +429,13 @@ fn miner_config(args: &Args) -> Result<MinerConfig, ArgError> {
         Some(s) => s.parse().map_err(|e| ArgError(format!("{e}")))?,
         None => Trainer::default(),
     };
+    let cleaner: CleanerKind = match args.get("cleaner") {
+        Some(s) => s.parse().map_err(|e| ArgError(format!("{e}")))?,
+        None => CleanerKind::default(),
+    };
     Ok(MinerConfig {
         runs_per_benchmark: runs,
+        cleaner_kind: cleaner,
         events_to_measure: Some(n_events),
         importance: ImportanceConfig {
             sgbrt: SgbrtConfig {
@@ -494,8 +512,8 @@ pub fn analyze(args: &Args) -> CmdResult {
     };
 
     println!(
-        "{benchmark}: cleaned {} outliers, filled {} missing values",
-        report.outliers_replaced, report.missing_filled
+        "{benchmark}: cleaned {} outliers, filled {} missing values ({} cleaner)",
+        report.outliers_replaced, report.missing_filled, report.cleaner
     );
     println!(
         "MAPM: {} events, {:.1}% held-out error",
@@ -509,6 +527,24 @@ pub fn analyze(args: &Args) -> CmdResult {
         "{}",
         counterminer::report::render_importance(miner.catalog(), &report.eir, 10)
     );
+    if let Some(uncertainty) = &report.eir.uncertainty {
+        println!(
+            "ranking stability (top-{}): {:.3} — probability the order above \
+             survives resampling from the posteriors",
+            uncertainty.top_k, uncertainty.stability
+        );
+        if let Some(intervals) = report.eir.confidence_intervals(0.95) {
+            println!("95% confidence intervals on importance:");
+            for (event, lo, hi) in intervals.iter().take(5) {
+                println!(
+                    "  {:<6} [{:5.1}%, {:5.1}%]",
+                    miner.catalog().info(*event).abbrev(),
+                    lo.max(0.0),
+                    hi
+                );
+            }
+        }
+    }
     println!("top interaction pairs:");
     print!(
         "{}",
@@ -655,6 +691,17 @@ pub fn store_info(args: &Args) -> CmdResult {
     let path = required_positional(args, 1, "store file")?;
     let store = Store::open(Path::new(path))?;
     let info = store.info();
+    // Snapshot cleaner kinds: which estimator reconstructed each
+    // persisted benchmark snapshot (the fingerprint covers it, so a
+    // resume under the other cleaner is a miss).
+    let cleaners: Vec<(&str, String)> = ALL_BENCHMARKS
+        .iter()
+        .filter_map(|b| {
+            store
+                .meta(&format!("snapshot.{}.cleaner", b.name()))
+                .map(|kind| (b.name(), kind.to_string()))
+        })
+        .collect();
     if args.flag("json") {
         println!("{{");
         println!(
@@ -666,6 +713,12 @@ pub fn store_info(args: &Args) -> CmdResult {
         println!("  \"staged\": {},", info.staged);
         println!("  \"runs\": {},", info.runs);
         println!("  \"meta_entries\": {},", info.meta_entries);
+        let kinds = cleaners
+            .iter()
+            .map(|(name, kind)| format!("\"{name}\": \"{kind}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  \"cleaners\": {{{kinds}}},");
         println!("  \"total_values\": {},", info.total_values);
         println!("  \"file_bytes\": {},", info.file_bytes);
         println!("  \"delta_chunks\": {},", info.delta_chunks);
@@ -685,6 +738,9 @@ pub fn store_info(args: &Args) -> CmdResult {
     );
     if info.meta_entries > 0 {
         println!("  metadata        {} entries", info.meta_entries);
+    }
+    for (name, kind) in &cleaners {
+        println!("  snapshot        {name} cleaned by the {kind} estimator");
     }
     Ok(())
 }
@@ -1267,6 +1323,8 @@ mod tests {
         assert!(USAGE.contains("--threads"), "usage missing --threads");
         assert!(USAGE.contains("--trainer"), "usage missing --trainer");
         assert!(USAGE.contains("--metrics"), "usage missing --metrics");
+        assert!(USAGE.contains("--cleaner"), "usage missing --cleaner");
+        assert!(USAGE.contains("CM_CLEANER"), "usage missing CM_CLEANER");
         assert!(USAGE.contains("--store"), "usage missing --store");
         assert!(USAGE.contains("--chaos-seed"), "usage missing --chaos-seed");
         assert!(USAGE.contains("CM_OBS"), "usage missing CM_OBS");
@@ -1297,6 +1355,19 @@ mod tests {
         .unwrap_err()
         .to_string();
         assert!(err.contains("u64"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_cleaner() {
+        let args = crate::args::Args::parse(
+            ["analyze", "sort", "--cleaner", "oracle"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let err = analyze(&args).unwrap_err().to_string();
+        assert!(err.contains("point"), "unexpected error: {err}");
+        assert!(err.contains("bayes"), "unexpected error: {err}");
     }
 
     #[test]

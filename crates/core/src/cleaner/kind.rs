@@ -1,0 +1,93 @@
+//! Cleaner-estimator selection: the classic point cleaner vs. the
+//! uncertainty-aware `bayes` estimator.
+
+use crate::CmError;
+
+/// Which estimator the data cleaner runs.
+///
+/// Both kinds reconstruct **identical values** — `Bayes` is the point
+/// cleaner plus a per-value variance on every reconstruction (the
+/// BayesPerf direction), which the pipeline propagates into confidence
+/// intervals on event importance and the EIR ranking-stability score.
+/// Selecting `Bayes` therefore never changes a ranking, only annotates
+/// how trustworthy it is.
+///
+/// # Examples
+///
+/// ```
+/// use counterminer::CleanerKind;
+///
+/// assert_eq!("bayes".parse::<CleanerKind>().unwrap(), CleanerKind::Bayes);
+/// assert_eq!("POINT".parse::<CleanerKind>().unwrap(), CleanerKind::Point);
+/// assert!("fuzzy".parse::<CleanerKind>().is_err());
+/// assert_eq!(CleanerKind::Bayes.to_string(), "bayes");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CleanerKind {
+    /// Point estimates only — the paper's cleaner, byte-for-byte.
+    Point,
+    /// Point estimates plus a Gaussian variance per reconstructed value,
+    /// propagated through EIR to importance confidence intervals and the
+    /// ranking-stability score.
+    Bayes,
+}
+
+impl Default for CleanerKind {
+    /// `Point`, unless the `CM_CLEANER` environment variable says
+    /// `bayes` — the knob the CI cleaner matrix (and a curious user)
+    /// flips without touching code.
+    fn default() -> Self {
+        static ENV: std::sync::OnceLock<CleanerKind> = std::sync::OnceLock::new();
+        *ENV.get_or_init(|| match std::env::var("CM_CLEANER").as_deref() {
+            Ok(v) if v.eq_ignore_ascii_case("bayes") => CleanerKind::Bayes,
+            _ => CleanerKind::Point,
+        })
+    }
+}
+
+impl std::str::FromStr for CleanerKind {
+    type Err = CmError;
+
+    fn from_str(s: &str) -> Result<Self, CmError> {
+        if s.eq_ignore_ascii_case("point") {
+            Ok(CleanerKind::Point)
+        } else if s.eq_ignore_ascii_case("bayes") {
+            Ok(CleanerKind::Bayes)
+        } else {
+            Err(CmError::Invalid("cleaner must be `point` or `bayes`"))
+        }
+    }
+}
+
+impl std::fmt::Display for CleanerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CleanerKind::Point => "point",
+            CleanerKind::Bayes => "bayes",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_case_insensitively() {
+        for s in ["point", "Point", "POINT"] {
+            assert_eq!(s.parse::<CleanerKind>().unwrap(), CleanerKind::Point);
+        }
+        for s in ["bayes", "Bayes", "BAYES"] {
+            assert_eq!(s.parse::<CleanerKind>().unwrap(), CleanerKind::Bayes);
+        }
+        assert!("gauss".parse::<CleanerKind>().is_err());
+        assert!("".parse::<CleanerKind>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for kind in [CleanerKind::Point, CleanerKind::Bayes] {
+            assert_eq!(kind.to_string().parse::<CleanerKind>().unwrap(), kind);
+        }
+    }
+}

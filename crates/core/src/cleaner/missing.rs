@@ -17,10 +17,21 @@ pub(super) struct MissingOutcome {
     pub kept: usize,
 }
 
-pub(super) fn fill_missing(
-    values: &mut [f64],
-    config: &CleanerConfig,
-) -> Result<MissingOutcome, CmError> {
+/// What the zero-category rule decided about a series' zeros.
+enum ZeroClass {
+    /// No zeros at all.
+    None,
+    /// Zeros are genuine (near-zero series, or nothing to fill from):
+    /// keep all of them.
+    Keep(usize),
+    /// Zeros are missing samples at these positions: fill them.
+    Fill(Vec<usize>),
+}
+
+/// The shared front half of both fill paths: find the zeros and apply
+/// the zero-category rule. One classifier feeds the point and bayes
+/// variants, so they can never disagree about *which* values to fill.
+fn classify_zeros(values: &[f64], config: &CleanerConfig) -> ZeroClass {
     let zeros: Vec<usize> = values
         .iter()
         .enumerate()
@@ -28,16 +39,13 @@ pub(super) fn fill_missing(
         .map(|(i, _)| i)
         .collect();
     if zeros.is_empty() {
-        return Ok(MissingOutcome { filled: 0, kept: 0 });
+        return ZeroClass::None;
     }
 
     // Zero-category rule on the series' own history.
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if max < config.zero_keep_max {
-        return Ok(MissingOutcome {
-            filled: 0,
-            kept: zeros.len(),
-        });
+        return ZeroClass::Keep(zeros.len());
     }
 
     // Nothing valid to interpolate from: keep the zeros rather than
@@ -46,17 +54,50 @@ pub(super) fn fill_missing(
     // still fills from whatever was observed.)
     let valid = values.len() - zeros.len();
     if valid == 0 {
-        return Ok(MissingOutcome {
-            filled: 0,
-            kept: zeros.len(),
-        });
+        return ZeroClass::Keep(zeros.len());
     }
+    ZeroClass::Fill(zeros)
+}
 
-    knn::impute_series(values, &zeros, config.knn_k).map_err(CmError::Stats)?;
-    Ok(MissingOutcome {
-        filled: zeros.len(),
-        kept: 0,
-    })
+pub(super) fn fill_missing(
+    values: &mut [f64],
+    config: &CleanerConfig,
+) -> Result<MissingOutcome, CmError> {
+    match classify_zeros(values, config) {
+        ZeroClass::None => Ok(MissingOutcome { filled: 0, kept: 0 }),
+        ZeroClass::Keep(kept) => Ok(MissingOutcome { filled: 0, kept }),
+        ZeroClass::Fill(zeros) => {
+            knn::impute_series(values, &zeros, config.knn_k).map_err(CmError::Stats)?;
+            Ok(MissingOutcome {
+                filled: zeros.len(),
+                kept: 0,
+            })
+        }
+    }
+}
+
+/// [`fill_missing`] plus a per-fill posterior variance, for the bayes
+/// estimator: fills bit-identical values (same classifier, same KNN
+/// walk) and additionally returns `(index, variance)` per filled
+/// position, ascending by index. Kept zeros carry no entry — they are
+/// observations, not reconstructions.
+pub(super) fn fill_missing_with_variance(
+    values: &mut [f64],
+    config: &CleanerConfig,
+) -> Result<(MissingOutcome, Vec<(usize, f64)>), CmError> {
+    match classify_zeros(values, config) {
+        ZeroClass::None => Ok((MissingOutcome { filled: 0, kept: 0 }, Vec::new())),
+        ZeroClass::Keep(kept) => Ok((MissingOutcome { filled: 0, kept }, Vec::new())),
+        ZeroClass::Fill(zeros) => {
+            let variances = knn::impute_series_with_variance(values, &zeros, config.knn_k)
+                .map_err(CmError::Stats)?;
+            let outcome = MissingOutcome {
+                filled: zeros.len(),
+                kept: 0,
+            };
+            Ok((outcome, zeros.into_iter().zip(variances).collect()))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +147,31 @@ mod tests {
         assert_eq!(out.filled, 3);
         assert_eq!(out.kept, 0);
         assert!(v.iter().all(|&x| x > 4.0 && x < 7.0));
+    }
+
+    #[test]
+    fn variance_variant_fills_identically_and_tags_fills() {
+        let base = vec![10.0, 10.5, 0.0, 10.2, 0.0, 10.4, 10.1, 10.3];
+        let mut point = base.clone();
+        fill_missing(&mut point, &config()).unwrap();
+        let mut bayes = base.clone();
+        let (outcome, variances) = fill_missing_with_variance(&mut bayes, &config()).unwrap();
+        assert_eq!(outcome.filled, 2);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&point), bits(&bayes));
+        assert_eq!(
+            variances.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert!(variances.iter().all(|&(_, v)| v.is_finite() && v >= 0.0));
+    }
+
+    #[test]
+    fn variance_variant_keeps_real_zeros_without_entries() {
+        let mut v = vec![0.0, 0.005, 0.0, 0.002, 0.0];
+        let (outcome, variances) = fill_missing_with_variance(&mut v, &config()).unwrap();
+        assert_eq!(outcome.kept, 3);
+        assert!(variances.is_empty());
     }
 
     #[test]

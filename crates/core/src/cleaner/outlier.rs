@@ -24,6 +24,31 @@ pub(super) fn replace_outliers(
     values: &mut [f64],
     config: &CleanerConfig,
 ) -> Result<OutlierOutcome, CmError> {
+    replace_outliers_impl(values, config, None)
+}
+
+/// [`replace_outliers`] plus a per-replacement posterior variance, for
+/// the bayes estimator: replaces bit-identical values (one shared
+/// implementation; the point path simply skips the variance arithmetic)
+/// and additionally returns `(index, variance)` per replaced outlier,
+/// ascending by index. The variance is the predictive variance of the
+/// segment's non-outlier values — "the true value is another draw from
+/// this segment" — falling back to the global non-outlier dispersion
+/// for segments made entirely of outliers.
+pub(super) fn replace_outliers_with_variance(
+    values: &mut [f64],
+    config: &CleanerConfig,
+) -> Result<(OutlierOutcome, Vec<(usize, f64)>), CmError> {
+    let mut variances = Vec::new();
+    let outcome = replace_outliers_impl(values, config, Some(&mut variances))?;
+    Ok((outcome, variances))
+}
+
+fn replace_outliers_impl(
+    values: &mut [f64],
+    config: &CleanerConfig,
+    mut variances: Option<&mut Vec<(usize, f64)>>,
+) -> Result<OutlierOutcome, CmError> {
     let (n_used, distribution) = match config.fixed_n {
         Some(n) => (n, SeriesDistribution::Undetermined),
         None => classify_and_choose(values, config)?,
@@ -69,6 +94,10 @@ pub(super) fn replace_outliers(
     } else {
         descriptive::median(&clean_values)?
     };
+    // Global fallback variance, only paid for on the bayes path.
+    let global_variance = variances
+        .as_ref()
+        .map(|_| predictive_variance(&clean_values).unwrap_or(0.0));
 
     let segments = (values.len() as f64).sqrt().ceil() as usize;
     let seg_len = values.len().div_ceil(segments);
@@ -83,9 +112,17 @@ pub(super) fn replace_outliers(
         } else {
             descriptive::median(&seg_clean)?
         };
+        let seg_variance = variances.as_ref().map(|_| {
+            predictive_variance(&seg_clean)
+                .or(global_variance)
+                .unwrap_or(0.0)
+        });
         for i in seg_start..seg_end {
             if outlier_mask[i] {
                 values[i] = replacement;
+                if let (Some(out), Some(var)) = (variances.as_deref_mut(), seg_variance) {
+                    out.push((i, var));
+                }
             }
         }
     }
@@ -96,6 +133,21 @@ pub(super) fn replace_outliers(
         n_used,
         distribution,
     })
+}
+
+/// Predictive variance of "one more draw from this pool": sample
+/// variance (ddof = 1) scaled by `1 + 1/n` to account for the
+/// uncertainty of the pool mean itself. `None` when fewer than two
+/// samples exist — no dispersion can be estimated.
+fn predictive_variance(pool: &[f64]) -> Option<f64> {
+    let n = pool.len();
+    if n < 2 {
+        return None;
+    }
+    let mean = pool.iter().sum::<f64>() / n as f64;
+    let sample_var =
+        pool.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    Some(sample_var * (1.0 + 1.0 / n as f64))
 }
 
 fn classify_and_choose(
@@ -212,6 +264,55 @@ mod tests {
         let out = replace_outliers(&mut v, &config()).unwrap();
         // Whatever n was chosen, the call must succeed.
         assert!(out.n_used >= 3.0);
+    }
+
+    #[test]
+    fn variance_variant_replaces_identically_and_tags_outliers() {
+        let mut base: Vec<f64> = Vec::new();
+        base.extend(std::iter::repeat_n(10.0, 50));
+        base.extend((0..50).map(|i| 20.0 + (i % 3) as f64));
+        base[75] = 5000.0;
+        let mut point = base.clone();
+        replace_outliers(&mut point, &config()).unwrap();
+        let mut bayes = base.clone();
+        let (outcome, variances) =
+            replace_outliers_with_variance(&mut bayes, &config()).unwrap();
+        assert_eq!(outcome.replaced, 1);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&point), bits(&bayes));
+        assert_eq!(variances.len(), 1);
+        let (idx, var) = variances[0];
+        assert_eq!(idx, 75);
+        // The spike landed in the noisy second half: its replacement
+        // variance must reflect that segment's dispersion.
+        assert!(var.is_finite() && var > 0.0);
+    }
+
+    #[test]
+    fn variance_variant_reports_no_entries_without_outliers() {
+        let mut v: Vec<f64> = (0..64).map(|i| 10.0 + (i % 5) as f64).collect();
+        let (outcome, variances) = replace_outliers_with_variance(&mut v, &config()).unwrap();
+        assert_eq!(outcome.replaced, 0);
+        assert!(variances.is_empty());
+    }
+
+    #[test]
+    fn all_outlier_segment_variance_falls_back_to_global() {
+        let cfg = CleanerConfig {
+            fixed_n: Some(0.5),
+            ..CleanerConfig::default()
+        };
+        // sqrt(16) = 4 segments of 4; segment two is all outliers.
+        let mut v: Vec<f64> = (0..16).map(|i| 10.0 + (i % 2) as f64).collect();
+        v[4] = 50.0;
+        v[5] = 50.0;
+        v[6] = 50.0;
+        v[7] = 50.0;
+        let (outcome, variances) = replace_outliers_with_variance(&mut v, &cfg).unwrap();
+        assert_eq!(outcome.replaced, 4);
+        assert_eq!(variances.len(), 4);
+        // Global clean pool alternates 10/11: positive predictive variance.
+        assert!(variances.iter().all(|&(_, var)| var > 0.0));
     }
 
     /// Regression: with `std == 0` the threshold `mean + n·0` collapses

@@ -11,6 +11,7 @@
 use crate::CmError;
 use cm_events::EventId;
 use cm_ml::{metrics, BinnedDataset, Dataset, Sgbrt, SgbrtConfig, Trainer, MAX_BINS};
+use cm_stats::estimator::{mix_seed, rank_stability, Posterior};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,6 +30,11 @@ pub struct ImportanceConfig {
     pub min_events: usize,
     /// Seed for the train/test split.
     pub seed: u64,
+    /// Monte-Carlo draws per ranking-stability score (`bayes` mode only;
+    /// ignored by the point path).
+    pub stability_draws: usize,
+    /// Size of the top-K prefix whose order the stability score checks.
+    pub stability_top_k: usize,
 }
 
 impl Default for ImportanceConfig {
@@ -39,6 +45,8 @@ impl Default for ImportanceConfig {
             test_fraction: 0.2,
             min_events: 20,
             seed: 0,
+            stability_draws: 64,
+            stability_top_k: 5,
         }
     }
 }
@@ -51,6 +59,26 @@ pub struct EirIteration {
     pub n_events: usize,
     /// Held-out relative error (Eq. 14), as a fraction.
     pub error: f64,
+    /// Ranking-stability score of this round's model (`bayes` mode only):
+    /// the probability that the top-K importance order holds when
+    /// importances are resampled from their posteriors. `None` for the
+    /// point path.
+    pub stability: Option<f64>,
+}
+
+/// Uncertainty attached to an [`EirResult`] when ranking `bayes`-cleaned
+/// data: per-event importance standard deviations and the Monte-Carlo
+/// ranking-stability score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankUncertainty {
+    /// Probability (0..=1) that the MAPM's top-K order survives
+    /// resampling every importance from its posterior.
+    pub stability: f64,
+    /// Importance standard deviations, aligned with
+    /// [`EirResult::ranking`] (same order, same units — percent).
+    pub stds: Vec<f64>,
+    /// The K the stability score was computed over.
+    pub top_k: usize,
 }
 
 /// The outcome of the EIR procedure.
@@ -68,6 +96,8 @@ pub struct EirResult {
     pub mapm: Sgbrt,
     /// The events (dataset columns) the MAPM uses, in column order.
     pub mapm_events: Vec<EventId>,
+    /// Ranking uncertainty (`bayes` mode only; `None` for the point path).
+    pub uncertainty: Option<RankUncertainty>,
 }
 
 impl EirResult {
@@ -79,6 +109,24 @@ impl EirResult {
     /// Held-out error of the MAPM, as a fraction.
     pub fn best_error(&self) -> f64 {
         self.iterations[self.best_iteration].error
+    }
+
+    /// Per-event confidence intervals on the MAPM importances at the
+    /// given confidence level, aligned with [`ranking`](Self::ranking):
+    /// `(event, lower, upper)` in percent. `None` unless the analysis
+    /// ran in `bayes` mode.
+    pub fn confidence_intervals(&self, confidence: f64) -> Option<Vec<(EventId, f64, f64)>> {
+        let uncertainty = self.uncertainty.as_ref()?;
+        Some(
+            self.ranking
+                .iter()
+                .zip(&uncertainty.stds)
+                .map(|(&(event, importance), &std)| {
+                    let (lo, hi) = Posterior::new(importance, std * std).interval(confidence);
+                    (event, lo, hi)
+                })
+                .collect(),
+        )
     }
 }
 
@@ -112,6 +160,33 @@ impl ImportanceRanker {
     /// Returns [`CmError::Invalid`] when `events` does not match the
     /// dataset width, or propagates training errors.
     pub fn rank(&self, data: &Dataset, events: &[EventId]) -> Result<EirResult, CmError> {
+        self.rank_with_uncertainty(data, events, None)
+    }
+
+    /// [`rank`](Self::rank) with optional per-column uncertainty from
+    /// the `bayes` cleaner: `column_uncertainty[j]` is the relative
+    /// reconstruction uncertainty of `events[j]`'s data (see
+    /// [`VarianceAggregate::relative_uncertainty`](crate::VarianceAggregate::relative_uncertainty)).
+    ///
+    /// When `Some`, each round's importances get standard deviations
+    /// `std_j = importance_j · u_j` (importances are column aggregates
+    /// of the column's data, so their relative noise is bounded by the
+    /// data's), a Monte-Carlo ranking-stability score is computed per
+    /// round and for the final MAPM ranking, and the result carries a
+    /// [`RankUncertainty`]. The ranking itself is **identical** to
+    /// [`rank`](Self::rank) — uncertainty only annotates it.
+    ///
+    /// # Errors
+    ///
+    /// As [`rank`](Self::rank), plus [`CmError::Invalid`] when the
+    /// uncertainty slice length does not match `events` or
+    /// `stability_draws` is zero.
+    pub fn rank_with_uncertainty(
+        &self,
+        data: &Dataset,
+        events: &[EventId],
+        column_uncertainty: Option<&[f64]>,
+    ) -> Result<EirResult, CmError> {
         if events.len() != data.n_features() {
             return Err(CmError::Invalid(
                 "event list must match dataset feature count",
@@ -119,6 +194,16 @@ impl ImportanceRanker {
         }
         if self.config.prune_step == 0 {
             return Err(CmError::Invalid("prune_step must be at least 1"));
+        }
+        if let Some(u) = column_uncertainty {
+            if u.len() != events.len() {
+                return Err(CmError::Invalid(
+                    "column uncertainty must match event count",
+                ));
+            }
+            if self.config.stability_draws == 0 {
+                return Err(CmError::Invalid("stability_draws must be at least 1"));
+            }
         }
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -166,9 +251,34 @@ impl ImportanceRanker {
             // The paper's pruning curve, one point per round: how the
             // held-out error moves as the event set shrinks.
             cm_obs::series_push("eir.cv_error", active.len() as f64, error);
+            // Bayes only: score how stable this round's top-K order is
+            // under resampling. A separate importance read keeps the
+            // point path's arithmetic untouched.
+            let stability = match column_uncertainty {
+                Some(u) => {
+                    let importances = model.feature_importances();
+                    let stds: Vec<f64> = importances
+                        .iter()
+                        .zip(&active)
+                        .map(|(&imp, &col)| imp * u[col])
+                        .collect();
+                    let score = rank_stability(
+                        &importances,
+                        &stds,
+                        self.config.stability_top_k,
+                        self.config.stability_draws,
+                        mix_seed(self.config.seed, iterations.len() as u64),
+                    )
+                    .map_err(CmError::Stats)?;
+                    cm_obs::series_push("eir.stability", active.len() as f64, score);
+                    Some(score)
+                }
+                None => None,
+            };
             iterations.push(EirIteration {
                 n_events: active.len(),
                 error,
+                stability,
             });
             let is_better = best.as_ref().is_none_or(|(_, e, _, _)| error < *e);
             if is_better {
@@ -208,12 +318,37 @@ impl ImportanceRanker {
             best.expect("at least one iteration always runs");
         let mapm_events: Vec<EventId> = mapm_active.iter().map(|&c| events[c]).collect();
         let importances = mapm.feature_importances();
-        let mut ranking: Vec<(EventId, f64)> = mapm_events
-            .iter()
-            .copied()
-            .zip(importances.iter().copied())
-            .collect();
-        ranking.sort_by(|a, b| b.1.total_cmp(&a.1));
+        // Sort events and (in bayes mode) their uncertainties together,
+        // so `uncertainty.stds` stays aligned with `ranking`.
+        let mut order: Vec<usize> = (0..mapm_events.len()).collect();
+        order.sort_by(|&a, &b| importances[b].total_cmp(&importances[a]));
+        let ranking: Vec<(EventId, f64)> =
+            order.iter().map(|&i| (mapm_events[i], importances[i])).collect();
+
+        let uncertainty = match column_uncertainty {
+            Some(u) => {
+                let stds: Vec<f64> = order
+                    .iter()
+                    .map(|&i| importances[i] * u[mapm_active[i]])
+                    .collect();
+                let means: Vec<f64> = ranking.iter().map(|&(_, imp)| imp).collect();
+                let top_k = self.config.stability_top_k;
+                let stability = rank_stability(
+                    &means,
+                    &stds,
+                    top_k,
+                    self.config.stability_draws,
+                    mix_seed(self.config.seed, u64::MAX),
+                )
+                .map_err(CmError::Stats)?;
+                Some(RankUncertainty {
+                    stability,
+                    stds,
+                    top_k,
+                })
+            }
+            None => None,
+        };
 
         Ok(EirResult {
             iterations,
@@ -221,6 +356,7 @@ impl ImportanceRanker {
             ranking,
             mapm,
             mapm_events,
+            uncertainty,
         })
     }
 }
@@ -324,6 +460,69 @@ mod tests {
         };
         let events: Vec<EventId> = (0..7).map(EventId::new).collect();
         assert!(ImportanceRanker::new(bad).rank(&data, &events).is_err());
+    }
+
+    #[test]
+    fn uncertainty_annotates_without_changing_the_ranking() {
+        let (data, events) = synthetic(300, 11);
+        let ranker = ImportanceRanker::new(fast_config());
+        let point = ranker.rank(&data, &events).unwrap();
+        let u = vec![0.05; events.len()];
+        let bayes = ranker.rank_with_uncertainty(&data, &events, Some(&u)).unwrap();
+        // Identical ranking and error curve; only annotation differs.
+        assert_eq!(point.ranking, bayes.ranking);
+        assert_eq!(
+            point.iterations.iter().map(|i| i.error).collect::<Vec<_>>(),
+            bayes.iterations.iter().map(|i| i.error).collect::<Vec<_>>(),
+        );
+        assert!(point.uncertainty.is_none());
+        assert!(point.iterations.iter().all(|i| i.stability.is_none()));
+        let uncertainty = bayes.uncertainty.as_ref().unwrap();
+        assert_eq!(uncertainty.stds.len(), bayes.ranking.len());
+        assert!((0.0..=1.0).contains(&uncertainty.stability));
+        for i in &bayes.iterations {
+            let s = i.stability.unwrap();
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+        // stds proportional to importances: aligned with ranking order.
+        for (&(_, imp), &std) in bayes.ranking.iter().zip(&uncertainty.stds) {
+            assert!((std - imp * 0.05).abs() < 1e-9);
+        }
+        let intervals = bayes.confidence_intervals(0.95).unwrap();
+        assert_eq!(intervals.len(), bayes.ranking.len());
+        for ((event, lo, hi), &(re, imp)) in intervals.into_iter().zip(&bayes.ranking) {
+            assert_eq!(event, re);
+            assert!(lo <= imp && imp <= hi);
+        }
+        assert!(point.confidence_intervals(0.95).is_none());
+    }
+
+    #[test]
+    fn zero_uncertainty_is_perfectly_stable() {
+        let (data, events) = synthetic(200, 12);
+        let u = vec![0.0; events.len()];
+        let result = ImportanceRanker::new(fast_config())
+            .rank_with_uncertainty(&data, &events, Some(&u))
+            .unwrap();
+        assert_eq!(result.uncertainty.as_ref().unwrap().stability, 1.0);
+        assert!(result.iterations.iter().all(|i| i.stability == Some(1.0)));
+    }
+
+    #[test]
+    fn uncertainty_validates_inputs() {
+        let (data, events) = synthetic(100, 13);
+        let ranker = ImportanceRanker::new(fast_config());
+        assert!(ranker
+            .rank_with_uncertainty(&data, &events, Some(&[0.1; 2]))
+            .is_err());
+        let bad = ImportanceConfig {
+            stability_draws: 0,
+            ..fast_config()
+        };
+        let u = vec![0.1; events.len()];
+        assert!(ImportanceRanker::new(bad)
+            .rank_with_uncertainty(&data, &events, Some(&u))
+            .is_err());
     }
 
     #[test]

@@ -61,12 +61,17 @@ mod interaction;
 mod pipeline;
 pub mod report;
 mod snapshot;
+mod uncertainty;
 
 pub use cleaner::{
-    choose_n, coverage_table, CleanReport, CleanerConfig, DataCleaner, SeriesDistribution,
-    StreamedSample, StreamingCleaner, N_CANDIDATES,
+    choose_n, coverage_table, CleanReport, CleanerConfig, CleanerKind, DataCleaner,
+    Reconstruction, ReconstructionSource, SeriesDistribution, SeriesUncertainty, StreamedSample,
+    StreamingCleaner, N_CANDIDATES, VARIANCE_CALIBRATION,
 };
 pub use errors::CmError;
-pub use importance::{EirIteration, EirResult, ImportanceConfig, ImportanceRanker};
+pub use importance::{
+    EirIteration, EirResult, ImportanceConfig, ImportanceRanker, RankUncertainty,
+};
 pub use interaction::{InteractionRanker, PairInteraction};
 pub use pipeline::{AnalysisReport, CounterMiner, IngestSummary, MinerConfig};
+pub use uncertainty::VarianceAggregate;

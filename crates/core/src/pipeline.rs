@@ -3,8 +3,8 @@
 //! ranker.
 
 use crate::{
-    collector, snapshot, CleanerConfig, CmError, DataCleaner, EirResult, ImportanceConfig,
-    ImportanceRanker, InteractionRanker, PairInteraction,
+    collector, snapshot, CleanerConfig, CleanerKind, CmError, DataCleaner, EirResult,
+    ImportanceConfig, ImportanceRanker, InteractionRanker, PairInteraction, VarianceAggregate,
 };
 use cm_events::{EventCatalog, EventId, RunRecord, SampleMode};
 use cm_sim::{Benchmark, PmuConfig, SimRun, Workload};
@@ -32,6 +32,11 @@ pub struct MinerConfig {
     pub pmu: PmuConfig,
     /// Data-cleaner settings.
     pub cleaner: CleanerConfig,
+    /// Which cleaner estimator runs: the point cleaner or the
+    /// uncertainty-aware `bayes` mode. Both reconstruct identical
+    /// values; `bayes` additionally propagates per-value variances into
+    /// importance confidence intervals and the ranking-stability score.
+    pub cleaner_kind: CleanerKind,
     /// Importance-ranker (EIR) settings.
     pub importance: ImportanceConfig,
     /// Profiled runs collected per benchmark.
@@ -54,6 +59,7 @@ impl Default for MinerConfig {
         MinerConfig {
             pmu: PmuConfig::default(),
             cleaner: CleanerConfig::default(),
+            cleaner_kind: CleanerKind::default(),
             importance: ImportanceConfig::default(),
             runs_per_benchmark: 3,
             events_to_measure: None,
@@ -69,7 +75,11 @@ impl Default for MinerConfig {
 pub struct AnalysisReport {
     /// The benchmark analyzed.
     pub benchmark: Benchmark,
-    /// EIR outcome: error curve, MAPM, importance ranking.
+    /// Which cleaner estimator produced the underlying data.
+    pub cleaner: CleanerKind,
+    /// EIR outcome: error curve, MAPM, importance ranking — plus, in
+    /// `bayes` mode, importance confidence intervals and the
+    /// ranking-stability score via [`EirResult::uncertainty`].
     pub eir: EirResult,
     /// Interaction ranking over the top events.
     pub interactions: Vec<PairInteraction>,
@@ -216,15 +226,31 @@ impl CounterMiner {
         };
         let events: Vec<EventId> = runs[0].record.events().collect();
 
-        // Clean per-series and tally what the cleaner did.
+        // Clean per-series and tally what the cleaner did. In bayes
+        // mode, also fold every series' reconstruction variances into
+        // per-event column aggregates (merged in run order, so the sums
+        // are reproducible at any thread count).
         let cleaner = DataCleaner::new(self.config.cleaner);
         let mut outliers_replaced = 0;
         let mut missing_filled = 0;
+        let mut uncertainty: Option<Vec<VarianceAggregate>> = match self.config.cleaner_kind {
+            CleanerKind::Bayes => Some(vec![VarianceAggregate::default(); events.len()]),
+            CleanerKind::Point => None,
+        };
         {
             let _s = cm_obs::span!("clean");
             for run in &runs {
-                for (_, series) in run.record.iter() {
-                    let (_, report) = cleaner.clean_series(series)?;
+                for (column, (_, series)) in run.record.iter().enumerate() {
+                    let report = match uncertainty.as_mut() {
+                        Some(aggregates) => {
+                            let (clean, report, series_uncertainty) =
+                                cleaner.clean_series_bayes(series)?;
+                            aggregates[column]
+                                .merge(&VarianceAggregate::of_series(&clean, &series_uncertainty));
+                            report
+                        }
+                        None => cleaner.clean_series(series)?.1,
+                    };
                     outliers_replaced += report.outliers_replaced;
                     missing_filled += report.missing_filled;
                 }
@@ -236,6 +262,7 @@ impl CounterMiner {
             &runs,
             &events,
             Some(&cleaner),
+            uncertainty.as_deref(),
             outliers_replaced,
             missing_filled,
         )
@@ -294,6 +321,7 @@ impl CounterMiner {
             &snap.runs,
             &snap.events,
             None,
+            snap.uncertainty.as_deref(),
             snap.outliers_replaced,
             snap.missing_filled,
         )
@@ -347,6 +375,7 @@ impl CounterMiner {
             &snap.runs,
             &snap.events,
             None,
+            snap.uncertainty.as_deref(),
             snap.outliers_replaced,
             snap.missing_filled,
         )
@@ -425,6 +454,10 @@ impl CounterMiner {
         let cleaner = DataCleaner::new(self.config.cleaner);
         let mut outliers_replaced = 0;
         let mut missing_filled = 0;
+        let mut uncertainty: Option<Vec<VarianceAggregate>> = match self.config.cleaner_kind {
+            CleanerKind::Bayes => Some(vec![VarianceAggregate::default(); events.len()]),
+            CleanerKind::Point => None,
+        };
         let cleaned: Vec<SimRun> = {
             let _s = cm_obs::span!("clean");
             runs.iter()
@@ -435,8 +468,19 @@ impl CounterMiner {
                         run.record.mode(),
                     );
                     record.set_exec_time_secs(run.record.exec_time_secs());
-                    for (event, series) in run.record.iter() {
-                        let (clean, report) = cleaner.clean_series(series)?;
+                    for (column, (event, series)) in run.record.iter().enumerate() {
+                        let (clean, report) = match uncertainty.as_mut() {
+                            Some(aggregates) => {
+                                let (clean, report, series_uncertainty) =
+                                    cleaner.clean_series_bayes(series)?;
+                                aggregates[column].merge(&VarianceAggregate::of_series(
+                                    &clean,
+                                    &series_uncertainty,
+                                ));
+                                (clean, report)
+                            }
+                            None => cleaner.clean_series(series)?,
+                        };
                         outliers_replaced += report.outliers_replaced;
                         missing_filled += report.missing_filled;
                         record.insert_series(event, clean);
@@ -456,6 +500,7 @@ impl CounterMiner {
             events,
             outliers_replaced,
             missing_filled,
+            uncertainty,
         };
         snapshot::save(store, benchmark, fp, &runs, &snap)?;
         store.commit()?;
@@ -467,13 +512,15 @@ impl CounterMiner {
     /// The shared back half of the pipeline: dataset assembly, EIR
     /// importance ranking, and interaction ranking. `cleaner` is `Some`
     /// when `runs` are raw (the in-memory path) and `None` when they were
-    /// cleaned already (the store-resume path).
+    /// cleaned already (the store-resume path). `uncertainty` carries the
+    /// per-event column variance aggregates in `bayes` mode.
     fn model_and_rank(
         &self,
         benchmark: Benchmark,
         runs: &[SimRun],
         events: &[EventId],
         cleaner: Option<&DataCleaner>,
+        uncertainty: Option<&[VarianceAggregate]>,
         outliers_replaced: usize,
         missing_filled: usize,
     ) -> Result<AnalysisReport, CmError> {
@@ -484,10 +531,22 @@ impl CounterMiner {
             collector::normalize_columns(&data)?
         };
 
+        let column_uncertainty: Option<Vec<f64>> = uncertainty.map(|aggregates| {
+            let total_variance: f64 = aggregates.iter().map(|a| a.sum_variance).sum();
+            let reconstructed: u64 = aggregates.iter().map(|a| a.reconstructed).sum();
+            // One point per analysis: how much uncertainty the cleaner
+            // injected, against how many values it reconstructed.
+            cm_obs::series_push("clean.variance.total", reconstructed as f64, total_variance);
+            aggregates
+                .iter()
+                .map(VarianceAggregate::relative_uncertainty)
+                .collect()
+        });
+
         let ranker = ImportanceRanker::new(self.config.importance);
         let eir = {
             let _s = cm_obs::span!("eir");
-            ranker.rank(&data, events)?
+            ranker.rank_with_uncertainty(&data, events, column_uncertainty.as_deref())?
         };
 
         let _s = cm_obs::span!("interactions");
@@ -514,6 +573,7 @@ impl CounterMiner {
 
         Ok(AnalysisReport {
             benchmark,
+            cleaner: self.config.cleaner_kind,
             eir,
             interactions,
             outliers_replaced,
@@ -675,6 +735,115 @@ mod tests {
             miner.snapshot_fingerprint(Benchmark::Sort),
             oracle.snapshot_fingerprint(Benchmark::Sort)
         );
+    }
+
+    /// The tentpole guarantee: `bayes` mode changes no ranking, no error
+    /// curve, no cleaner tallies — it only attaches uncertainty.
+    #[test]
+    fn bayes_analysis_matches_point_and_adds_uncertainty() {
+        let mut point = CounterMiner::new(MinerConfig {
+            cleaner_kind: CleanerKind::Point,
+            ..tiny_config()
+        });
+        let mut bayes = CounterMiner::new(MinerConfig {
+            cleaner_kind: CleanerKind::Bayes,
+            ..tiny_config()
+        });
+        let p = point.analyze(Benchmark::Wordcount).unwrap();
+        let b = bayes.analyze(Benchmark::Wordcount).unwrap();
+        assert_eq!(p.eir.ranking, b.eir.ranking);
+        assert_eq!(p.outliers_replaced, b.outliers_replaced);
+        assert_eq!(p.missing_filled, b.missing_filled);
+        assert_eq!(
+            p.eir.iterations.iter().map(|i| i.error).collect::<Vec<_>>(),
+            b.eir.iterations.iter().map(|i| i.error).collect::<Vec<_>>(),
+        );
+        assert_eq!(p.cleaner, CleanerKind::Point);
+        assert_eq!(b.cleaner, CleanerKind::Bayes);
+        assert!(p.eir.uncertainty.is_none());
+        let uncertainty = b.eir.uncertainty.as_ref().expect("bayes attaches uncertainty");
+        assert!((0.0..=1.0).contains(&uncertainty.stability));
+        assert_eq!(uncertainty.stds.len(), b.eir.ranking.len());
+        // Dirty multiplexed data was reconstructed, so some column must
+        // carry nonzero injected variance.
+        assert!(uncertainty.stds.iter().all(|s| s.is_finite() && *s >= 0.0));
+        assert!(b.eir.iterations.iter().all(|i| i.stability.is_some()));
+    }
+
+    /// A store ingested with one cleaner kind must not warm-start an
+    /// analysis with the other: cross-kind resume is a miss, not a stale
+    /// bit-identical hit.
+    #[test]
+    fn cross_cleaner_resume_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("cm_pipe_kind_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut store = Store::open(dir.join("kind.cmstore")).unwrap();
+
+        let point = CounterMiner::new(MinerConfig {
+            cleaner_kind: CleanerKind::Point,
+            ..tiny_config()
+        });
+        let bayes = CounterMiner::new(MinerConfig {
+            cleaner_kind: CleanerKind::Bayes,
+            ..tiny_config()
+        });
+        assert_ne!(
+            point.snapshot_fingerprint(Benchmark::Sort),
+            bayes.snapshot_fingerprint(Benchmark::Sort),
+        );
+
+        let cold_point = point.ingest(Benchmark::Sort, &mut store).unwrap();
+        assert!(!cold_point.resumed);
+        assert!(point.ingest(Benchmark::Sort, &mut store).unwrap().resumed);
+        // Same store, other kind: a fresh collection, not a stale hit.
+        let cold_bayes = bayes.ingest(Benchmark::Sort, &mut store).unwrap();
+        assert!(!cold_bayes.resumed);
+        assert!(bayes.ingest(Benchmark::Sort, &mut store).unwrap().resumed);
+    }
+
+    /// Warm bayes runs must replay the persisted variance aggregates
+    /// bit-exactly: stability scores, stds, and intervals all identical
+    /// to the cold run.
+    #[test]
+    fn bayes_store_resume_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("cm_pipe_bayes_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut store = Store::open(dir.join("bayes.cmstore")).unwrap();
+
+        let mut miner = CounterMiner::new(MinerConfig {
+            cleaner_kind: CleanerKind::Bayes,
+            ..tiny_config()
+        });
+        let cold = miner
+            .analyze_with_store(Benchmark::Wordcount, &mut store)
+            .unwrap();
+        let warm = miner
+            .analyze_with_store(Benchmark::Wordcount, &mut store)
+            .unwrap();
+        assert_eq!(cold.eir.ranking, warm.eir.ranking);
+        assert_eq!(cold.eir.uncertainty, warm.eir.uncertainty);
+        assert_eq!(
+            cold.eir
+                .iterations
+                .iter()
+                .map(|i| i.stability)
+                .collect::<Vec<_>>(),
+            warm.eir
+                .iterations
+                .iter()
+                .map(|i| i.stability)
+                .collect::<Vec<_>>(),
+        );
+        // And both agree with the in-memory bayes path.
+        let mut plain = CounterMiner::new(MinerConfig {
+            cleaner_kind: CleanerKind::Bayes,
+            ..tiny_config()
+        });
+        let baseline = plain.analyze(Benchmark::Wordcount).unwrap();
+        assert_eq!(baseline.eir.ranking, warm.eir.ranking);
+        assert_eq!(baseline.eir.uncertainty, warm.eir.uncertainty);
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! count, cleaner tallies). Namespacing programs by fingerprint lets
 //! snapshots for different configurations coexist in one store file.
 
-use crate::{CmError, MinerConfig};
+use crate::uncertainty::{decode_aggregates, encode_aggregates};
+use crate::{CleanerKind, CmError, MinerConfig, VarianceAggregate};
 use cm_events::{EventId, RunRecord, SampleMode};
 use cm_sim::{Benchmark, SimRun};
 use cm_store::{RunId, SeriesKey, Store};
@@ -44,6 +45,11 @@ pub(crate) struct Snapshot {
     pub outliers_replaced: usize,
     /// Total missing values the cleaner filled when the snapshot was made.
     pub missing_filled: usize,
+    /// Per-event column variance aggregates, present when the snapshot
+    /// was ingested in `bayes` mode (same order as `events`). Persisted
+    /// bit-exactly so a warm bayes run replays the cold run's
+    /// uncertainty byte for byte.
+    pub uncertainty: Option<Vec<VarianceAggregate>>,
 }
 
 /// FNV-1a 64-bit hash.
@@ -68,13 +74,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Deliberately excludes the importance/interaction/aggregation settings:
 /// those shape the *model* half of the pipeline, which always re-runs, so
 /// retuning EIR must not force a re-collection.
+///
+/// The cleaner *kind* is part of the hash (v3): a point snapshot carries
+/// no variance aggregates, so letting a bayes analysis warm-start from
+/// one would silently drop the uncertainty it was asked for — cross-kind
+/// resume must be a miss.
 pub(crate) fn fingerprint(benchmark: Benchmark, config: &MinerConfig, events: &[EventId]) -> u64 {
     let mut ids: Vec<usize> = events.iter().map(|e| e.index()).collect();
     ids.sort_unstable();
     ids.dedup();
     let desc = format!(
-        "v2|{:?}|pmu={:?}|cleaner={:?}|runs={}|events={ids:?}|seed={}",
-        benchmark, config.pmu, config.cleaner, config.runs_per_benchmark, config.seed,
+        "v3|{:?}|pmu={:?}|cleaner={:?}|kind={:?}|runs={}|events={ids:?}|seed={}",
+        benchmark,
+        config.pmu,
+        config.cleaner,
+        config.cleaner_kind,
+        config.runs_per_benchmark,
+        config.seed,
     );
     fnv1a(desc.as_bytes())
 }
@@ -154,6 +170,18 @@ pub(crate) fn save(
         meta_key(benchmark, "missing"),
         snapshot.missing_filled.to_string(),
     );
+    let kind = if snapshot.uncertainty.is_some() {
+        CleanerKind::Bayes
+    } else {
+        CleanerKind::Point
+    };
+    store.set_meta(meta_key(benchmark, "cleaner"), kind.to_string());
+    if let Some(aggregates) = &snapshot.uncertainty {
+        store.set_meta(
+            meta_key(benchmark, "uncertainty"),
+            encode_aggregates(aggregates),
+        );
+    }
     Ok(())
 }
 
@@ -200,6 +228,23 @@ pub(crate) fn load(
     let n_runs = parsed_meta(store, benchmark, "runs")?;
     let outliers_replaced = parsed_meta(store, benchmark, "outliers")?;
     let missing_filled = parsed_meta(store, benchmark, "missing")?;
+    // Bayes snapshots carry their column variance aggregates; their
+    // absence under a bayes marker is corruption, not a miss.
+    let uncertainty = match store.meta(&meta_key(benchmark, "cleaner")).as_deref() {
+        Some("bayes") => {
+            let encoded = store.meta(&meta_key(benchmark, "uncertainty")).ok_or(
+                CmError::Invalid("snapshot metadata is incomplete; re-ingest the benchmark"),
+            )?;
+            let aggregates = decode_aggregates(&encoded)?;
+            if aggregates.len() != events.len() {
+                return Err(CmError::Invalid(
+                    "snapshot uncertainty does not match its event list; re-ingest the benchmark",
+                ));
+            }
+            Some(aggregates)
+        }
+        _ => None,
+    };
 
     let cleaned_program = cleaned_ns(benchmark, fp);
     let ipc_program = ipc_ns(benchmark, fp);
@@ -227,6 +272,7 @@ pub(crate) fn load(
         events,
         outliers_replaced,
         missing_filled,
+        uncertainty,
     }))
 }
 
@@ -288,6 +334,61 @@ mod tests {
         assert_ne!(fp, fingerprint(Benchmark::Wordcount, &config, &different));
     }
 
+    /// Regression: the fingerprint did not hash the cleaner *kind*, so a
+    /// store ingested with the point cleaner warm-started a bayes
+    /// analysis (and vice versa) — a stale bit-identical hit with the
+    /// uncertainty silently missing.
+    #[test]
+    fn fingerprint_covers_cleaner_kind() {
+        let events = [EventId::new(3), EventId::new(7)];
+        let point = MinerConfig {
+            cleaner_kind: CleanerKind::Point,
+            ..MinerConfig::default()
+        };
+        let bayes = MinerConfig {
+            cleaner_kind: CleanerKind::Bayes,
+            ..MinerConfig::default()
+        };
+        assert_ne!(
+            fingerprint(Benchmark::Wordcount, &point, &events),
+            fingerprint(Benchmark::Wordcount, &bayes, &events),
+        );
+    }
+
+    #[test]
+    fn bayes_uncertainty_roundtrips_bit_exactly() {
+        let mut store = temp_store("uncertainty");
+        let fp = 0xBA1E5;
+        let raw = vec![sim_run("wordcount", 0, &[1.0, 2.0])];
+        let aggregates = vec![
+            VarianceAggregate {
+                sum_variance: 1.0 / 3.0,
+                reconstructed: 2,
+                sum_squares: 5.0,
+                samples: 2,
+            },
+            VarianceAggregate::default(),
+        ];
+        let snap = Snapshot {
+            runs: vec![sim_run("wordcount", 0, &[1.0, 2.0])],
+            events: vec![EventId::new(3), EventId::new(7)],
+            outliers_replaced: 1,
+            missing_filled: 1,
+            uncertainty: Some(aggregates.clone()),
+        };
+        save(&mut store, Benchmark::Wordcount, fp, &raw, &snap).unwrap();
+        store.commit().unwrap();
+        let loaded = load(&store, Benchmark::Wordcount, fp).unwrap().unwrap();
+        let loaded_aggregates = loaded.uncertainty.expect("bayes snapshot keeps uncertainty");
+        assert_eq!(loaded_aggregates.len(), aggregates.len());
+        for (a, b) in loaded_aggregates.iter().zip(&aggregates) {
+            assert_eq!(a.sum_variance.to_bits(), b.sum_variance.to_bits());
+            assert_eq!(a.sum_squares.to_bits(), b.sum_squares.to_bits());
+            assert_eq!(a.reconstructed, b.reconstructed);
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
     #[test]
     fn save_load_roundtrip_is_exact() {
         let mut store = temp_store("roundtrip");
@@ -298,6 +399,7 @@ mod tests {
             events: vec![EventId::new(3), EventId::new(7)],
             outliers_replaced: 2,
             missing_filled: 1,
+            uncertainty: None,
         };
         save(&mut store, Benchmark::Wordcount, fp, &raw, &snap).unwrap();
         store.commit().unwrap();
@@ -334,6 +436,7 @@ mod tests {
                 events: vec![EventId::new(3), EventId::new(7)],
                 outliers_replaced: 0,
                 missing_filled: 0,
+                uncertainty: None,
             };
             save(&mut store, Benchmark::Wordcount, fp, &raw, &snap).unwrap();
         }

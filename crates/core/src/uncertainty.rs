@@ -1,0 +1,191 @@
+//! Column-level uncertainty aggregation for the `bayes` cleaning mode.
+//!
+//! The cleaner attaches a variance to every value it reconstructs
+//! ([`SeriesUncertainty`](crate::SeriesUncertainty)); the pipeline needs
+//! those variances *per event column* to turn them into importance
+//! confidence intervals. A [`VarianceAggregate`] folds one event's
+//! series-level uncertainty into four commutative sums, so per-run
+//! aggregates merge in any grouping (streaming blocks, snapshot
+//! save/load, parallel fan-in) to the same result — provided the final
+//! fold happens in a deterministic order, which every caller guarantees
+//! by merging in run order.
+
+use crate::{CmError, SeriesUncertainty};
+use cm_events::TimeSeries;
+
+/// Accumulated reconstruction uncertainty for one event column.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VarianceAggregate {
+    /// Sum of posterior variances over all reconstructed samples.
+    pub sum_variance: f64,
+    /// Number of reconstructed samples.
+    pub reconstructed: u64,
+    /// Sum of squared cleaned values over **all** samples (the scale the
+    /// variance is measured against).
+    pub sum_squares: f64,
+    /// Total number of samples.
+    pub samples: u64,
+}
+
+impl VarianceAggregate {
+    /// Aggregates one cleaned series and its uncertainty.
+    pub fn of_series(series: &TimeSeries, uncertainty: &SeriesUncertainty) -> Self {
+        VarianceAggregate {
+            sum_variance: uncertainty.total_variance(),
+            reconstructed: uncertainty.reconstructions.len() as u64,
+            sum_squares: series.values().iter().map(|v| v * v).sum(),
+            samples: series.len() as u64,
+        }
+    }
+
+    /// Folds another aggregate into this one. Callers merge in run
+    /// order so the floating-point sums are reproducible.
+    pub fn merge(&mut self, other: &VarianceAggregate) {
+        self.sum_variance += other.sum_variance;
+        self.reconstructed += other.reconstructed;
+        self.sum_squares += other.sum_squares;
+        self.samples += other.samples;
+    }
+
+    /// Relative uncertainty of the column: `sqrt(Σvar / Σv²)` — the
+    /// reconstruction noise as a fraction of the column's RMS magnitude.
+    /// `0.0` when nothing was reconstructed or the column is all zeros
+    /// (no scale to compare against).
+    pub fn relative_uncertainty(&self) -> f64 {
+        if self.sum_variance <= 0.0 || self.sum_squares <= 0.0 {
+            return 0.0;
+        }
+        (self.sum_variance / self.sum_squares).sqrt()
+    }
+
+    /// Serializes to the snapshot meta encoding: the four fields as
+    /// lowercase hex (`f64::to_bits` for the sums), colon-separated.
+    /// Bit-exact round-trip keeps warm-started analyses byte-identical
+    /// to cold ones.
+    pub(crate) fn encode(&self) -> String {
+        format!(
+            "{:016x}:{:x}:{:016x}:{:x}",
+            self.sum_variance.to_bits(),
+            self.reconstructed,
+            self.sum_squares.to_bits(),
+            self.samples,
+        )
+    }
+
+    /// Parses the [`encode`](Self::encode) form.
+    pub(crate) fn decode(s: &str) -> Result<Self, CmError> {
+        let mut parts = s.split(':');
+        let mut next = || {
+            parts
+                .next()
+                .and_then(|p| u64::from_str_radix(p, 16).ok())
+                .ok_or(CmError::Invalid("malformed uncertainty aggregate"))
+        };
+        let sum_variance = f64::from_bits(next()?);
+        let reconstructed = next()?;
+        let sum_squares = f64::from_bits(next()?);
+        let samples = next()?;
+        if parts.next().is_some() {
+            return Err(CmError::Invalid("malformed uncertainty aggregate"));
+        }
+        Ok(VarianceAggregate {
+            sum_variance,
+            reconstructed,
+            sum_squares,
+            samples,
+        })
+    }
+}
+
+/// Encodes a per-event aggregate list for snapshot meta storage
+/// (semicolon-joined [`VarianceAggregate::encode`] entries, in event
+/// order).
+pub(crate) fn encode_aggregates(aggregates: &[VarianceAggregate]) -> String {
+    aggregates
+        .iter()
+        .map(VarianceAggregate::encode)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Parses [`encode_aggregates`] output.
+pub(crate) fn decode_aggregates(s: &str) -> Result<Vec<VarianceAggregate>, CmError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(';').map(VarianceAggregate::decode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Reconstruction, ReconstructionSource};
+
+    fn aggregate(sum_variance: f64, reconstructed: u64, sum_squares: f64, samples: u64) -> VarianceAggregate {
+        VarianceAggregate {
+            sum_variance,
+            reconstructed,
+            sum_squares,
+            samples,
+        }
+    }
+
+    #[test]
+    fn of_series_sums_variances_and_squares() {
+        let series = TimeSeries::from_values(vec![3.0, 4.0]);
+        let uncertainty = SeriesUncertainty {
+            reconstructions: vec![Reconstruction {
+                index: 1,
+                value: 4.0,
+                variance: 0.25,
+                source: ReconstructionSource::MissingFill,
+            }],
+        };
+        let agg = VarianceAggregate::of_series(&series, &uncertainty);
+        assert_eq!(agg.sum_variance, 0.25);
+        assert_eq!(agg.reconstructed, 1);
+        assert_eq!(agg.sum_squares, 25.0);
+        assert_eq!(agg.samples, 2);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = aggregate(1.0, 2, 10.0, 5);
+        a.merge(&aggregate(0.5, 1, 6.0, 3));
+        assert_eq!(a, aggregate(1.5, 3, 16.0, 8));
+    }
+
+    #[test]
+    fn relative_uncertainty_is_rms_fraction() {
+        let agg = aggregate(1.0, 4, 100.0, 50);
+        assert!((agg.relative_uncertainty() - 0.1).abs() < 1e-12);
+        assert_eq!(aggregate(0.0, 0, 100.0, 50).relative_uncertainty(), 0.0);
+        assert_eq!(aggregate(1.0, 1, 0.0, 0).relative_uncertainty(), 0.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let cases = [
+            aggregate(0.0, 0, 0.0, 0),
+            aggregate(1.0 / 3.0, 7, 1e300, u64::MAX),
+            aggregate(f64::MIN_POSITIVE, 1, 2.5e-7, 42),
+        ];
+        for agg in cases {
+            let decoded = VarianceAggregate::decode(&agg.encode()).unwrap();
+            assert_eq!(decoded.sum_variance.to_bits(), agg.sum_variance.to_bits());
+            assert_eq!(decoded.sum_squares.to_bits(), agg.sum_squares.to_bits());
+            assert_eq!(decoded.reconstructed, agg.reconstructed);
+            assert_eq!(decoded.samples, agg.samples);
+        }
+        let list = vec![aggregate(0.5, 1, 4.0, 2), aggregate(0.0, 0, 9.0, 3)];
+        assert_eq!(decode_aggregates(&encode_aggregates(&list)).unwrap(), list);
+        assert!(decode_aggregates("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        for bad in ["", "1:2:3", "zz:1:0:1:9", "1:2:3:4:5"] {
+            assert!(VarianceAggregate::decode(bad).is_err(), "{bad}");
+        }
+    }
+}

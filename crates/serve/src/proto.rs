@@ -169,6 +169,11 @@ pub struct RankedAnalysis {
     pub outliers_replaced: usize,
     /// Total missing values filled during cleaning.
     pub missing_filled: usize,
+    /// Ranking-stability score (`bayes` cleaning mode only): probability
+    /// the top-K importance order survives resampling from the
+    /// posteriors. `None` under the point cleaner. Lets a subscriber
+    /// judge whether a rank change between two analyses is within noise.
+    pub stability: Option<f64>,
 }
 
 impl RankedAnalysis {
@@ -186,6 +191,7 @@ impl RankedAnalysis {
                 .collect(),
             outliers_replaced: report.outliers_replaced,
             missing_filled: report.missing_filled,
+            stability: report.eir.uncertainty.as_ref().map(|u| u.stability),
         }
     }
 }

@@ -1,0 +1,403 @@
+//! Uncertainty-aware estimation for reconstructed counter values (the
+//! BayesPerf direction): Gaussian posteriors, deterministic resampling
+//! streams, and the top-K ranking-stability score.
+//!
+//! The point cleaner replaces an outlier or a missing sample with a
+//! single number and forgets how confident that reconstruction was. The
+//! `bayes` cleaning mode instead treats every reconstructed value as a
+//! Gaussian [`Posterior`]: the mean is the point estimate (bit-identical
+//! to the point cleaner's output) and the variance measures the
+//! dispersion of the evidence the estimate was built from — the KNN
+//! neighborhood for a missing-value fill, the surrounding segment for an
+//! outlier replacement. This module holds the posterior type and the two
+//! kernels that turn those variances into statements about a ranking:
+//!
+//! * [`rank_stability`] — the probability that a top-K importance order
+//!   survives resampling every importance from its posterior, and
+//! * [`empirical_coverage`] — the calibration check: how often nominal
+//!   X % intervals actually cover the ground truth.
+//!
+//! All resampling is driven by [`ResampleStream`], a SplitMix64-style
+//! counter stream: draw `d` is a pure function of `(seed, d)`, never of
+//! execution order, so every score computed here is bit-identical at any
+//! thread count.
+
+use crate::{Distribution, Normal, StatsError};
+
+/// A Gaussian posterior over one reconstructed value.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::estimator::Posterior;
+///
+/// let p = Posterior::new(10.0, 4.0); // mean 10, variance 4 (std 2)
+/// let (lo, hi) = p.interval(0.9545); // ±2σ covers ~95.45 %
+/// assert!((lo - 6.0).abs() < 0.01);
+/// assert!((hi - 14.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posterior {
+    /// The point estimate.
+    pub mean: f64,
+    /// Variance of the estimate (0 means "certain").
+    pub variance: f64,
+}
+
+impl Posterior {
+    /// Builds a posterior; a negative variance is clamped to zero (it
+    /// can only arise from floating-point cancellation upstream).
+    pub fn new(mean: f64, variance: f64) -> Self {
+        Posterior {
+            mean,
+            variance: variance.max(0.0),
+        }
+    }
+
+    /// Standard deviation of the posterior.
+    pub fn std(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// The central interval covering `confidence` of the posterior mass.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `confidence` lies strictly inside `(0, 1)`.
+    pub fn interval(&self, confidence: f64) -> (f64, f64) {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must lie in (0, 1), got {confidence}"
+        );
+        if self.variance == 0.0 {
+            return (self.mean, self.mean);
+        }
+        let z = standard_quantile(0.5 + confidence / 2.0);
+        let half = z * self.std();
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// Standard normal quantile via [`Normal`].
+fn standard_quantile(p: f64) -> f64 {
+    Normal::new(0.0, 1.0)
+        .expect("unit normal parameters are valid")
+        .quantile(p)
+}
+
+/// Derives an independent sub-seed from `(seed, stream)` with the
+/// SplitMix64 finalizer — the same splittable-stream idiom the GBRT
+/// trainer and the chaos harness use. Stream `s` of seed `x` never
+/// collides with stream `s` of seed `y ≠ x` in practice, and adjacent
+/// streams are statistically independent.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::estimator::mix_seed;
+///
+/// assert_ne!(mix_seed(7, 0), mix_seed(7, 1));
+/// assert_eq!(mix_seed(7, 3), mix_seed(7, 3));
+/// ```
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic SplitMix64 random stream for posterior resampling.
+///
+/// Stream `(seed, stream)` is a pure function of its two arguments:
+/// resampling draw `d` can be generated on any thread, in any order,
+/// and always yields the same numbers — the property every stability
+/// score in the pipeline leans on.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::estimator::ResampleStream;
+///
+/// let mut a = ResampleStream::new(42, 0);
+/// let mut b = ResampleStream::new(42, 0);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResampleStream {
+    state: u64,
+}
+
+impl ResampleStream {
+    /// Opens stream `stream` of `seed`.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        ResampleStream {
+            state: mix_seed(seed, stream),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform draw in `[0, 1)` (53 bits of mantissa).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next standard-normal draw, via the inverse CDF (so one uniform
+    /// consumes exactly one `next_u64`, keeping streams aligned).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u = self.next_f64().clamp(f64::EPSILON, 1.0 - f64::EPSILON);
+        standard_quantile(u)
+    }
+}
+
+/// Indices of the top `k` values, descending, ties broken by lower
+/// index first (a total order, so the baseline is unambiguous).
+fn top_order(values: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]).then(a.cmp(&b)));
+    order.truncate(k);
+    order
+}
+
+/// The ranking-stability score: the probability that the top-`top_k`
+/// order of `means` (descending) survives resampling every value from
+/// `N(means[i], stds[i]²)`.
+///
+/// Each of the `draws` resamples perturbs all values with an
+/// independent [`ResampleStream`] keyed on `(seed, draw)` and checks
+/// whether the perturbed top-K *order* (the same events in the same
+/// positions) matches the unperturbed one; the score is the fraction of
+/// draws that match. `1.0` means the order is rock-solid under the
+/// posteriors; values near `0.0` mean the order is mostly noise.
+///
+/// # Errors
+///
+/// Returns [`StatsError::MismatchedLengths`] when `means` and `stds`
+/// disagree, and [`StatsError::InvalidParameter`] for zero `draws` or a
+/// non-finite mean or std.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::estimator::rank_stability;
+///
+/// // Well-separated means with tiny noise: the order always holds.
+/// let solid = rank_stability(&[50.0, 30.0, 10.0], &[0.1, 0.1, 0.1], 2, 64, 7)?;
+/// assert_eq!(solid, 1.0);
+/// // Nearly-tied means with large noise: the order rarely holds.
+/// let shaky = rank_stability(&[30.1, 30.0, 29.9], &[20.0, 20.0, 20.0], 2, 64, 7)?;
+/// assert!(shaky < 0.9);
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+pub fn rank_stability(
+    means: &[f64],
+    stds: &[f64],
+    top_k: usize,
+    draws: usize,
+    seed: u64,
+) -> Result<f64, StatsError> {
+    if means.len() != stds.len() {
+        return Err(StatsError::MismatchedLengths {
+            left: means.len(),
+            right: stds.len(),
+        });
+    }
+    if draws == 0 {
+        return Err(StatsError::InvalidParameter("draws must be at least 1"));
+    }
+    if means.iter().chain(stds).any(|v| !v.is_finite()) {
+        return Err(StatsError::InvalidParameter(
+            "means and stds must be finite",
+        ));
+    }
+    if means.is_empty() || top_k == 0 {
+        return Ok(1.0);
+    }
+    let k = top_k.min(means.len());
+    let baseline = top_order(means, k);
+    let mut perturbed = vec![0.0f64; means.len()];
+    let mut matches = 0usize;
+    for draw in 0..draws {
+        let mut stream = ResampleStream::new(seed, draw as u64);
+        for (i, p) in perturbed.iter_mut().enumerate() {
+            *p = means[i] + stds[i] * stream.next_gaussian();
+        }
+        if top_order(&perturbed, k) == baseline {
+            matches += 1;
+        }
+    }
+    Ok(matches as f64 / draws as f64)
+}
+
+/// The calibration check behind "are the intervals honest?": the
+/// fraction of `truths` that fall inside their posterior's central
+/// `confidence` interval. An honest estimator's empirical coverage
+/// tracks the nominal level; the ground-truth calibration sweep in
+/// `crates/sim` asserts exactly that against exact simulated counts.
+///
+/// # Errors
+///
+/// Returns [`StatsError::MismatchedLengths`] when the slices disagree
+/// and [`StatsError::EmptyInput`] when there is nothing to check.
+///
+/// # Examples
+///
+/// ```
+/// use cm_stats::estimator::{empirical_coverage, Posterior};
+///
+/// let posteriors = [Posterior::new(10.0, 1.0), Posterior::new(0.0, 1.0)];
+/// // One truth inside its 95 % interval, one far outside.
+/// let coverage = empirical_coverage(&[10.5, 9.0], &posteriors, 0.95)?;
+/// assert_eq!(coverage, 0.5);
+/// # Ok::<(), cm_stats::StatsError>(())
+/// ```
+pub fn empirical_coverage(
+    truths: &[f64],
+    posteriors: &[Posterior],
+    confidence: f64,
+) -> Result<f64, StatsError> {
+    if truths.len() != posteriors.len() {
+        return Err(StatsError::MismatchedLengths {
+            left: truths.len(),
+            right: posteriors.len(),
+        });
+    }
+    if truths.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let covered = truths
+        .iter()
+        .zip(posteriors)
+        .filter(|(&t, p)| {
+            let (lo, hi) = p.interval(confidence);
+            lo <= t && t <= hi
+        })
+        .count();
+    Ok(covered as f64 / truths.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posterior_interval_widens_with_confidence() {
+        let p = Posterior::new(5.0, 9.0);
+        let (lo90, hi90) = p.interval(0.90);
+        let (lo99, hi99) = p.interval(0.99);
+        assert!(lo99 < lo90 && hi99 > hi90);
+        assert!((lo90 + hi90) / 2.0 - 5.0 < 1e-9);
+    }
+
+    #[test]
+    fn zero_variance_interval_is_a_point() {
+        let p = Posterior::new(3.0, 0.0);
+        assert_eq!(p.interval(0.99), (3.0, 3.0));
+    }
+
+    #[test]
+    fn negative_variance_is_clamped() {
+        assert_eq!(Posterior::new(1.0, -1e-18).variance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn interval_rejects_confidence_of_one() {
+        Posterior::new(0.0, 1.0).interval(1.0);
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_distinct() {
+        let draw = |seed, stream| {
+            let mut s = ResampleStream::new(seed, stream);
+            (0..4).map(|_| s.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1, 0), draw(1, 0));
+        assert_ne!(draw(1, 0), draw(1, 1));
+        assert_ne!(draw(1, 0), draw(2, 0));
+    }
+
+    #[test]
+    fn gaussian_draws_have_sane_moments() {
+        let mut s = ResampleStream::new(11, 0);
+        let n = 4000;
+        let draws: Vec<f64> = (0..n).map(|_| s.next_gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn stability_is_deterministic() {
+        let means = [40.0, 35.0, 15.0, 10.0];
+        let stds = [5.0, 5.0, 5.0, 5.0];
+        let a = rank_stability(&means, &stds, 3, 128, 9).unwrap();
+        let b = rank_stability(&means, &stds, 3, 128, 9).unwrap();
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn zero_noise_is_perfectly_stable() {
+        let means = [4.0, 3.0, 2.0, 1.0];
+        let stds = [0.0; 4];
+        assert_eq!(rank_stability(&means, &stds, 4, 32, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ties_under_huge_noise_are_unstable() {
+        let means = [10.0, 10.0, 10.0, 10.0];
+        let stds = [50.0; 4];
+        let s = rank_stability(&means, &stds, 3, 256, 3).unwrap();
+        // 4 equally-likely candidates for 3 slots: ~1/24 of draws match.
+        assert!(s < 0.25, "stability {s}");
+    }
+
+    #[test]
+    fn stability_validates_inputs() {
+        assert!(rank_stability(&[1.0], &[1.0, 2.0], 1, 8, 0).is_err());
+        assert!(rank_stability(&[1.0], &[1.0], 1, 0, 0).is_err());
+        assert!(rank_stability(&[f64::NAN], &[1.0], 1, 8, 0).is_err());
+        assert_eq!(rank_stability(&[], &[], 3, 8, 0).unwrap(), 1.0);
+        assert_eq!(rank_stability(&[1.0], &[1.0], 0, 8, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn top_k_larger_than_input_is_clamped() {
+        let s = rank_stability(&[9.0, 1.0], &[0.01, 0.01], 10, 16, 5).unwrap();
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn coverage_of_honest_gaussians_tracks_nominal() {
+        // Truths drawn from the very posteriors we report: coverage must
+        // sit near the nominal level.
+        let mut stream = ResampleStream::new(21, 0);
+        let posteriors: Vec<Posterior> = (0..2000)
+            .map(|i| Posterior::new(i as f64, 4.0))
+            .collect();
+        let truths: Vec<f64> = posteriors
+            .iter()
+            .map(|p| p.mean + p.std() * stream.next_gaussian())
+            .collect();
+        let c90 = empirical_coverage(&truths, &posteriors, 0.90).unwrap();
+        assert!((c90 - 0.90).abs() < 0.03, "coverage {c90}");
+    }
+
+    #[test]
+    fn coverage_validates_inputs() {
+        let p = [Posterior::new(0.0, 1.0)];
+        assert!(empirical_coverage(&[1.0, 2.0], &p, 0.9).is_err());
+        assert!(empirical_coverage(&[], &[], 0.9).is_err());
+    }
+}

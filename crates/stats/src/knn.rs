@@ -67,6 +67,49 @@ impl KnnRegressor {
     /// Predicts the value at `x` as the mean of the `k` nearest training
     /// points (by absolute distance along x).
     pub fn predict(&self, x: f64) -> f64 {
+        self.fold_neighbors(x, |_| {}) / self.k as f64
+    }
+
+    /// Predicts the value at `x` together with a predictive variance.
+    ///
+    /// The mean is computed exactly as [`Self::predict`] does — same
+    /// neighbors, same summation order, bit-identical result. The
+    /// variance is the sample variance of the `k` neighbor values
+    /// inflated by `1 + 1/k` (the predictive variance of a new draw from
+    /// the neighborhood when the mean itself is estimated from `k`
+    /// samples); with `k == 1` the neighborhood carries no dispersion
+    /// information and the variance is reported as `0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cm_stats::knn::KnnRegressor;
+    ///
+    /// let xs = [0.0, 1.0, 2.0, 3.0];
+    /// let ys = [10.0, 12.0, 10.0, 12.0];
+    /// let knn = KnnRegressor::fit(&xs, &ys, 2)?;
+    /// let (mean, variance) = knn.predict_with_variance(0.4);
+    /// assert_eq!(mean, knn.predict(0.4));
+    /// assert!(variance > 0.0);
+    /// # Ok::<(), cm_stats::StatsError>(())
+    /// ```
+    pub fn predict_with_variance(&self, x: f64) -> (f64, f64) {
+        let mut neighbors = Vec::with_capacity(self.k);
+        let sum = self.fold_neighbors(x, |y| neighbors.push(y));
+        let mean = sum / self.k as f64;
+        if self.k < 2 {
+            return (mean, 0.0);
+        }
+        let ss: f64 = neighbors.iter().map(|&y| (y - mean) * (y - mean)).sum();
+        let sample_var = ss / (self.k - 1) as f64;
+        (mean, sample_var * (1.0 + 1.0 / self.k as f64))
+    }
+
+    /// The shared neighbor walk: visits the `k` nearest training values
+    /// in selection order and returns their sum. Both prediction entry
+    /// points accumulate through this one loop, so they cannot drift
+    /// apart.
+    fn fold_neighbors(&self, x: f64, mut visit: impl FnMut(f64)) -> f64 {
         // Points are sorted by x: locate the insertion point and expand
         // outward, which is O(log n + k).
         let n = self.points.len();
@@ -83,15 +126,18 @@ impl KnnRegressor {
                 (false, true) => false,
                 (false, false) => unreachable!("k <= n is enforced at fit time"),
             };
-            if take_left {
+            let y = if take_left {
                 left -= 1;
-                sum += self.points[left].1;
+                self.points[left].1
             } else {
-                sum += self.points[right].1;
+                let y = self.points[right].1;
                 right += 1;
-            }
+                y
+            };
+            sum += y;
+            visit(y);
         }
-        sum / self.k as f64
+        sum
     }
 }
 
@@ -141,6 +187,50 @@ pub fn impute_series(values: &mut [f64], missing: &[usize], k: usize) -> Result<
         values[i] = knn.predict(i as f64);
     }
     Ok(())
+}
+
+/// [`impute_series`] plus a predictive variance per fill: fills exactly
+/// the same values (same regressor, same neighbor walk, bit-identical)
+/// and returns one variance per entry of `missing`, in order, from
+/// [`KnnRegressor::predict_with_variance`].
+///
+/// # Errors
+///
+/// Exactly the errors of [`impute_series`].
+pub fn impute_series_with_variance(
+    values: &mut [f64],
+    missing: &[usize],
+    k: usize,
+) -> Result<Vec<f64>, StatsError> {
+    if missing.is_empty() {
+        return Ok(Vec::new());
+    }
+    if k == 0 {
+        return Err(StatsError::InvalidParameter("k must be at least 1"));
+    }
+    if missing.iter().any(|&i| i >= values.len()) {
+        return Err(StatsError::InvalidParameter("missing index out of range"));
+    }
+    let missing_set: std::collections::HashSet<usize> = missing.iter().copied().collect();
+    let mut xs = Vec::with_capacity(values.len() - missing_set.len());
+    let mut ys = Vec::with_capacity(xs.capacity());
+    for (i, &v) in values.iter().enumerate() {
+        if !missing_set.contains(&i) {
+            xs.push(i as f64);
+            ys.push(v);
+        }
+    }
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let knn = KnnRegressor::fit(&xs, &ys, k.min(xs.len()))?;
+    let mut variances = Vec::with_capacity(missing.len());
+    for &i in missing {
+        let (mean, variance) = knn.predict_with_variance(i as f64);
+        values[i] = mean;
+        variances.push(variance);
+    }
+    Ok(variances)
 }
 
 #[cfg(test)]
@@ -230,6 +320,56 @@ mod tests {
             impute_series(&mut v, &[0, 1], 5),
             Err(StatsError::EmptyInput)
         ));
+    }
+
+    #[test]
+    fn predict_with_variance_mean_matches_predict_exactly() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..40).map(|i| 10.0 + ((i * 13) % 7) as f64 * 0.3).collect();
+        let knn = KnnRegressor::fit(&xs, &ys, 5).unwrap();
+        for probe in [-3.0, 0.0, 7.4, 19.5, 44.0] {
+            let (mean, variance) = knn.predict_with_variance(probe);
+            assert_eq!(mean.to_bits(), knn.predict(probe).to_bits(), "x={probe}");
+            assert!(variance >= 0.0);
+        }
+    }
+
+    #[test]
+    fn variance_reflects_neighborhood_dispersion() {
+        // A flat neighborhood is certain; a noisy one is not.
+        let flat = KnnRegressor::fit(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0], 3).unwrap();
+        assert_eq!(flat.predict_with_variance(1.0).1, 0.0);
+        let noisy = KnnRegressor::fit(&[0.0, 1.0, 2.0], &[1.0, 9.0, 2.0], 3).unwrap();
+        assert!(noisy.predict_with_variance(1.0).1 > 1.0);
+        // k = 1 carries no dispersion information.
+        let single = KnnRegressor::fit(&[0.0, 9.0], &[1.0, 100.0], 1).unwrap();
+        assert_eq!(single.predict_with_variance(0.1).1, 0.0);
+    }
+
+    #[test]
+    fn impute_with_variance_fills_identically() {
+        let base = vec![10.0, 0.0, 12.0, 0.0, 11.0, 14.0, 0.0, 13.0];
+        let missing = [1usize, 3, 6];
+        let mut point = base.clone();
+        impute_series(&mut point, &missing, 3).unwrap();
+        let mut bayes = base.clone();
+        let variances = impute_series_with_variance(&mut bayes, &missing, 3).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&point), bits(&bayes));
+        assert_eq!(variances.len(), missing.len());
+        assert!(variances.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn impute_with_variance_validates_like_impute() {
+        let mut v = vec![1.0, 2.0];
+        assert!(impute_series_with_variance(&mut v, &[5], 1).is_err());
+        let mut v = vec![1.0, 2.0];
+        assert!(impute_series_with_variance(&mut v, &[0], 0).is_err());
+        let mut v = vec![0.0, 0.0];
+        assert!(impute_series_with_variance(&mut v, &[0, 1], 5).is_err());
+        let mut v = vec![1.0, 2.0, 3.0];
+        assert!(impute_series_with_variance(&mut v, &[], 0).unwrap().is_empty());
     }
 
     #[test]

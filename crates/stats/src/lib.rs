@@ -12,6 +12,9 @@
 //! * [ordinary least squares regression](regression) for the interaction
 //!   ranker,
 //! * [KNN regression](knn) for missing-value filling (k = 5 in the paper),
+//! * [uncertainty-aware estimation](estimator) — Gaussian posteriors,
+//!   deterministic resampling streams, and the ranking-stability score
+//!   behind the `bayes` cleaning mode,
 //! * [PCA](pca) as the related-work feature-extraction baseline
 //!   (Section VI-A),
 //! * [dynamic time warping](dtw) for comparing variable-length event
@@ -39,6 +42,7 @@ pub mod descriptive;
 mod distribution;
 pub mod dtw;
 mod error;
+pub mod estimator;
 mod gev;
 mod gumbel;
 pub mod knn;

@@ -6,7 +6,8 @@ use cm_events::{EventCatalog, EventId, RunRecord, SampleMode, TimeSeries};
 use cm_sim::{Benchmark, SimRun, Workload};
 use cm_store::{SeriesKey, Store};
 use counterminer::{
-    collector, AnalysisReport, DataCleaner, ImportanceRanker, InteractionRanker, MinerConfig,
+    collector, AnalysisReport, CleanerKind, DataCleaner, ImportanceRanker, InteractionRanker,
+    MinerConfig, VarianceAggregate,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -157,6 +158,11 @@ pub struct StreamSession {
     clean: Vec<Vec<CleanColumn>>,
     sealed_outliers: usize,
     sealed_missing: usize,
+    /// `bayes` mode only: reconstruction-variance aggregates over the
+    /// sealed prefix, `uncertainty[run][event_pos]`. Blocks fold in
+    /// ascending block order, so any append partitioning of the same
+    /// source reaches bit-identical sums.
+    uncertainty: Option<Vec<Vec<VarianceAggregate>>>,
     /// Last analysis, keyed by the sealed-row count it saw.
     cache: Option<(usize, Arc<StreamAnalysis>)>,
 }
@@ -269,9 +275,14 @@ impl StreamSession {
             clean: Vec::new(),
             sealed_outliers: 0,
             sealed_missing: 0,
+            uncertainty: None,
             cache: None,
         };
         session.clean = vec![vec![CleanColumn::default(); session.events.len()]; runs];
+        if session.config.miner.cleaner_kind == CleanerKind::Bayes {
+            session.uncertainty =
+                Some(vec![vec![VarianceAggregate::default(); session.events.len()]; runs]);
+        }
 
         if rows > 0 {
             session.check_store_rows(store, rows)?;
@@ -474,8 +485,27 @@ impl StreamSession {
         let data = collector::aggregate_windows(&data, self.config.miner.aggregation_window)?;
         let data = collector::normalize_columns(&data)?;
 
+        // Bayes: fold the per-run aggregates into per-event column
+        // aggregates (run order — deterministic) and rank with them.
+        let column_uncertainty: Option<Vec<f64>> = self.uncertainty.as_ref().map(|per_run| {
+            let mut columns = vec![VarianceAggregate::default(); self.events.len()];
+            for run in per_run {
+                for (column, aggregate) in columns.iter_mut().zip(run) {
+                    column.merge(aggregate);
+                }
+            }
+            let total_variance: f64 = columns.iter().map(|a| a.sum_variance).sum();
+            let reconstructed: u64 = columns.iter().map(|a| a.reconstructed).sum();
+            cm_obs::series_push("clean.variance.total", reconstructed as f64, total_variance);
+            columns
+                .iter()
+                .map(VarianceAggregate::relative_uncertainty)
+                .collect()
+        });
+
         let ranker = ImportanceRanker::new(self.config.miner.importance);
-        let eir = ranker.rank(&data, &self.events)?;
+        let eir =
+            ranker.rank_with_uncertainty(&data, &self.events, column_uncertainty.as_deref())?;
 
         let top: Vec<EventId> = eir
             .top(self.config.miner.interaction_top_k)
@@ -501,6 +531,7 @@ impl StreamSession {
             sealed_rows,
             report: AnalysisReport {
                 benchmark: self.benchmark,
+                cleaner: self.config.miner.cleaner_kind,
                 eir,
                 interactions,
                 outliers_replaced: self.sealed_outliers,
@@ -530,9 +561,22 @@ impl StreamSession {
                     if slice.is_empty() {
                         continue;
                     }
-                    let (cleaned, report) = self
-                        .cleaner
-                        .clean_series(&TimeSeries::from_values(slice.to_vec()))?;
+                    let series = TimeSeries::from_values(slice.to_vec());
+                    // Bayes carries the block's reconstruction variances
+                    // through the seal; values are bit-identical either
+                    // way, so the point path stays the fast default.
+                    let (cleaned, report) = match self.uncertainty.as_mut() {
+                        Some(aggregates) => {
+                            let (cleaned, report, block_uncertainty) =
+                                self.cleaner.clean_series_bayes(&series)?;
+                            aggregates[r][pos].merge(&VarianceAggregate::of_series(
+                                &cleaned,
+                                &block_uncertainty,
+                            ));
+                            (cleaned, report)
+                        }
+                        None => self.cleaner.clean_series(&series)?,
+                    };
                     self.clean[r][pos]
                         .sealed
                         .extend_from_slice(cleaned.values());
@@ -771,6 +815,73 @@ mod tests {
             StreamSession::open(&mut store, Benchmark::Sort, tiny_stream_config()),
             Err(StreamError::Inconsistent(_))
         ));
+    }
+
+    /// Streaming in `bayes` mode: sealed bytes stay bit-identical to
+    /// the point session's, the analysis carries uncertainty, and the
+    /// stability score is append-partitioning invariant.
+    #[test]
+    fn bayes_stream_matches_point_bytes_and_is_partition_invariant() {
+        // Pin both kinds explicitly: under `CM_CLEANER=bayes` the
+        // default-kind config would silently run bayes on both sides.
+        let with_kind = |kind| StreamConfig {
+            miner: MinerConfig {
+                cleaner_kind: kind,
+                ..tiny_stream_config().miner
+            },
+            ..tiny_stream_config()
+        };
+        let bayes_config = || with_kind(CleanerKind::Bayes);
+        let point_config = || with_kind(CleanerKind::Point);
+
+        let path = temp_store("bayes_oneshot");
+        let mut store = Store::open(&path).unwrap();
+        let mut s = StreamSession::open(&mut store, Benchmark::Sort, bayes_config()).unwrap();
+        s.append(&mut store, 96).unwrap();
+        let a = s.analysis().unwrap().unwrap();
+        let uncertainty = a.report.eir.uncertainty.as_ref().expect("bayes uncertainty");
+        assert!((0.0..=1.0).contains(&uncertainty.stability));
+        assert!(a.report.eir.iterations.iter().all(|i| i.stability.is_some()));
+        assert_eq!(a.report.cleaner, CleanerKind::Bayes);
+
+        // Point session over the same source: identical sealed bytes.
+        let path_p = temp_store("bayes_vs_point");
+        let mut store_p = Store::open(&path_p).unwrap();
+        let mut p =
+            StreamSession::open(&mut store_p, Benchmark::Sort, point_config()).unwrap();
+        p.append(&mut store_p, 96).unwrap();
+        for &e in s.events().to_vec().iter() {
+            let want = p.cleaned_series(0, e).unwrap();
+            let got = s.cleaned_series(0, e).unwrap();
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        let ap = p.analysis().unwrap().unwrap();
+        assert_eq!(ap.report.eir.ranking, a.report.eir.ranking);
+        assert!(ap.report.eir.uncertainty.is_none());
+
+        // Chunked appends reach the identical analysis, stability
+        // included (the oracle guarantee, uncertainty edition).
+        let path2 = temp_store("bayes_chunked");
+        let mut store2 = Store::open(&path2).unwrap();
+        let mut s2 = StreamSession::open(&mut store2, Benchmark::Sort, bayes_config()).unwrap();
+        let mut left = 96;
+        for chunk in [7usize, 40, 19, 30] {
+            s2.append(&mut store2, chunk.min(left)).unwrap();
+            left -= chunk.min(left);
+        }
+        let b = s2.analysis().unwrap().unwrap();
+        assert_eq!(a.report.eir.ranking, b.report.eir.ranking);
+        assert_eq!(a.report.eir.uncertainty, b.report.eir.uncertainty);
+
+        // And a resumed bayes session rebuilds the same uncertainty.
+        drop(s2);
+        let mut store2 = Store::open(&path2).unwrap();
+        let mut s3 = StreamSession::open(&mut store2, Benchmark::Sort, bayes_config()).unwrap();
+        let c = s3.analysis().unwrap().unwrap();
+        assert_eq!(a.report.eir.uncertainty, c.report.eir.uncertainty);
     }
 
     #[test]

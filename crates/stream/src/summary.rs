@@ -23,12 +23,14 @@ pub const ERROR_TOLERANCE: f64 = 0.01;
 ///     top: vec![(EventId::new(3), 40.0), (EventId::new(1), 30.0)],
 ///     mapm_events: vec![EventId::new(1), EventId::new(3)],
 ///     best_error: 0.10,
+///     stability: Some(0.9),
 /// };
 /// // Same order, same MAPM, error within 1 %: not a material change.
 /// let mut b = a.clone();
 /// b.best_error = 0.1005;
 /// assert!(!b.materially_differs(&a));
-/// // Swapped top-2: material.
+/// // Swapped top-2: material — but stability 0.9 says a reorder was
+/// // only ~10 % likely under the posteriors, so it means something.
 /// b.top.swap(0, 1);
 /// assert!(b.materially_differs(&a));
 /// ```
@@ -41,6 +43,12 @@ pub struct RankSummary {
     pub mapm_events: Vec<EventId>,
     /// Held-out error of the MAPM, as a fraction.
     pub best_error: f64,
+    /// Ranking-stability score of the analysis (`bayes` cleaning mode
+    /// only): probability the top-K order survives resampling the
+    /// importances from their posteriors. `None` under the point
+    /// cleaner. A subscriber seeing an order change while the previous
+    /// stability was low knows the change is within noise.
+    pub stability: Option<f64>,
 }
 
 impl RankSummary {
@@ -50,6 +58,7 @@ impl RankSummary {
             top: report.eir.top(k).to_vec(),
             mapm_events: report.eir.mapm_events.clone(),
             best_error: report.eir.best_error(),
+            stability: report.eir.uncertainty.as_ref().map(|u| u.stability),
         }
     }
 
@@ -91,7 +100,17 @@ mod tests {
             top: vec![(EventId::new(5), 50.0), (EventId::new(2), 25.0)],
             mapm_events: vec![EventId::new(2), EventId::new(5), EventId::new(9)],
             best_error: 0.2,
+            stability: None,
         }
+    }
+
+    #[test]
+    fn stability_does_not_affect_material_difference() {
+        let a = summary();
+        let mut b = summary();
+        b.stability = Some(0.4);
+        // Stability annotates; it never triggers a notification alone.
+        assert!(!b.materially_differs(&a));
     }
 
     #[test]

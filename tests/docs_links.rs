@@ -194,6 +194,7 @@ fn core_documents_exist() {
         "CHANGELOG.md",
         "docs/ARCHITECTURE.md",
         "docs/STORAGE_FORMAT.md",
+        "docs/CLEANING.md",
     ] {
         assert!(root.join(name).exists(), "missing {name}");
     }
