@@ -132,7 +132,9 @@ pub fn run(cfg: &ExpConfig) -> Result<BaselinePcaResult, CmError> {
         let ids: Vec<cm_events::EventId> = events.iter().collect();
         let data = collector::build_dataset(&runs, &ids, Some(&cleaner))?;
         let data = collector::normalize_columns(&data)?;
-        let pca = Pca::fit(data.rows(), 10).map_err(CmError::Stats)?;
+        // The baseline only needs the leading components for a ranking;
+        // a rank-deficient run should yield fewer, not fail.
+        let pca = Pca::fit_up_to(data.rows(), 10).map_err(CmError::Stats)?;
         let scores = pca.loading_importance();
         let mut order: Vec<usize> = (0..scores.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));

@@ -1,0 +1,86 @@
+//! The 64-seed fault sweep for the `cluster` analysis mode.
+//!
+//! `analyze_cluster` crosses the store seam many times — one ingest
+//! per benchmark, then a multi-snapshot load — so a fault schedule has
+//! plenty of opportunities to fire mid-pipeline. Under every seed the
+//! mode must either complete with the *same report a clean store
+//! produces* or fail with a typed error; a panic or a silently
+//! different clustering is the only wrong answer.
+
+use cm_chaos::FaultFs;
+use cm_sim::Benchmark;
+use cm_store::{CacheConfig, Store};
+use counterminer::{ClusterConfig, ClusterReport, CmError, CounterMiner, MinerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SEEDS: u64 = 64;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cm_chaos_cluster_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn miner() -> CounterMiner {
+    CounterMiner::new(MinerConfig {
+        runs_per_benchmark: 1,
+        events_to_measure: Some(10),
+        ..MinerConfig::default()
+    })
+}
+
+const BENCHMARKS: [Benchmark; 3] = [Benchmark::Sort, Benchmark::Wordcount, Benchmark::Kmeans];
+
+fn cluster_cfg() -> ClusterConfig {
+    ClusterConfig {
+        k: 2,
+        inject_anomalies: 1,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn cluster_mode_survives_64_fault_seeds() {
+    let dir = temp_dir();
+
+    // The oracle: the report a fault-free store produces.
+    let reference: ClusterReport = {
+        let mut store = Store::open(dir.join("clean.cmstore")).unwrap();
+        miner()
+            .analyze_cluster(&BENCHMARKS, &mut store, &cluster_cfg())
+            .unwrap()
+    };
+
+    let mut completed = 0u32;
+    let mut failed = 0u32;
+    let mut injected_total = 0u64;
+    for seed in 0..SEEDS {
+        let path = dir.join(format!("s{seed}.cmstore"));
+        let fs = Arc::new(FaultFs::new(seed));
+        let result = (|| -> Result<ClusterReport, CmError> {
+            let mut store = Store::open_with_vfs(&path, CacheConfig::default(), fs.clone())?;
+            miner().analyze_cluster(&BENCHMARKS, &mut store, &cluster_cfg())
+        })();
+        injected_total += fs.injected();
+        match result {
+            Ok(report) => {
+                completed += 1;
+                // A completed run under faults must match the clean
+                // oracle exactly — retried I/O may not change the data.
+                assert_eq!(report, reference, "seed {seed}: clustering lied");
+            }
+            Err(_) => failed += 1,
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    assert_eq!(completed + failed, SEEDS as u32);
+    assert!(injected_total > 0, "sweep injected no faults at all");
+    // The sweep is only meaningful if both regimes occur: schedules
+    // mild enough to complete and schedules harsh enough to fail.
+    assert!(completed > 0, "no seed completed ({failed} failed)");
+    assert!(failed > 0, "no seed failed ({completed} completed)");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,7 +15,7 @@ use counterminer::case_study::{
 };
 use counterminer::error_metrics::mlpx_error;
 use counterminer::{
-    collector, CleanerKind, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig,
+    collector, CleanerKind, ClusterConfig, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig,
 };
 use std::error::Error;
 use std::path::Path;
@@ -111,6 +111,14 @@ COMMANDS:
         [--scratch DIR]             fault seed on a private store copy;
                                     fails on any handler panic or torn
                                     store
+  cluster [BENCH,BENCH,...]         cluster cleaned counter signatures
+        --store FILE [--k N]        across benchmarks (default: all 16)
+        [--sigmas X] [--inject N]   with seeded k-medoids and flag
+        [--runs N] [--events N]     anomalous runs; --inject adds N
+        [--seed S] [--json]         synthetic anomalous runs per
+                                    benchmark to verify detection;
+                                    --json emits the machine-readable
+                                    report
   spark <benchmark> [--seed S]      the Spark-tuning case study
   colocate <benchA> <benchB>        importance ranking of two co-located
         [--events N] [--seed S]     benchmarks sharing the PMU
@@ -1085,6 +1093,68 @@ pub fn load(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `counterminer cluster [BENCH,...] --store FILE [...]`
+///
+/// The cross-benchmark `cluster` analysis mode: ingests every listed
+/// benchmark into the store (warm snapshots are reused), builds cleaned
+/// counter signatures, clusters them with seeded k-medoids, and flags
+/// runs beyond their cluster's calibrated anomaly threshold. Output is
+/// bit-identical at any `--threads`.
+pub fn cluster(args: &Args) -> CmdResult {
+    let benchmarks: Vec<Benchmark> = match args.positional(1) {
+        Some(list) => list
+            .split(',')
+            .map(|name| benchmark_by_name(name.trim()))
+            .collect::<Result<_, _>>()?,
+        None => ALL_BENCHMARKS.to_vec(),
+    };
+    let path = args
+        .get("store")
+        .ok_or_else(|| ArgError("--store FILE is required".into()))?;
+    let cfg = ClusterConfig {
+        k: args.get_num("k", ClusterConfig::default().k)?,
+        threshold_sigmas: args.get_num("sigmas", ClusterConfig::default().threshold_sigmas)?,
+        inject_anomalies: args.get_num("inject", 0)?,
+    };
+    let miner = CounterMiner::new(miner_config(args)?);
+    let mut store = Store::open(Path::new(path))?;
+    let report = miner.analyze_cluster(&benchmarks, &mut store, &cfg)?;
+
+    if args.flag("json") {
+        println!("{{");
+        println!("  \"k\": {},", report.k);
+        println!("  \"mean_silhouette\": {},", report.mean_silhouette);
+        println!(
+            "  \"thresholds\": [{}],",
+            report
+                .thresholds
+                .iter()
+                .map(|t| if t.is_finite() {
+                    t.to_string()
+                } else {
+                    "null".into()
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!("  \"anomalies\": {},", report.anomaly_count());
+        println!("  \"runs\": [");
+        for (i, r) in report.runs.iter().enumerate() {
+            let comma = if i + 1 < report.runs.len() { "," } else { "" };
+            println!(
+                "    {{\"benchmark\": \"{}\", \"run\": {}, \"cluster\": {}, \
+                 \"distance\": {}, \"injected\": {}, \"anomalous\": {}}}{comma}",
+                r.benchmark, r.run_index, r.cluster, r.medoid_distance, r.injected, r.anomalous
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        print!("{report}");
+    }
+    Ok(())
+}
+
 /// `counterminer spark <benchmark> [--seed S]`
 pub fn spark(args: &Args) -> CmdResult {
     let benchmark = benchmark_by_name(required_positional(args, 1, "benchmark name")?)?;
@@ -1247,6 +1317,9 @@ mod tests {
             "0",
         ]))
         .is_err());
+        // cluster without --store, then with an unknown benchmark.
+        assert!(cluster(&parse(&["cluster", "sort,wordcount"])).is_err());
+        assert!(cluster(&parse(&["cluster", "nope", "--store", "/tmp/x.cmstore"])).is_err());
         // query without a store file.
         assert!(query(&parse(&["query"])).is_err());
         // query with --program but no --event.
@@ -1303,6 +1376,7 @@ mod tests {
             "serve",
             "watch",
             "load",
+            "cluster",
             "spark",
             "colocate",
         ] {

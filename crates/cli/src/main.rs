@@ -60,6 +60,7 @@ fn main() {
         "serve" => commands::serve(&parsed),
         "watch" => commands::watch(&parsed),
         "load" => commands::load(&parsed),
+        "cluster" => commands::cluster(&parsed),
         "spark" => commands::spark(&parsed),
         "colocate" => commands::colocate(&parsed),
         "help" | "--help" | "-h" => {

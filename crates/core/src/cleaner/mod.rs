@@ -501,7 +501,11 @@ mod tests {
             .unwrap();
         assert_eq!(report.missing_filled, 2);
         assert_eq!(report.outliers_replaced, 1);
-        let indices: Vec<usize> = uncertainty.reconstructions.iter().map(|r| r.index).collect();
+        let indices: Vec<usize> = uncertainty
+            .reconstructions
+            .iter()
+            .map(|r| r.index)
+            .collect();
         assert_eq!(indices, vec![3, 20, 40]);
         assert!(indices.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(

@@ -145,8 +145,7 @@ fn predictive_variance(pool: &[f64]) -> Option<f64> {
         return None;
     }
     let mean = pool.iter().sum::<f64>() / n as f64;
-    let sample_var =
-        pool.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    let sample_var = pool.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
     Some(sample_var * (1.0 + 1.0 / n as f64))
 }
 
@@ -275,8 +274,7 @@ mod tests {
         let mut point = base.clone();
         replace_outliers(&mut point, &config()).unwrap();
         let mut bayes = base.clone();
-        let (outcome, variances) =
-            replace_outliers_with_variance(&mut bayes, &config()).unwrap();
+        let (outcome, variances) = replace_outliers_with_variance(&mut bayes, &config()).unwrap();
         assert_eq!(outcome.replaced, 1);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&point), bits(&bayes));

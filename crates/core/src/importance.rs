@@ -322,8 +322,10 @@ impl ImportanceRanker {
         // so `uncertainty.stds` stays aligned with `ranking`.
         let mut order: Vec<usize> = (0..mapm_events.len()).collect();
         order.sort_by(|&a, &b| importances[b].total_cmp(&importances[a]));
-        let ranking: Vec<(EventId, f64)> =
-            order.iter().map(|&i| (mapm_events[i], importances[i])).collect();
+        let ranking: Vec<(EventId, f64)> = order
+            .iter()
+            .map(|&i| (mapm_events[i], importances[i]))
+            .collect();
 
         let uncertainty = match column_uncertainty {
             Some(u) => {
@@ -468,7 +470,9 @@ mod tests {
         let ranker = ImportanceRanker::new(fast_config());
         let point = ranker.rank(&data, &events).unwrap();
         let u = vec![0.05; events.len()];
-        let bayes = ranker.rank_with_uncertainty(&data, &events, Some(&u)).unwrap();
+        let bayes = ranker
+            .rank_with_uncertainty(&data, &events, Some(&u))
+            .unwrap();
         // Identical ranking and error curve; only annotation differs.
         assert_eq!(point.ranking, bayes.ranking);
         assert_eq!(

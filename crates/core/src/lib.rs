@@ -22,7 +22,10 @@
 //!    store and builds training datasets,
 //! 6. [`case_study`] — the Spark-tuning profiling-cost accounting of
 //!    Section V-D (method A vs. method B),
-//! 7. [`CounterMiner`] — the end-to-end pipeline facade.
+//! 7. [`CounterMiner`] — the end-to-end pipeline facade, including the
+//!    cross-benchmark `cluster` mode
+//!    ([`CounterMiner::analyze_cluster`]) that groups runs by cleaned
+//!    counter signature and flags anomalous runs.
 //!
 //! # Quick start
 //!
@@ -51,6 +54,7 @@
 
 pub mod case_study;
 mod cleaner;
+mod clusterer;
 pub mod collector;
 pub mod error_metrics;
 mod errors;
@@ -63,10 +67,12 @@ pub mod report;
 mod snapshot;
 mod uncertainty;
 
+pub use clusterer::{ClusterConfig, ClusterReport, ClusteredRun};
+
 pub use cleaner::{
-    choose_n, coverage_table, CleanReport, CleanerConfig, CleanerKind, DataCleaner,
-    Reconstruction, ReconstructionSource, SeriesDistribution, SeriesUncertainty, StreamedSample,
-    StreamingCleaner, N_CANDIDATES, VARIANCE_CALIBRATION,
+    choose_n, coverage_table, CleanReport, CleanerConfig, CleanerKind, DataCleaner, Reconstruction,
+    ReconstructionSource, SeriesDistribution, SeriesUncertainty, StreamedSample, StreamingCleaner,
+    N_CANDIDATES, VARIANCE_CALIBRATION,
 };
 pub use errors::CmError;
 pub use importance::{

@@ -157,7 +157,7 @@ impl CounterMiner {
     /// Resolves the concrete event set the collector will measure for a
     /// benchmark under the current configuration. This is what the
     /// snapshot fingerprint hashes: the *set*, not just its size.
-    fn resolve_events(&self, benchmark: Benchmark) -> cm_events::EventSet {
+    pub(crate) fn resolve_events(&self, benchmark: Benchmark) -> cm_events::EventSet {
         let workload = Workload::new(benchmark, &self.catalog);
         let n_events = self
             .config
@@ -761,7 +761,11 @@ mod tests {
         assert_eq!(p.cleaner, CleanerKind::Point);
         assert_eq!(b.cleaner, CleanerKind::Bayes);
         assert!(p.eir.uncertainty.is_none());
-        let uncertainty = b.eir.uncertainty.as_ref().expect("bayes attaches uncertainty");
+        let uncertainty = b
+            .eir
+            .uncertainty
+            .as_ref()
+            .expect("bayes attaches uncertainty");
         assert!((0.0..=1.0).contains(&uncertainty.stability));
         assert_eq!(uncertainty.stds.len(), b.eir.ranking.len());
         // Dirty multiplexed data was reconstructed, so some column must

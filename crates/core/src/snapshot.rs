@@ -232,9 +232,12 @@ pub(crate) fn load(
     // absence under a bayes marker is corruption, not a miss.
     let uncertainty = match store.meta(&meta_key(benchmark, "cleaner")).as_deref() {
         Some("bayes") => {
-            let encoded = store.meta(&meta_key(benchmark, "uncertainty")).ok_or(
-                CmError::Invalid("snapshot metadata is incomplete; re-ingest the benchmark"),
-            )?;
+            let encoded =
+                store
+                    .meta(&meta_key(benchmark, "uncertainty"))
+                    .ok_or(CmError::Invalid(
+                        "snapshot metadata is incomplete; re-ingest the benchmark",
+                    ))?;
             let aggregates = decode_aggregates(&encoded)?;
             if aggregates.len() != events.len() {
                 return Err(CmError::Invalid(
@@ -379,7 +382,9 @@ mod tests {
         save(&mut store, Benchmark::Wordcount, fp, &raw, &snap).unwrap();
         store.commit().unwrap();
         let loaded = load(&store, Benchmark::Wordcount, fp).unwrap().unwrap();
-        let loaded_aggregates = loaded.uncertainty.expect("bayes snapshot keeps uncertainty");
+        let loaded_aggregates = loaded
+            .uncertainty
+            .expect("bayes snapshot keeps uncertainty");
         assert_eq!(loaded_aggregates.len(), aggregates.len());
         for (a, b) in loaded_aggregates.iter().zip(&aggregates) {
             assert_eq!(a.sum_variance.to_bits(), b.sum_variance.to_bits());

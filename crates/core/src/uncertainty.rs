@@ -121,7 +121,12 @@ mod tests {
     use super::*;
     use crate::{Reconstruction, ReconstructionSource};
 
-    fn aggregate(sum_variance: f64, reconstructed: u64, sum_squares: f64, samples: u64) -> VarianceAggregate {
+    fn aggregate(
+        sum_variance: f64,
+        reconstructed: u64,
+        sum_squares: f64,
+        samples: u64,
+    ) -> VarianceAggregate {
         VarianceAggregate {
             sum_variance,
             reconstructed,

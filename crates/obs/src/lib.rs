@@ -59,6 +59,7 @@
 //! | `par.sched.` | thread-pool scheduling (non-deterministic by design) | `par.sched.steals` |
 //! | `serve.` | the concurrent analysis service (`cm-serve`) | `serve.requests`, `serve.errors`, `serve.subscriptions`, `serve.notifications` (workload-deterministic); `serve.batch.flushes`, `serve.batch.coalesced`, `serve.dedup.hits` (batch formation — scheduling-scoped like `par.sched.*`) |
 //! | `stream.` | streaming ingest & incremental analysis (`cm-stream`) | `stream.appends`, `stream.append_rows`, `stream.reclean_rows` (tail rows re-cleaned), `stream.warm_starts` (cached analysis reused), `stream.trains` (full retrains) — all workload-deterministic |
+//! | `cluster.` | the cross-benchmark cluster analysis mode (`counterminer`) | `cluster.analyses`, `cluster.runs` (corpus + injected runs clustered), `cluster.injected`, `cluster.anomalies` — all workload-deterministic counts |
 //! | `chaos.` | the fault-injection harness (`cm-chaos`) | `chaos.faults.injected`, `chaos.faults.short_read`, `chaos.faults.fail_write`, `chaos.faults.short_write`, `chaos.faults.fail_sync`, `chaos.faults.bit_flip` |
 //!
 //! New instrumentation should join an existing namespace or add one

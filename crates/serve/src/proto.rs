@@ -4,7 +4,7 @@ use cm_events::EventId;
 use cm_sim::Benchmark;
 use cm_store::{SeriesKey, StoreInfo};
 use cm_stream::{AppendReport, RankSummary};
-use counterminer::{AnalysisReport, IngestSummary};
+use counterminer::{AnalysisReport, ClusterConfig, ClusterReport, IngestSummary};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -48,6 +48,20 @@ pub enum Request {
         benchmark: Benchmark,
         /// How many ranking entries to return.
         top_k: usize,
+    },
+    /// Run the cross-benchmark `cluster` analysis mode
+    /// ([`CounterMiner::analyze_cluster`](counterminer::CounterMiner::analyze_cluster)):
+    /// cluster cleaned counter signatures and flag anomalous runs,
+    /// ingesting any cold benchmark first. Identical concurrent
+    /// requests deduplicate into one computation, like
+    /// [`Request::Analyze`].
+    Cluster {
+        /// Registered store name.
+        store: String,
+        /// The benchmarks to cluster across.
+        benchmarks: Vec<Benchmark>,
+        /// Clustering and anomaly-detection knobs.
+        config: ClusterConfig,
     },
     /// Collect and persist a benchmark's snapshot without modeling
     /// (the serving form of `counterminer ingest`).
@@ -108,6 +122,9 @@ pub enum Response {
     Analysis(Arc<RankedAnalysis>),
     /// Answer to [`Request::Ranked`]: the top-k importance ranking.
     Ranked(Vec<(EventId, f64)>),
+    /// Answer to [`Request::Cluster`]: the shared cluster report —
+    /// every deduplicated waiter receives the same allocation.
+    Clustered(Arc<ClusterReport>),
     /// Answer to [`Request::Ingest`].
     Ingested(IngestSummary),
     /// Answer to [`Request::StreamAppend`]: what the append did.

@@ -8,7 +8,7 @@ use cm_obs::{span_enter_detached, span_enter_under, SpanGuard, SpanHandle};
 use cm_sim::Benchmark;
 use cm_store::{BlockCache, CacheConfig, CacheStats, SeriesKey, Store, StoreError, Vfs};
 use cm_stream::{RankSummary, StreamConfig, StreamError, StreamSession};
-use counterminer::{CmError, CounterMiner, MinerConfig};
+use counterminer::{ClusterConfig, ClusterReport, CmError, CounterMiner, MinerConfig};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -543,6 +543,14 @@ enum Job {
         benchmark: cm_sim::Benchmark,
         envs: Vec<ReqEnvelope>,
     },
+    /// Identical cluster requests (same store, benchmark list, and
+    /// configuration), answered by a single clustering.
+    ClusterGroup {
+        store: String,
+        benchmarks: Vec<Benchmark>,
+        config: ClusterConfig,
+        envs: Vec<ReqEnvelope>,
+    },
 }
 
 struct Scheduler {
@@ -637,6 +645,9 @@ impl Scheduler {
         let mut singles: Vec<ReqEnvelope> = Vec::new();
         let mut queries: HashMap<String, Vec<ReqEnvelope>> = HashMap::new();
         let mut analyses: HashMap<(String, cm_sim::Benchmark), Vec<ReqEnvelope>> = HashMap::new();
+        // Cluster configs hold floats, so the dedup key is request
+        // equality rather than a hash — batches are small.
+        let mut clusters: Vec<(Request, Vec<ReqEnvelope>)> = Vec::new();
         for env in batch {
             match &env.req {
                 Request::Query { store, .. } => {
@@ -650,6 +661,12 @@ impl Scheduler {
                         .entry((store.clone(), *benchmark))
                         .or_default()
                         .push(env);
+                }
+                Request::Cluster { .. } => {
+                    match clusters.iter_mut().find(|(req, _)| *req == env.req) {
+                        Some((_, envs)) => envs.push(env),
+                        None => clusters.push((env.req.clone(), vec![env])),
+                    }
                 }
                 Request::Ping
                 | Request::Info { .. }
@@ -678,6 +695,27 @@ impl Scheduler {
             let _ = job_tx.send(Job::AnalysisGroup {
                 store,
                 benchmark,
+                envs,
+            });
+        }
+        for (req, envs) in clusters {
+            if envs.len() > 1 {
+                let extra = (envs.len() - 1) as u64;
+                stats.dedup_hits.fetch_add(extra, Ordering::Relaxed);
+                cm_obs::counter_add("serve.dedup.hits", extra);
+            }
+            let Request::Cluster {
+                store,
+                benchmarks,
+                config,
+            } = req
+            else {
+                unreachable!("cluster group holds only cluster requests");
+            };
+            let _ = job_tx.send(Job::ClusterGroup {
+                store,
+                benchmarks,
+                config,
                 envs,
             });
         }
@@ -776,6 +814,33 @@ fn run_job(shared: &Shared, job: Job) {
                 }
             }
         }
+        Job::ClusterGroup {
+            store,
+            benchmarks,
+            config,
+            envs,
+        } => {
+            let _exec = exec_span(&envs[0].parent, "serve.exec.cluster");
+            let result = flatten_panic(catch_unwind(AssertUnwindSafe(|| {
+                compute_cluster(shared, &store, &benchmarks, &config)
+            })));
+            match result {
+                Ok(report) => {
+                    for env in &envs {
+                        respond(
+                            shared,
+                            &env.reply,
+                            Ok(Response::Clustered(Arc::clone(&report))),
+                        );
+                    }
+                }
+                Err(e) => {
+                    for env in &envs {
+                        respond(shared, &env.reply, Err(e.clone()));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -813,6 +878,11 @@ fn exec_single(shared: &Shared, req: &Request) -> Result<Response, ServeError> {
             let k = (*top_k).min(analysis.ranking.len());
             Ok(Response::Ranked(analysis.ranking[..k].to_vec()))
         }
+        Request::Cluster {
+            store,
+            benchmarks,
+            config,
+        } => compute_cluster(shared, store, benchmarks, config).map(Response::Clustered),
         Request::Ingest { store, benchmark } => {
             let handle = shared.store(store)?;
             let mut guard = handle.write().unwrap_or_else(|e| e.into_inner());
@@ -969,6 +1039,45 @@ fn compute_analysis(
         .map_err(cm_err)?
     {
         Some(report) => Ok(Arc::new(RankedAnalysis::from_report(&report, fingerprint))),
+        None => Err(ServeError::Pipeline(
+            "snapshot missing immediately after ingest".to_string(),
+        )),
+    }
+}
+
+/// The cluster analogue of [`compute_analysis`]: warm, shared-read
+/// clustering from committed snapshots first; on a cold store, ingest
+/// every missing benchmark under the write lock, then cluster warm.
+fn compute_cluster(
+    shared: &Shared,
+    store: &str,
+    benchmarks: &[Benchmark],
+    config: &ClusterConfig,
+) -> Result<Arc<ClusterReport>, ServeError> {
+    let handle = shared.store(store)?;
+    {
+        let guard = handle.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(report) = shared
+            .miner
+            .cluster_snapshot(benchmarks, &guard, config)
+            .map_err(cm_err)?
+        {
+            return Ok(Arc::new(report));
+        }
+    }
+    {
+        let mut guard = handle.write().unwrap_or_else(|e| e.into_inner());
+        for &benchmark in benchmarks {
+            shared.miner.ingest(benchmark, &mut guard).map_err(cm_err)?;
+        }
+    }
+    let guard = handle.read().unwrap_or_else(|e| e.into_inner());
+    match shared
+        .miner
+        .cluster_snapshot(benchmarks, &guard, config)
+        .map_err(cm_err)?
+    {
+        Some(report) => Ok(Arc::new(report)),
         None => Err(ServeError::Pipeline(
             "snapshot missing immediately after ingest".to_string(),
         )),
@@ -1265,6 +1374,67 @@ mod tests {
         handle.shutdown();
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(mirror_path);
+    }
+
+    #[test]
+    fn identical_cluster_requests_deduplicate_into_one_computation() {
+        let path = temp_store_path("cluster");
+        let _ = std::fs::remove_file(&path);
+        let config = ServeConfig {
+            miner: tiny_config(),
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(config);
+        server.add_store("main", &path).expect("register store");
+        let client = server.client();
+        let request = Request::Cluster {
+            store: "main".into(),
+            benchmarks: vec![Benchmark::Sort, Benchmark::Wordcount],
+            config: ClusterConfig {
+                k: 2,
+                inject_anomalies: 1,
+                ..ClusterConfig::default()
+            },
+        };
+        // Queued before start: all four land in one batch and dedup.
+        let pendings: Vec<Pending> = (0..4).map(|_| client.submit(request.clone())).collect();
+        let handle = server.start();
+        let mut reports = Vec::new();
+        for pending in pendings {
+            match pending.wait().expect("cluster") {
+                Response::Clustered(report) => reports.push(report),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        let first = &reports[0];
+        assert_eq!(first.k, 2);
+        // 1 run per benchmark plus 1 injected probe per benchmark.
+        assert_eq!(first.runs.len(), 4);
+        assert_eq!(first.runs.iter().filter(|r| r.injected).count(), 2);
+        for report in &reports[1..] {
+            assert!(Arc::ptr_eq(first, report), "waiters must share the report");
+        }
+        let stats = handle.shutdown();
+        assert_eq!(stats.batch_flushes, 1);
+        assert_eq!(stats.dedup_hits, 3);
+
+        // A fresh server over the same store answers warm,
+        // bit-identically.
+        let mut server = Server::new(ServeConfig {
+            miner: tiny_config(),
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        server.add_store("main", &path).expect("register store");
+        let client = server.client();
+        let handle = server.start();
+        match client.call(request).expect("warm cluster") {
+            Response::Clustered(report) => assert_eq!(**first, *report),
+            other => panic!("unexpected response {other:?}"),
+        }
+        handle.shutdown();
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -20,6 +20,60 @@ impl fmt::Display for Suite {
     }
 }
 
+/// The ground-truth workload family of a benchmark — the cluster label
+/// the `cluster` analysis mode is expected to recover.
+///
+/// Families follow suite and phase structure: Spark batch jobs share
+/// map/shuffle wave behaviour, iterative Spark jobs re-touch the same
+/// working set every superstep, CloudSuite analytics are long scans,
+/// and interactive services ride request waves. The simulator blends
+/// each benchmark's per-event activity processes toward a shared
+/// family component (see [`Workload`](crate::Workload)), so runs in a
+/// family produce nearby counter signatures while staying
+/// benchmark-distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// One-pass Spark batch jobs: micro benchmarks and SQL queries.
+    SparkBatch,
+    /// Iterative Spark jobs: ML training and graph ranking.
+    SparkIterative,
+    /// CloudSuite batch analytics over large datasets.
+    Analytics,
+    /// Latency-bound interactive services.
+    Services,
+}
+
+/// All four families, in a stable order (cluster ids index into this).
+pub const FAMILIES: [Family; 4] = [
+    Family::SparkBatch,
+    Family::SparkIterative,
+    Family::Analytics,
+    Family::Services,
+];
+
+impl Family {
+    /// A short stable label for reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::SparkBatch => "spark-batch",
+            Family::SparkIterative => "spark-iterative",
+            Family::Analytics => "analytics",
+            Family::Services => "services",
+        }
+    }
+
+    /// The family's index into [`FAMILIES`].
+    pub fn index(self) -> usize {
+        FAMILIES.iter().position(|&f| f == self).expect("listed")
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The sixteen benchmarks of the paper's evaluation (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants are program names
@@ -139,6 +193,28 @@ impl Benchmark {
             Suite::HiBench
         } else {
             Suite::CloudSuite
+        }
+    }
+
+    /// The benchmark's ground-truth workload [`Family`] — the label the
+    /// `cluster` analysis mode should recover from counter signatures.
+    /// Families never cross suites.
+    pub fn family(self) -> Family {
+        match self {
+            Benchmark::Wordcount
+            | Benchmark::Sort
+            | Benchmark::Aggregation
+            | Benchmark::Join
+            | Benchmark::Scan => Family::SparkBatch,
+            Benchmark::Pagerank | Benchmark::Bayes | Benchmark::Kmeans => Family::SparkIterative,
+            Benchmark::DataAnalytics | Benchmark::GraphAnalytics | Benchmark::InMemoryAnalytics => {
+                Family::Analytics
+            }
+            Benchmark::DataCaching
+            | Benchmark::DataServing
+            | Benchmark::MediaStreaming
+            | Benchmark::WebSearch
+            | Benchmark::WebServing => Family::Services,
         }
     }
 
@@ -563,6 +639,27 @@ mod tests {
         let gpa = Benchmark::GraphAnalytics.interaction_profile()[0].2;
         assert!(ws > 2.5 * gpa);
         assert_eq!(Benchmark::WebServing.tier_count(), 4);
+    }
+
+    #[test]
+    fn families_partition_benchmarks_within_suites() {
+        for b in ALL_BENCHMARKS {
+            // Families never cross suites.
+            let expected_suite = match b.family() {
+                Family::SparkBatch | Family::SparkIterative => Suite::HiBench,
+                Family::Analytics | Family::Services => Suite::CloudSuite,
+            };
+            assert_eq!(b.suite(), expected_suite, "{b}");
+        }
+        // Every family is populated with at least three benchmarks, so
+        // within-family cohesion is actually testable.
+        for f in FAMILIES {
+            let n = ALL_BENCHMARKS.iter().filter(|b| b.family() == f).count();
+            assert!(n >= 3, "{f}: only {n} members");
+            assert_eq!(FAMILIES[f.index()], f);
+        }
+        let names: HashSet<&str> = FAMILIES.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), FAMILIES.len());
     }
 
     #[test]

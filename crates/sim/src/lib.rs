@@ -6,9 +6,11 @@
 //!
 //! * the **sixteen benchmarks** (eight from CloudSuite 3.0, eight from
 //!   the Spark 2.0 version of HiBench — Table II) as stochastic event
-//!   processes with per-benchmark phase structure and a ground-truth
-//!   nonlinear IPC model whose importance profile matches the paper's
-//!   Figs. 9–12 findings,
+//!   processes with per-benchmark phase structure, ground-truth
+//!   workload [`Family`] labels (with family-blended activity, so the
+//!   `cluster` mode has real structure to recover), an anomalous-run
+//!   injector, and a ground-truth nonlinear IPC model whose importance
+//!   profile matches the paper's Figs. 9–12 findings,
 //! * the **PMU** with a configurable number of hardware counters,
 //!   measuring events either one-counter-one-event ([`SampleMode::Ocoe`])
 //!   or multiplexed ([`SampleMode::Mlpx`]) with round-robin scheduling
@@ -50,9 +52,9 @@ mod spark;
 mod truth;
 mod workload;
 
-pub use benchmarks::{Benchmark, Suite, ALL_BENCHMARKS, CLOUDSUITE, HIBENCH};
+pub use benchmarks::{Benchmark, Family, Suite, ALL_BENCHMARKS, CLOUDSUITE, FAMILIES, HIBENCH};
 pub use colocate::ColocatedWorkload;
 pub use pmu::{ActivitySource, Extrapolation, PmuConfig, Scheduling, SimRun};
 pub use spark::{SparkConfig, SparkParam, SparkStudy, ALL_PARAMS};
 pub use truth::{global_noise_events, TrueModel, NOISE_EVENT_COUNT};
-pub use workload::Workload;
+pub use workload::{GeneratedRun, Workload};

@@ -91,6 +91,32 @@ impl ProcessParams {
     }
 }
 
+impl ProcessParams {
+    /// Blends two parameter sets, `weight` toward `self` (the family
+    /// component) and `1 - weight` toward `other` (the benchmark's own
+    /// component). Every numeric field is a convex combination, so the
+    /// blend stays inside the ranges [`ProcessParams::derive`]
+    /// guarantees; the innovation family comes from the event metadata
+    /// and is identical on both sides.
+    pub fn blend(self, other: ProcessParams, weight: f64) -> ProcessParams {
+        debug_assert!((0.0..=1.0).contains(&weight));
+        debug_assert_eq!(self.family, other.family);
+        let mix = |a: f64, b: f64| weight * a + (1.0 - weight) * b;
+        ProcessParams {
+            mu: mix(self.mu, other.mu),
+            cv: mix(self.cv, other.cv),
+            rho: mix(self.rho, other.rho),
+            burstiness: mix(self.burstiness, other.burstiness),
+            burst_prob: mix(self.burst_prob, other.burst_prob),
+            family: self.family,
+            cold_start: mix(self.cold_start, other.cold_start),
+            phase_amplitude: mix(self.phase_amplitude, other.phase_amplitude),
+            phase_period: mix(self.phase_period, other.phase_period),
+            phase_offset: mix(self.phase_offset, other.phase_offset),
+        }
+    }
+}
+
 fn mix(mut x: u64) -> u64 {
     // splitmix64 finalizer.
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -98,6 +124,10 @@ fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
 }
+
+/// Smallest per-interval activity an active event can emit, as a
+/// fraction of its mean count (see the floor in [`ProcessState::step`]).
+const MIN_ACTIVITY: f64 = 1e-3;
 
 /// Evolving state of one event's process during a run.
 #[derive(Debug, Clone)]
@@ -142,7 +172,15 @@ impl ProcessState {
                 z += (p.cold_start - 1.0) * decay;
             }
         }
-        let count = p.mu * (1.0 + p.cv * z).max(0.0);
+        // Floor the activity at a small positive fraction of the mean:
+        // an *active* event's ground truth must never be exactly zero,
+        // because exact zero is reserved as the signature of an
+        // unobserved MLPX subslice (Fig. 2(b)'s missing values) and the
+        // cleaner's zero-category rule keys on it. Without the floor, a
+        // deep AR(1) excursion (`z <= -1/cv`) under a high-CV blend
+        // clamps to 0.0 and an exactly-measured OCOE run appears to
+        // contain missing samples.
+        let count = p.mu * (1.0 + p.cv * z).max(MIN_ACTIVITY);
         (z, count)
     }
 }
@@ -297,6 +335,31 @@ mod tests {
             for t in 0..300 {
                 let (_, count) = state.step(t, 300, &mut rng);
                 assert!(count >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn active_events_never_emit_exact_zero_counts() {
+        // Exact zero is the MLPX missing-value signature (unobserved
+        // subslice); ground truth for an active event must stay above
+        // it, even for high-CV processes whose deep AR(1) excursions
+        // used to clamp to 0.0. Regression test for the activity floor.
+        let c = catalog();
+        for salt in 0..8u64 {
+            for info in c.iter().take(40) {
+                let mut params = ProcessParams::derive(info, salt);
+                params.cv = params.cv.max(1.5); // force clamp-prone regime
+                let mut state = ProcessState::new(params);
+                let mut rng = StdRng::seed_from_u64(salt);
+                for t in 0..400 {
+                    let (_, count) = state.step(t, 400, &mut rng);
+                    assert!(
+                        count > 0.0,
+                        "event {} salt {salt} emitted an exact-zero count",
+                        info.id()
+                    );
+                }
             }
         }
     }

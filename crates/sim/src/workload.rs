@@ -30,7 +30,21 @@ pub struct Workload {
     model: TrueModel,
     params: Vec<ProcessParams>,
     catalog_len: usize,
+    profile_ids: Vec<EventId>,
 }
+
+/// How strongly a benchmark's activity processes lean on its
+/// [`Family`](crate::Family) component. The family part dominates —
+/// runs within a family produce nearby counter signatures (what the
+/// `cluster` analysis mode recovers) — while the residual benchmark
+/// component keeps every program distinct.
+const FAMILY_WEIGHT: f64 = 0.75;
+
+/// Mean-activity multiplier applied to the dominant profile events of
+/// an [`Workload::anomalous_run`] — far outside normal run-to-run
+/// variation, the way a misconfigured executor or a noisy co-runner
+/// shifts a run's hot events.
+const ANOMALY_SCALE: [f64; 3] = [6.0, 5.0, 4.0];
 
 /// Ground-truth data of one simulated run, before any PMU measurement.
 #[derive(Debug, Clone)]
@@ -49,17 +63,33 @@ pub struct GeneratedRun {
 
 impl Workload {
     /// Builds the workload for `benchmark` over `catalog`.
+    ///
+    /// Each event's activity process blends a *family* component
+    /// (shared by every benchmark in `benchmark.family()`) with the
+    /// benchmark's own component, [`FAMILY_WEIGHT`] toward the family.
+    /// The blend is what gives counter signatures their recoverable
+    /// family structure.
     pub fn new(benchmark: Benchmark, catalog: &EventCatalog) -> Self {
         let salt = benchmark_salt(benchmark);
+        let family_salt = family_salt(benchmark.family());
         let params = catalog
             .iter()
-            .map(|info| ProcessParams::derive(info, salt))
+            .map(|info| {
+                ProcessParams::derive(info, family_salt)
+                    .blend(ProcessParams::derive(info, salt), FAMILY_WEIGHT)
+            })
+            .collect();
+        let profile_ids = benchmark
+            .importance_profile()
+            .iter()
+            .map(|a| catalog.by_abbrev(a).expect("profile event").id())
             .collect();
         Workload {
             benchmark,
             model: TrueModel::new(benchmark, catalog),
             params,
             catalog_len: catalog.len(),
+            profile_ids,
         }
     }
 
@@ -103,6 +133,22 @@ impl Workload {
             factors[id.index()] = f;
         }
         self.generate_inner(run_index, seed, 1.0, &factors)
+    }
+
+    /// Generates an **anomalous** run: the same deterministic ground
+    /// truth as [`Workload::generate_run`] for `(run_index, seed)`, but
+    /// with the benchmark's dominant profile events running at
+    /// [`ANOMALY_SCALE`] times their normal mean activity — the
+    /// signature of a misconfigured executor or a hostile co-runner.
+    /// The `cluster` analysis mode is expected to flag every such run.
+    pub fn anomalous_run(&self, run_index: u32, seed: u64) -> GeneratedRun {
+        let scale: Vec<(EventId, f64)> = self
+            .profile_ids
+            .iter()
+            .zip(ANOMALY_SCALE)
+            .map(|(&id, f)| (id, f))
+            .collect();
+        self.generate_run_with_scales(run_index, seed, &scale)
     }
 
     fn generate_run_scaled(&self, run_index: u32, seed: u64, length_scale: f64) -> GeneratedRun {
@@ -194,8 +240,18 @@ impl Workload {
 
 fn benchmark_salt(b: Benchmark) -> u64 {
     // Stable per-benchmark salt from the name bytes (FNV-1a).
+    fnv(b.name())
+}
+
+fn family_salt(f: crate::Family) -> u64 {
+    // A disjoint salt domain from benchmark names (no family name
+    // collides with a benchmark name thanks to the prefix).
+    fnv(f.name()).wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+fn fnv(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in b.name().bytes() {
+    for byte in s.bytes() {
         h ^= u64::from(byte);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
@@ -281,6 +337,71 @@ mod tests {
         let base_ipc: f64 = base.ipc.iter().sum::<f64>() / base.ipc.len() as f64;
         let scaled_ipc: f64 = scaled.ipc.iter().sum::<f64>() / scaled.ipc.len() as f64;
         assert!(scaled_ipc < base_ipc);
+    }
+
+    #[test]
+    fn anomalous_runs_shift_dominant_events_far_outside_jitter() {
+        let c = catalog();
+        let w = Workload::new(Benchmark::Kmeans, &c);
+        let top = c
+            .by_abbrev(Benchmark::Kmeans.importance_profile()[0])
+            .unwrap()
+            .id();
+        let mean = |run: &GeneratedRun, e: cm_events::EventId| {
+            run.counts[e.index()].iter().sum::<f64>() / run.intervals as f64
+        };
+        // Normal run-to-run spread of the top event's mean count…
+        let normals: Vec<f64> = (0..6).map(|i| mean(&w.generate_run(i, 11), top)).collect();
+        let lo = normals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = normals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // …is dwarfed by the injected shift.
+        let anomalous = mean(&w.anomalous_run(0, 11), top);
+        assert!(
+            anomalous > hi + 5.0 * (hi - lo),
+            "anomalous {anomalous} vs normal [{lo}, {hi}]"
+        );
+        // Determinism: same (run_index, seed) reproduces bit-identically.
+        let again = w.anomalous_run(0, 11);
+        assert_eq!(
+            w.anomalous_run(0, 11).counts[top.index()],
+            again.counts[top.index()]
+        );
+        // And the anomaly differs from the normal run it shadows.
+        assert_ne!(
+            w.generate_run(0, 11).counts[top.index()],
+            again.counts[top.index()]
+        );
+    }
+
+    #[test]
+    fn same_family_workloads_are_closer_than_cross_family() {
+        // Mean per-event count vectors: within-family distances must sit
+        // well below cross-family ones — the structure the cluster mode
+        // recovers.
+        let c = catalog();
+        let mean_counts = |b: Benchmark| -> Vec<f64> {
+            let run = Workload::new(b, &c).generate_run(0, 3);
+            run.counts
+                .iter()
+                .map(|s| s.iter().sum::<f64>() / run.intervals as f64)
+                .collect()
+        };
+        // Log-space distance, since per-event scales span orders of
+        // magnitude.
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| ((x + 1.0).ln() - (y + 1.0).ln()).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let wordcount = mean_counts(Benchmark::Wordcount);
+        let sort = mean_counts(Benchmark::Sort); // same family (spark-batch)
+        let kmeans = mean_counts(Benchmark::Kmeans); // spark-iterative
+        let caching = mean_counts(Benchmark::DataCaching); // services
+        let within = dist(&wordcount, &sort);
+        assert!(within < dist(&wordcount, &kmeans), "within {within}");
+        assert!(within < dist(&wordcount, &caching), "within {within}");
     }
 
     #[test]

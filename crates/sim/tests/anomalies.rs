@@ -1,0 +1,66 @@
+//! End-to-end verification of the anomalous-run injector
+//! ([`Workload::anomalous_run`]): the ground truth it generates must
+//! survive *measurement* — multiplexed PMU sampling of an anomalous
+//! run has to remain obviously separated from normal runs, because
+//! that measured (not true) data is what the clustering layer sees.
+
+use cm_events::EventCatalog;
+use cm_sim::{Benchmark, PmuConfig, Workload};
+
+const SEED: u64 = 7;
+
+/// Measured mean of the benchmark's dominant profile event in one run.
+fn measured_dominant_mean(
+    workload: &Workload,
+    catalog: &EventCatalog,
+    benchmark: Benchmark,
+    truth: &cm_sim::GeneratedRun,
+    run_index: u32,
+) -> f64 {
+    let events = workload.top_event_ids(catalog, 12);
+    let dominant = catalog
+        .by_abbrev(benchmark.importance_profile()[0])
+        .expect("profile event in catalog")
+        .id();
+    let run = PmuConfig::default().measure_mlpx(workload, truth, &events, run_index, SEED);
+    let series = run
+        .record
+        .series(dominant)
+        .expect("dominant event measured");
+    series.mean().expect("non-empty series")
+}
+
+#[test]
+fn anomalous_runs_stay_separated_after_mlpx_measurement() {
+    let catalog = EventCatalog::haswell();
+    for benchmark in [Benchmark::Sort, Benchmark::DataCaching] {
+        let workload = Workload::new(benchmark, &catalog);
+        let normal_max = (0..4)
+            .map(|i| {
+                let truth = workload.generate_run(i, SEED);
+                measured_dominant_mean(&workload, &catalog, benchmark, &truth, i)
+            })
+            .fold(f64::MIN, f64::max);
+        let truth = workload.anomalous_run(1_000_000, SEED);
+        let anomalous = measured_dominant_mean(&workload, &catalog, benchmark, &truth, 1_000_000);
+        assert!(
+            anomalous > 2.0 * normal_max,
+            "{benchmark}: measured anomalous mean {anomalous:.0} not separated \
+             from normal max {normal_max:.0}"
+        );
+    }
+}
+
+#[test]
+fn anomalous_runs_are_deterministic_and_distinct_from_normal() {
+    let catalog = EventCatalog::haswell();
+    let workload = Workload::new(Benchmark::Kmeans, &catalog);
+    let a = workload.anomalous_run(3, 11);
+    let b = workload.anomalous_run(3, 11);
+    assert_eq!(a.intervals, b.intervals);
+    assert_eq!(a.ipc, b.ipc);
+    assert_eq!(a.counts, b.counts);
+    // Same (index, seed) without injection is a different run.
+    let normal = workload.generate_run(3, 11);
+    assert_ne!(a.counts, normal.counts);
+}

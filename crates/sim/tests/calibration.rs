@@ -16,9 +16,7 @@
 use cm_events::EventCatalog;
 use cm_ml::SgbrtConfig;
 use cm_sim::{PmuConfig, Workload, ALL_BENCHMARKS};
-use counterminer::{
-    CleanerKind, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig,
-};
+use counterminer::{CleanerKind, CounterMiner, DataCleaner, ImportanceConfig, MinerConfig};
 
 /// Seeds in the coverage sweep (the issue's floor is 16).
 const SEEDS: u64 = 16;
@@ -48,11 +46,13 @@ fn bayes_intervals_cover_the_simulated_truth() {
 
         for (event, series) in run.record.iter() {
             let (point, point_report) = cleaner.clean_series(series).unwrap();
-            let (bayes, bayes_report, uncertainty) =
-                cleaner.clean_series_bayes(series).unwrap();
+            let (bayes, bayes_report, uncertainty) = cleaner.clean_series_bayes(series).unwrap();
 
             // The annotation layer must not perturb a single bit.
-            assert_eq!(point_report, bayes_report, "reports diverged at seed {seed}");
+            assert_eq!(
+                point_report, bayes_report,
+                "reports diverged at seed {seed}"
+            );
             let point_bits: Vec<u64> = point.values().iter().map(|v| v.to_bits()).collect();
             let bayes_bits: Vec<u64> = bayes.values().iter().map(|v| v.to_bits()).collect();
             assert_eq!(point_bits, bayes_bits, "values diverged at seed {seed}");
@@ -63,7 +63,9 @@ fn bayes_intervals_cover_the_simulated_truth() {
             assert!(uncertainty.reconstructions.len() <= tallied);
             assert!(
                 uncertainty.reconstructions.len()
-                    >= point_report.outliers_replaced.max(point_report.missing_filled)
+                    >= point_report
+                        .outliers_replaced
+                        .max(point_report.missing_filled)
             );
 
             // Score every reconstruction against the exact count.
@@ -83,7 +85,10 @@ fn bayes_intervals_cover_the_simulated_truth() {
 
     // The dirty simulated PMU must have produced a meaningful sample of
     // reconstructions, or the coverage estimate means nothing.
-    assert!(total >= 100, "only {total} reconstructions across {SEEDS} seeds");
+    assert!(
+        total >= 100,
+        "only {total} reconstructions across {SEEDS} seeds"
+    );
     for (slot, &confidence) in nominal.iter().enumerate() {
         let empirical = hits[slot] as f64 / total as f64;
         assert!(
@@ -126,7 +131,10 @@ fn point_rankings_survive_the_bayes_annotation() {
         let bayes = CounterMiner::new(sweep_config(seed, CleanerKind::Bayes))
             .analyze(benchmark)
             .unwrap();
-        assert_eq!(point.eir.ranking, bayes.eir.ranking, "ranking moved at seed {seed}");
+        assert_eq!(
+            point.eir.ranking, bayes.eir.ranking,
+            "ranking moved at seed {seed}"
+        );
         assert_eq!(
             point.outliers_replaced, bayes.outliers_replaced,
             "cleaning tallies moved at seed {seed}"

@@ -2,6 +2,19 @@
 
 use crate::StatsError;
 
+/// Order statistics are meaningless over NaN: `total_cmp` sorts NaN
+/// after every number (silently shifting the median or a quantile) and
+/// `f64::min`/`f64::max` silently skip it. All four order-statistic
+/// entry points reject NaN with a typed error instead.
+fn reject_nan(data: &[f64]) -> Result<(), StatsError> {
+    if data.iter().any(|v| v.is_nan()) {
+        return Err(StatsError::InvalidParameter(
+            "order statistics are undefined over NaN input",
+        ));
+    }
+    Ok(())
+}
+
 /// Arithmetic mean.
 ///
 /// # Errors
@@ -63,7 +76,8 @@ pub fn std_dev(data: &[f64]) -> Result<f64, StatsError> {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyInput`] for an empty slice.
+/// Returns [`StatsError::EmptyInput`] for an empty slice, or
+/// [`StatsError::InvalidParameter`] when the data contains NaN.
 ///
 /// # Examples
 ///
@@ -76,6 +90,7 @@ pub fn median(data: &[f64]) -> Result<f64, StatsError> {
     if data.is_empty() {
         return Err(StatsError::EmptyInput);
     }
+    reject_nan(data)?;
     let mut sorted = data.to_vec();
     sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
@@ -92,7 +107,8 @@ pub fn median(data: &[f64]) -> Result<f64, StatsError> {
 /// # Errors
 ///
 /// Returns [`StatsError::EmptyInput`] for an empty slice, or
-/// [`StatsError::InvalidParameter`] when `q` is outside `[0, 1]`.
+/// [`StatsError::InvalidParameter`] when `q` is outside `[0, 1]` or the
+/// data contains NaN.
 pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
     if data.is_empty() {
         return Err(StatsError::EmptyInput);
@@ -100,6 +116,7 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
     if !(0.0..=1.0).contains(&q) {
         return Err(StatsError::InvalidParameter("quantile must be in [0, 1]"));
     }
+    reject_nan(data)?;
     let mut sorted = data.to_vec();
     sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
@@ -113,8 +130,10 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyInput`] for an empty slice.
+/// Returns [`StatsError::EmptyInput`] for an empty slice, or
+/// [`StatsError::InvalidParameter`] when the data contains NaN.
 pub fn min(data: &[f64]) -> Result<f64, StatsError> {
+    reject_nan(data)?;
     data.iter()
         .copied()
         .reduce(f64::min)
@@ -125,8 +144,10 @@ pub fn min(data: &[f64]) -> Result<f64, StatsError> {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyInput`] for an empty slice.
+/// Returns [`StatsError::EmptyInput`] for an empty slice, or
+/// [`StatsError::InvalidParameter`] when the data contains NaN.
 pub fn max(data: &[f64]) -> Result<f64, StatsError> {
+    reject_nan(data)?;
     data.iter()
         .copied()
         .reduce(f64::max)
@@ -319,6 +340,35 @@ mod tests {
     #[test]
     fn median_single_value() {
         assert_eq!(median(&[42.0]).unwrap(), 42.0);
+    }
+
+    /// Regression: the order statistics used to *misplace* NaN instead
+    /// of rejecting it — `total_cmp` sorts NaN last, so
+    /// `median(&[1, NaN, 2])` returned `2.0`, and `min`/`max` silently
+    /// skipped NaN via the `f64::min`/`f64::max` reduction. Garbage
+    /// order statistics poison every downstream distance; NaN must be a
+    /// typed error.
+    #[test]
+    fn order_statistics_reject_nan() {
+        let poisoned = [1.0, f64::NAN, 2.0];
+        for result in [
+            median(&poisoned),
+            quantile(&poisoned, 0.5),
+            min(&poisoned),
+            max(&poisoned),
+        ] {
+            assert_eq!(
+                result,
+                Err(StatsError::InvalidParameter(
+                    "order statistics are undefined over NaN input"
+                ))
+            );
+        }
+        // Infinities are ordered fine and stay accepted.
+        let inf = [f64::NEG_INFINITY, 0.0, f64::INFINITY];
+        assert_eq!(min(&inf).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(max(&inf).unwrap(), f64::INFINITY);
+        assert_eq!(median(&inf).unwrap(), 0.0);
     }
 
     #[test]

@@ -25,6 +25,14 @@ pub enum StatsError {
         /// Points available.
         available: usize,
     },
+    /// A decomposition was asked for more components than the data's
+    /// numerical rank supports.
+    RankDeficient {
+        /// Components requested.
+        requested: usize,
+        /// Components the data actually supports.
+        found: usize,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -43,6 +51,10 @@ impl fmt::Display for StatsError {
                 required,
                 available,
             } => write!(f, "need at least {required} data points, got {available}"),
+            StatsError::RankDeficient { requested, found } => write!(
+                f,
+                "requested {requested} components but the data supports only {found}"
+            ),
         }
     }
 }
@@ -63,6 +75,11 @@ mod tests {
             StatsError::NotEnoughData {
                 required: 4,
                 available: 1,
+            }
+            .to_string(),
+            StatsError::RankDeficient {
+                requested: 3,
+                found: 1,
             }
             .to_string(),
         ];

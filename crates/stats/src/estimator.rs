@@ -179,11 +179,16 @@ fn top_order(values: &[f64], k: usize) -> Vec<usize> {
 /// draws that match. `1.0` means the order is rock-solid under the
 /// posteriors; values near `0.0` mean the order is mostly noise.
 ///
+/// Degenerate inputs short-circuit to exactly `1.0` without running the
+/// Monte Carlo: an empty ranking, `top_k` of zero, a single value, or
+/// all-zero `stds` (no posterior noise means the order cannot flip, so
+/// the draws could only waste time agreeing).
+///
 /// # Errors
 ///
 /// Returns [`StatsError::MismatchedLengths`] when `means` and `stds`
-/// disagree, and [`StatsError::InvalidParameter`] for zero `draws` or a
-/// non-finite mean or std.
+/// disagree, and [`StatsError::InvalidParameter`] for zero `draws`, a
+/// non-finite mean or std, or a negative std.
 ///
 /// # Examples
 ///
@@ -219,7 +224,12 @@ pub fn rank_stability(
             "means and stds must be finite",
         ));
     }
-    if means.is_empty() || top_k == 0 {
+    if stds.iter().any(|&s| s < 0.0) {
+        return Err(StatsError::InvalidParameter("stds must be nonnegative"));
+    }
+    // Degenerate rankings are perfectly stable by construction; answer
+    // exactly 1.0 instead of resampling noise that cannot flip anything.
+    if means.is_empty() || top_k == 0 || means.len() == 1 || stds.iter().all(|&s| s == 0.0) {
         return Ok(1.0);
     }
     let k = top_k.min(means.len());
@@ -354,6 +364,37 @@ mod tests {
         assert_eq!(rank_stability(&means, &stds, 4, 32, 0).unwrap(), 1.0);
     }
 
+    /// Regression: a negative std was silently accepted and fed into the
+    /// resampler, where it sign-flips every perturbation — a nonsense
+    /// posterior quietly producing a plausible-looking score. It must be
+    /// a typed error.
+    #[test]
+    fn negative_std_is_a_typed_error() {
+        assert_eq!(
+            rank_stability(&[2.0, 1.0], &[0.5, -0.5], 2, 16, 0),
+            Err(StatsError::InvalidParameter("stds must be nonnegative"))
+        );
+    }
+
+    /// Degenerate inputs must short-circuit to *exactly* 1.0 — a single
+    /// event cannot change order and all-zero stds cannot perturb —
+    /// regardless of the draw count or seed.
+    #[test]
+    fn degenerate_inputs_are_exactly_stable() {
+        for draws in [1, 7, 64] {
+            for seed in [0, 9, u64::MAX] {
+                assert_eq!(
+                    rank_stability(&[3.5], &[100.0], 1, draws, seed).unwrap(),
+                    1.0
+                );
+                assert_eq!(
+                    rank_stability(&[5.0, 4.0, 3.0], &[0.0; 3], 2, draws, seed).unwrap(),
+                    1.0
+                );
+            }
+        }
+    }
+
     #[test]
     fn ties_under_huge_noise_are_unstable() {
         let means = [10.0, 10.0, 10.0, 10.0];
@@ -383,9 +424,7 @@ mod tests {
         // Truths drawn from the very posteriors we report: coverage must
         // sit near the nominal level.
         let mut stream = ResampleStream::new(21, 0);
-        let posteriors: Vec<Posterior> = (0..2000)
-            .map(|i| Posterior::new(i as f64, 4.0))
-            .collect();
+        let posteriors: Vec<Posterior> = (0..2000).map(|i| Posterior::new(i as f64, 4.0)).collect();
         let truths: Vec<f64> = posteriors
             .iter()
             .map(|p| p.mean + p.std() * stream.next_gaussian())

@@ -325,7 +325,9 @@ mod tests {
     #[test]
     fn predict_with_variance_mean_matches_predict_exactly() {
         let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
-        let ys: Vec<f64> = (0..40).map(|i| 10.0 + ((i * 13) % 7) as f64 * 0.3).collect();
+        let ys: Vec<f64> = (0..40)
+            .map(|i| 10.0 + ((i * 13) % 7) as f64 * 0.3)
+            .collect();
         let knn = KnnRegressor::fit(&xs, &ys, 5).unwrap();
         for probe in [-3.0, 0.0, 7.4, 19.5, 44.0] {
             let (mean, variance) = knn.predict_with_variance(probe);
@@ -369,7 +371,9 @@ mod tests {
         let mut v = vec![0.0, 0.0];
         assert!(impute_series_with_variance(&mut v, &[0, 1], 5).is_err());
         let mut v = vec![1.0, 2.0, 3.0];
-        assert!(impute_series_with_variance(&mut v, &[], 0).unwrap().is_empty());
+        assert!(impute_series_with_variance(&mut v, &[], 0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

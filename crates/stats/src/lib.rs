@@ -18,7 +18,10 @@
 //! * [PCA](pca) as the related-work feature-extraction baseline
 //!   (Section VI-A),
 //! * [dynamic time warping](dtw) for comparing variable-length event
-//!   series (Eqs. 1–3).
+//!   series (Eqs. 1–3),
+//! * [seeded k-medoids clustering](cluster) over counter signatures —
+//!   pluggable distances, silhouette scores, and the adjusted Rand
+//!   index — behind the cross-benchmark `cluster` analysis mode.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 #![deny(missing_docs)]
 
 pub mod anderson;
+pub mod cluster;
 pub mod descriptive;
 mod distribution;
 pub mod dtw;

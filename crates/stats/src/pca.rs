@@ -22,15 +22,45 @@ pub struct Pca {
 }
 
 impl Pca {
-    /// Fits the leading `k` principal components of `rows` (observations
-    /// × features). Columns are centred internally (not rescaled — pass
+    /// Fits exactly `k` principal components of `rows` (observations ×
+    /// features). Columns are centred internally (not rescaled — pass
     /// standardized data for correlation-matrix PCA).
+    ///
+    /// A successful fit always carries `k` components, so callers may
+    /// index `components()[k - 1]` without checking. When the matrix's
+    /// numerical rank is below `k` — the deflated variance is exhausted
+    /// before `k` components are extracted — the fit fails with
+    /// [`StatsError::RankDeficient`] naming how many components the data
+    /// supports; use [`Pca::fit_up_to`] to accept fewer instead.
     ///
     /// # Errors
     ///
     /// Returns an error for an empty matrix, ragged rows, `k` of zero,
-    /// or `k` exceeding the feature count.
+    /// `k` exceeding the feature count, or rank-deficient data
+    /// ([`StatsError::RankDeficient`]).
     pub fn fit(rows: &[Vec<f64>], k: usize) -> Result<Self, StatsError> {
+        let pca = Self::fit_up_to(rows, k)?;
+        if pca.components.len() < k {
+            return Err(StatsError::RankDeficient {
+                requested: k,
+                found: pca.components.len(),
+            });
+        }
+        Ok(pca)
+    }
+
+    /// Fits *up to* `k` principal components, stopping early when the
+    /// deflated variance is exhausted: rank-deficient data yields
+    /// however many components it supports (at least one). This is the
+    /// historical behaviour of [`Pca::fit`], now opt-in — check
+    /// `components().len()` before indexing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty matrix, ragged rows, `k` of zero,
+    /// `k` exceeding the feature count, or constant (zero-variance)
+    /// data.
+    pub fn fit_up_to(rows: &[Vec<f64>], k: usize) -> Result<Self, StatsError> {
         if rows.is_empty() {
             return Err(StatsError::EmptyInput);
         }
@@ -269,13 +299,38 @@ mod tests {
         assert!(Pca::fit(&constant, 1).is_err());
     }
 
+    /// Regression: `fit` used to silently return fewer than `k`
+    /// components on rank-deficient data (it `break`s at the `1e-12`
+    /// deflated-variance guard), so callers indexing
+    /// `components()[k - 1]` panicked. It must now report the actual
+    /// rank in a typed error.
     #[test]
-    fn requesting_more_components_than_rank_truncates() {
-        // Rank-1 data: only one component is returned.
+    fn rank_deficient_fit_is_a_typed_error() {
+        // Rank-1 data: only one direction of variance exists.
         let data: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![i as f64, 2.0 * i as f64, -i as f64])
             .collect();
-        let pca = Pca::fit(&data, 3).unwrap();
+        assert_eq!(
+            Pca::fit(&data, 3).unwrap_err(),
+            StatsError::RankDeficient {
+                requested: 3,
+                found: 1,
+            }
+        );
+        // Asking for what the rank supports still succeeds.
+        assert_eq!(Pca::fit(&data, 1).unwrap().components().len(), 1);
+    }
+
+    #[test]
+    fn fit_up_to_truncates_at_the_rank() {
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, 2.0 * i as f64, -i as f64])
+            .collect();
+        let pca = Pca::fit_up_to(&data, 3).unwrap();
         assert_eq!(pca.components().len(), 1);
+        // Full-rank data still yields all k under both entry points.
+        let full = anisotropic(300, 9);
+        assert_eq!(Pca::fit_up_to(&full, 3).unwrap().components().len(), 3);
+        assert_eq!(Pca::fit(&full, 3).unwrap().components().len(), 3);
     }
 }

@@ -281,7 +281,10 @@ impl StreamSession {
         session.clean = vec![vec![CleanColumn::default(); session.events.len()]; runs];
         if session.config.miner.cleaner_kind == CleanerKind::Bayes {
             session.uncertainty =
-                Some(vec![vec![VarianceAggregate::default(); session.events.len()]; runs]);
+                Some(vec![
+                    vec![VarianceAggregate::default(); session.events.len()];
+                    runs
+                ]);
         }
 
         if rows > 0 {
@@ -569,10 +572,8 @@ impl StreamSession {
                         Some(aggregates) => {
                             let (cleaned, report, block_uncertainty) =
                                 self.cleaner.clean_series_bayes(&series)?;
-                            aggregates[r][pos].merge(&VarianceAggregate::of_series(
-                                &cleaned,
-                                &block_uncertainty,
-                            ));
+                            aggregates[r][pos]
+                                .merge(&VarianceAggregate::of_series(&cleaned, &block_uncertainty));
                             (cleaned, report)
                         }
                         None => self.cleaner.clean_series(&series)?,
@@ -839,16 +840,25 @@ mod tests {
         let mut s = StreamSession::open(&mut store, Benchmark::Sort, bayes_config()).unwrap();
         s.append(&mut store, 96).unwrap();
         let a = s.analysis().unwrap().unwrap();
-        let uncertainty = a.report.eir.uncertainty.as_ref().expect("bayes uncertainty");
+        let uncertainty = a
+            .report
+            .eir
+            .uncertainty
+            .as_ref()
+            .expect("bayes uncertainty");
         assert!((0.0..=1.0).contains(&uncertainty.stability));
-        assert!(a.report.eir.iterations.iter().all(|i| i.stability.is_some()));
+        assert!(a
+            .report
+            .eir
+            .iterations
+            .iter()
+            .all(|i| i.stability.is_some()));
         assert_eq!(a.report.cleaner, CleanerKind::Bayes);
 
         // Point session over the same source: identical sealed bytes.
         let path_p = temp_store("bayes_vs_point");
         let mut store_p = Store::open(&path_p).unwrap();
-        let mut p =
-            StreamSession::open(&mut store_p, Benchmark::Sort, point_config()).unwrap();
+        let mut p = StreamSession::open(&mut store_p, Benchmark::Sort, point_config()).unwrap();
         p.append(&mut store_p, 96).unwrap();
         for &e in s.events().to_vec().iter() {
             let want = p.cleaned_series(0, e).unwrap();

@@ -195,6 +195,7 @@ fn core_documents_exist() {
         "docs/ARCHITECTURE.md",
         "docs/STORAGE_FORMAT.md",
         "docs/CLEANING.md",
+        "docs/CLUSTERING.md",
     ] {
         assert!(root.join(name).exists(), "missing {name}");
     }
